@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 3: IPC over time for GemsFDTD on the server core with a
+ * 128KB 1-way MLC vs. the full 1024KB 8-way MLC. The paper's point:
+ * the full MLC matters when the working set fits it (and not L1),
+ * and stops mattering when the workload streams.
+ *
+ * Output: IPC per sample interval for both configurations.
+ */
+
+#include "bench_util.hh"
+
+using namespace powerchop;
+using namespace powerchop::bench;
+
+int
+main()
+{
+    banner("Figure 3: 128KB 1-way vs 1024KB 8-way MLC IPC over "
+           "GemsFDTD",
+           "Fig. 3 (Section III-A)");
+
+    WorkloadSpec w = findWorkload("gems");
+    MachineConfig m = serverConfig();
+    const InsnCount insns = insnBudget(24'000'000);
+    const InsnCount interval = insns / 64;
+
+    auto series = [&](MlcPolicy mlc) {
+        std::vector<double> ipc;
+        SimOptions opts;
+        opts.mode = SimMode::StaticPolicy;
+        opts.staticPolicy = GatingPolicy::fullPower();
+        opts.staticPolicy.mlc = mlc;
+        opts.maxInstructions = insns;
+        opts.sampleInterval = interval;
+        InsnCount last_n = 0;
+        Cycles last_c = 0;
+        opts.sampler = [&](InsnCount n, Cycles c) {
+            ipc.push_back((n - last_n) / (c - last_c));
+            last_n = n;
+            last_c = c;
+        };
+        simulate(m, w, opts);
+        return ipc;
+    };
+
+    progress("running gems with the full 1024KB 8-way MLC");
+    std::vector<double> full = series(MlcPolicy::AllWays);
+    progress("running gems with the 128KB 1-way MLC");
+    std::vector<double> one = series(MlcPolicy::OneWay);
+
+    std::printf("sample  ipc_1way  ipc_8way  full_benefit\n");
+    double sum_1 = 0, sum_8 = 0;
+    std::size_t big_gap = 0, small_gap = 0;
+    for (std::size_t i = 0; i < full.size() && i < one.size(); ++i) {
+        double benefit = full[i] - one[i];
+        std::printf("%6zu  %8.3f  %8.3f  %+8.3f\n", i, one[i], full[i],
+                    benefit);
+        sum_1 += one[i];
+        sum_8 += full[i];
+        if (benefit > 0.1)
+            ++big_gap;
+        else
+            ++small_gap;
+    }
+    std::printf("\nmean IPC: 1-way %.3f, 8-way %.3f\n",
+                sum_1 / one.size(), sum_8 / full.size());
+    std::printf("samples where the full MLC matters (gap > 0.1 IPC): "
+                "%zu; negligible: %zu\n",
+                big_gap, small_gap);
+    std::printf("paper shape: the full MLC helps only while the "
+                "working set fits it; during\nstreaming sweeps the "
+                "two configurations converge.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 8: quality of online phase identification. For every window
+ * pair that PowerChop labels with the same phase signature, compute
+ * the normalized Manhattan distance between their translation
+ * profiles. The paper reports an average of 2.8% (28 of 1000
+ * translations differing) and a worst case of 6.8%.
+ */
+
+#include <cmath>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace powerchop;
+using namespace powerchop::bench;
+
+namespace
+{
+
+/** Average normalized Manhattan distance between same-signature
+ *  windows of one app. */
+double
+phaseQuality(const WorkloadSpec &w, InsnCount insns)
+{
+    MachineConfig m = machineFor(w);
+
+    // Keep a bounded number of window profiles per signature.
+    std::map<PhaseSignature, std::vector<std::map<TranslationId, double>>,
+             std::less<PhaseSignature>>
+        windows;
+
+    SimOptions opts;
+    opts.mode = SimMode::PowerChop;
+    opts.maxInstructions = insns;
+    opts.windowObserver = [&](const WindowReport &rep) {
+        auto &list = windows[rep.signature];
+        if (list.size() >= 8)
+            return;
+        std::map<TranslationId, double> profile;
+        for (const auto &[id, n] : rep.profile)
+            profile[id] = static_cast<double>(n);
+        list.push_back(std::move(profile));
+    };
+    simulate(m, w, opts);
+
+    double total = 0;
+    int pairs = 0;
+    for (const auto &[sig, list] : windows) {
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            for (std::size_t j = i + 1; j < list.size(); ++j) {
+                std::map<TranslationId, double> diff = list[i];
+                for (const auto &[id, c] : list[j])
+                    diff[id] -= c;
+                double dist = 0, mass = 0;
+                for (const auto &[id, c] : diff)
+                    dist += std::abs(c);
+                for (const auto &[id, c] : list[i])
+                    mass += c;
+                for (const auto &[id, c] : list[j])
+                    mass += c;
+                if (mass > 0) {
+                    total += dist / mass;
+                    ++pairs;
+                }
+            }
+        }
+    }
+    return pairs ? total / pairs : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 8: code similarity across same-signature windows",
+           "Fig. 8 (Section V-B)");
+
+    const InsnCount insns = insnBudget(10'000'000);
+    std::printf("application     avg_manhattan_distance\n");
+
+    SuiteAverages agg;
+    double worst = 0;
+    std::string worst_app;
+    forEachApp(allWorkloads(), [&](const WorkloadSpec &w) {
+        double d = phaseQuality(w, insns);
+        std::printf("%-14s  %s\n", w.name.c_str(), pct(d).c_str());
+        agg.add(w.suite, d);
+        if (d > worst) {
+            worst = d;
+            worst_app = w.name;
+        }
+    });
+
+    std::printf("\naverage distance %s, worst %s (%s)\n",
+                pct(agg.overallMean()).c_str(), pct(worst).c_str(),
+                worst_app.c_str());
+    std::printf("paper: average 2.8%%, never exceeding 6.8%% — windows "
+                "sharing a signature\nexecute nearly identical "
+                "translation sets.\n");
+    return 0;
+}

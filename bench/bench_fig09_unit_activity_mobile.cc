@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 9: per-unit gated-off cycle fractions under PowerChop on the
+ * mobile design point (MobileBench). The paper's shape: the VPU is
+ * gated ~90%+ of the time, the BPU around 40% on average, and the MLC
+ * is gated in some fashion around 20% of the time.
+ */
+
+#include "bench_util.hh"
+
+using namespace powerchop;
+using namespace powerchop::bench;
+
+int
+main()
+{
+    banner("Figure 9: unit activity on the mobile processor",
+           "Fig. 9 (Section V-C)");
+
+    const InsnCount insns = insnBudget(10'000'000);
+    std::printf("application   vpu_gated  bpu_gated  mlc_half  "
+                "mlc_1way\n");
+
+    SuiteAverages vpu, bpu, mlc_any;
+    forEachApp(mobileWorkloads(), [&](const WorkloadSpec &w) {
+        // Section V-C methodology: each unit is managed in
+        // isolation while the others stay gated on.
+        SimOptions opts;
+        opts.mode = SimMode::PowerChop;
+        opts.maxInstructions = insns;
+
+        opts.manageVpu = true;
+        opts.manageBpu = false;
+        opts.manageMlc = false;
+        SimResult rv = simulate(mobileConfig(), w, opts);
+
+        opts.manageVpu = false;
+        opts.manageBpu = true;
+        SimResult rb = simulate(mobileConfig(), w, opts);
+
+        opts.manageBpu = false;
+        opts.manageMlc = true;
+        SimResult rm = simulate(mobileConfig(), w, opts);
+
+        SimResult r;
+        r.vpuGatedFraction = rv.vpuGatedFraction;
+        r.bpuGatedFraction = rb.bpuGatedFraction;
+        r.mlcHalfFraction = rm.mlcHalfFraction;
+        r.mlcOneWayFraction = rm.mlcOneWayFraction;
+        std::printf("%-12s  %s  %s  %s  %s\n", w.name.c_str(),
+                    pct(r.vpuGatedFraction).c_str(),
+                    pct(r.bpuGatedFraction).c_str(),
+                    pct(r.mlcHalfFraction).c_str(),
+                    pct(r.mlcOneWayFraction).c_str());
+        vpu.add(w.suite, r.vpuGatedFraction);
+        bpu.add(w.suite, r.bpuGatedFraction);
+        mlc_any.add(w.suite, r.mlcHalfFraction + r.mlcOneWayFraction);
+    });
+
+    std::printf("\naverages: VPU gated %s, BPU gated %s, MLC gated in "
+                "some fashion %s\n",
+                pct(vpu.overallMean()).c_str(),
+                pct(bpu.overallMean()).c_str(),
+                pct(mlc_any.overallMean()).c_str());
+    std::printf("paper shape: VPU ~90%%+, BPU ~40%% average, MLC "
+                "gated in some fashion.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 11: frequency of unit power-gating state changes under
+ * PowerChop. The paper's shape: on average fewer than 50 BPU, 10 VPU
+ * and 5 MLC policy switches per million cycles — high gated fractions
+ * with low switching churn is what makes the overheads affordable.
+ */
+
+#include "bench_util.hh"
+
+using namespace powerchop;
+using namespace powerchop::bench;
+
+int
+main()
+{
+    banner("Figure 11: unit state changes per million cycles",
+           "Fig. 11 (Section V-C)");
+
+    const InsnCount insns = insnBudget(10'000'000);
+    std::printf("application     vpu/Mcyc  bpu/Mcyc  mlc/Mcyc\n");
+
+    SuiteAverages vpu, bpu, mlc;
+    forEachApp(allWorkloads(), [&](const WorkloadSpec &w) {
+        SimOptions opts;
+        opts.mode = SimMode::PowerChop;
+        opts.maxInstructions = insns;
+        SimResult r = simulate(machineFor(w), w, opts);
+        std::printf("%-14s  %8.2f  %8.2f  %8.2f\n", w.name.c_str(),
+                    r.vpuSwitchesPerMcycle, r.bpuSwitchesPerMcycle,
+                    r.mlcSwitchesPerMcycle);
+        vpu.add(w.suite, r.vpuSwitchesPerMcycle);
+        bpu.add(w.suite, r.bpuSwitchesPerMcycle);
+        mlc.add(w.suite, r.mlcSwitchesPerMcycle);
+    });
+
+    std::printf("\naverages: VPU %.2f, BPU %.2f, MLC %.2f switches "
+                "per Mcycle\n",
+                vpu.overallMean(), bpu.overallMean(), mlc.overallMean());
+    std::printf("paper shape: BPU < 50, VPU < 10, MLC < 5 per Mcycle "
+                "on average.\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 14: core leakage power reduction with PowerChop. The paper's
+ * shape: ~23% SPEC-INT, ~10% SPEC-FP, ~12% PARSEC and ~32%
+ * MobileBench on average, with individual apps up to ~52%, at ~2.2%
+ * slowdown.
+ */
+
+#include "bench_util.hh"
+
+using namespace powerchop;
+using namespace powerchop::bench;
+
+int
+main()
+{
+    banner("Figure 14: leakage power reduction", "Fig. 14 (Section V-D)");
+
+    const InsnCount insns = insnBudget(10'000'000);
+    std::printf("application     leak_full  leak_pchop  leak_red\n");
+
+    SuiteAverages leak_red;
+    forEachApp(allWorkloads(), [&](const WorkloadSpec &w) {
+        ComparisonRuns runs = runPair(machineFor(w), w, insns);
+        const SimResult &full = runs.fullPower;
+        const SimResult &pc = runs.powerChop;
+
+        double lr = pc.leakageReductionVs(full);
+        std::printf("%-14s  %7.3f W  %8.3f W  %s\n", w.name.c_str(),
+                    full.energy.averageLeakagePower(),
+                    pc.energy.averageLeakagePower(), pct(lr).c_str());
+        leak_red.add(w.suite, lr);
+    });
+
+    std::printf("\nsuite means:\n");
+    leak_red.printSummary("leak_red");
+    std::printf("paper shape: ~23%% INT, ~10%% FP, ~12%% PARSEC, ~32%% "
+                "Mobile; mobile wins\nbecause its MLC is 60%% of core "
+                "area (Table I).\n");
+    return 0;
+}

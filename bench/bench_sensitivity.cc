@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Section IV-B1 sensitivity: execution-window size and HTB capacity.
+ * The paper reports that a signature length of 4 with a window of
+ * 1000 translations works well across workloads; this ablation sweeps
+ * the window size and HTB entry count and reports the quality knobs
+ * they trade: PVT miss rate, gated fractions, and slowdown.
+ */
+
+#include "bench_util.hh"
+
+using namespace powerchop;
+using namespace powerchop::bench;
+
+namespace
+{
+
+struct Row
+{
+    double slowdown;
+    double power_red;
+    double pvt_miss;
+    double switches;
+};
+
+Row
+evaluate(unsigned window, unsigned entries, InsnCount insns)
+{
+    std::vector<double> slow, pred, miss, sw;
+    for (const auto &name : {"gobmk", "gems", "msn"}) {
+        WorkloadSpec w = findWorkload(name);
+        MachineConfig m = machineFor(w);
+        m.powerChop.htb.windowSize = window;
+        m.powerChop.htb.entries = entries;
+
+        SimOptions opts;
+        opts.maxInstructions = insns;
+        opts.mode = SimMode::FullPower;
+        SimResult full = simulate(m, w, opts);
+        opts.mode = SimMode::PowerChop;
+        SimResult pc = simulate(m, w, opts);
+
+        slow.push_back(pc.slowdownVs(full));
+        pred.push_back(pc.powerReductionVs(full));
+        miss.push_back(pc.pvtMissPerTranslation);
+        sw.push_back(pc.mlcSwitchesPerMcycle + pc.vpuSwitchesPerMcycle +
+                     pc.bpuSwitchesPerMcycle);
+    }
+    return Row{mean(slow), mean(pred), mean(miss), mean(sw)};
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Sensitivity: execution-window size and HTB capacity",
+           "Section IV-B1 (design-parameter selection)");
+
+    const InsnCount insns = insnBudget(6'000'000);
+
+    std::printf("window size sweep (HTB = 128 entries):\n");
+    std::printf("window  slowdown  power_red  pvt_miss/trans  "
+                "switches/Mcyc\n");
+    for (unsigned window : {200u, 500u, 1000u, 2000u, 5000u}) {
+        Row r = evaluate(window, 128, insns);
+        std::printf("%6u  %s  %s  %13.5f%%  %12.2f\n", window,
+                    pct(r.slowdown).c_str(), pct(r.power_red).c_str(),
+                    100 * r.pvt_miss, r.switches);
+        progress("window " + std::to_string(window) + " done");
+    }
+
+    std::printf("\nHTB capacity sweep (window = 1000):\n");
+    std::printf("entries  slowdown  power_red  pvt_miss/trans\n");
+    for (unsigned entries : {16u, 32u, 64u, 128u, 256u}) {
+        Row r = evaluate(1000, entries, insns);
+        std::printf("%7u  %s  %s  %13.5f%%\n", entries,
+                    pct(r.slowdown).c_str(), pct(r.power_red).c_str(),
+                    100 * r.pvt_miss);
+        progress("entries " + std::to_string(entries) + " done");
+    }
+
+    std::printf("\npaper shape: short windows chase transients (more "
+                "switches, more PVT\ntraffic); long windows miss short "
+                "phases; 1000 translations with a\n128-entry HTB is "
+                "the sweet spot.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared plumbing for the evaluation benches: progress reporting,
+ * per-suite aggregation and table formatting. Each bench binary
+ * regenerates one table or figure of the paper and prints the same
+ * rows/series the paper reports.
+ */
+
+#ifndef POWERCHOP_BENCH_BENCH_UTIL_HH
+#define POWERCHOP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "powerchop/powerchop.hh"
+
+namespace powerchop
+{
+namespace bench
+{
+
+/** Pick the design point an application model evaluates on. */
+inline MachineConfig
+machineFor(const WorkloadSpec &w)
+{
+    return w.suite == Suite::MobileBench ? mobileConfig()
+                                         : serverConfig();
+}
+
+/** Print a banner naming the experiment being regenerated. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("%s\n  reproduces: %s\n", what.c_str(),
+                paper_ref.c_str());
+    std::printf("================================================="
+                "=============================\n");
+}
+
+/** Progress note to stderr (keeps stdout machine-parseable). */
+inline void
+progress(const std::string &msg)
+{
+    std::fprintf(stderr, "[bench] %s\n", msg.c_str());
+}
+
+/** Per-suite accumulation of one metric. */
+class SuiteAverages
+{
+  public:
+    void
+    add(Suite suite, double value)
+    {
+        values_[static_cast<unsigned>(suite)].push_back(value);
+        all_.push_back(value);
+    }
+
+    double suiteMean(Suite suite) const
+    {
+        return mean(values_[static_cast<unsigned>(suite)]);
+    }
+    double overallMean() const { return mean(all_); }
+    double overallMax() const { return maxOf(all_); }
+
+    /** Print "suite mean" rows for the four suites plus overall. */
+    void
+    printSummary(const char *metric) const
+    {
+        std::printf("  %-12s  SPEC-INT %s  SPEC-FP %s  PARSEC %s"
+                    "  MobileBench %s  |  all %s (max %s)\n",
+                    metric, pct(suiteMean(Suite::SpecInt)).c_str(),
+                    pct(suiteMean(Suite::SpecFp)).c_str(),
+                    pct(suiteMean(Suite::Parsec)).c_str(),
+                    pct(suiteMean(Suite::MobileBench)).c_str(),
+                    pct(overallMean()).c_str(),
+                    pct(overallMax()).c_str());
+    }
+
+  private:
+    std::vector<double> values_[4];
+    std::vector<double> all_;
+};
+
+/** Run `fn` for every workload in `apps`, with progress reporting. */
+inline void
+forEachApp(const std::vector<WorkloadSpec> &apps,
+           const std::function<void(const WorkloadSpec &)> &fn)
+{
+    for (const auto &w : apps) {
+        progress("running " + w.name + " (" + suiteName(w.suite) + ")");
+        fn(w);
+    }
+}
+
+} // namespace bench
+} // namespace powerchop
+
+#endif // POWERCHOP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,47 @@
+# Example custom workload for the PowerChop simulator.
+#
+# Run it with:   ./build/tools/powerchop compare examples/custom_workload.wl
+# Format docs:   src/workload/spec_io.hh
+#
+# This models a hypothetical media pipeline: a vector-heavy transform
+# kernel over an MLC-resident tile buffer, alternating with a branchy
+# scalar bitstream parser whose working set fits L1 — so PowerChop
+# should keep the VPU and MLC on during `transform`, gate the VPU and
+# shrink the MLC during `parse`, and keep the large BPU only where the
+# parser's correlated branches make it critical.
+
+name = mediapipe
+suite = PARSEC
+seed = 4242
+
+[phase transform]
+simd_frac = 0.10
+fp_frac = 0.12
+mem_frac = 0.30
+branch_frac = 0.04
+# Note: omitted keys keep PhaseSpec defaults, which include small
+# pattern/correlated branch shares — zero them explicitly so the
+# transform's branches are genuinely easy and the BPU gates here.
+frac_biased = 0.95
+frac_pattern = 0.0
+frac_correlated = 0.0
+working_set_kb = 384
+hot_region_frac = 0.82
+random_frac = 0.45
+
+[phase parse]
+simd_frac = 0.0
+fp_frac = 0.02
+mem_frac = 0.26
+branch_frac = 0.09
+frac_biased = 0.35
+frac_pattern = 0.30
+frac_correlated = 0.25
+working_set_kb = 12
+hot_region_frac = 0.6
+
+[schedule]
+transform 2500000
+parse     1200000
+transform 2000000
+parse     900000

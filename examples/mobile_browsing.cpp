@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Mobile browsing scenario: run the six MobileBench R-GWB models on
+ * the Cortex-A9-class mobile core and report what PowerChop saves on
+ * a browsing session — the paper's headline mobile result (19% core
+ * power, 32% leakage, ~2% slowdown).
+ *
+ * Usage: mobile_browsing [instructions_per_site]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "powerchop/powerchop.hh"
+
+using namespace powerchop;
+
+int
+main(int argc, char **argv)
+{
+    const InsnCount insns =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8'000'000;
+
+    try {
+        MachineConfig mobile = mobileConfig();
+        std::cout << "Browsing session on the " << mobile.name
+                  << " core (" << mobile.core.issueWidth << "-wide @ "
+                  << mobile.core.frequencyHz / 1e9 << " GHz, "
+                  << mobile.mlc.sizeBytes / 1024 << "KB MLC = "
+                  << static_cast<int>(
+                         100 * mobile.power.areaFraction(Unit::Mlc))
+                  << "% of core area)\n\n";
+
+        std::cout << "site      power_full  power_pchop  saved   "
+                     "leakage_saved  slowdown  policy_mix\n";
+
+        std::vector<double> power_saved, leak_saved, slow;
+        double session_energy_full = 0, session_energy_pchop = 0;
+
+        for (const auto &w : mobileWorkloads()) {
+            ComparisonRuns runs = runPair(mobile, w, insns);
+            const SimResult &full = runs.fullPower;
+            const SimResult &pc = runs.powerChop;
+
+            double ps = pc.powerReductionVs(full);
+            double ls = pc.leakageReductionVs(full);
+            double sl = pc.slowdownVs(full);
+            power_saved.push_back(ps);
+            leak_saved.push_back(ls);
+            slow.push_back(sl);
+            session_energy_full += full.energy.totalEnergy();
+            session_energy_pchop += pc.energy.totalEnergy();
+
+            std::cout.setf(std::ios::fixed);
+            std::cout.precision(3);
+            std::cout << w.name << "\t  " << full.energy.averagePower()
+                      << " W\t" << pc.energy.averagePower() << " W  "
+                      << pct(ps) << "  " << pct(ls) << "      "
+                      << pct(sl) << "  V-off " << pct(pc.vpuGatedFraction)
+                      << " B-off " << pct(pc.bpuGatedFraction) << "\n";
+        }
+
+        std::cout << "\nsession summary (" << mobileWorkloads().size()
+                  << " sites x " << insns << " insns):\n";
+        std::cout << "  average core power saved  " << pct(mean(power_saved))
+                  << "\n  average leakage saved     " << pct(mean(leak_saved))
+                  << "\n  average slowdown          " << pct(mean(slow))
+                  << "\n  session energy            "
+                  << session_energy_full * 1e3 << " mJ -> "
+                  << session_energy_pchop * 1e3 << " mJ ("
+                  << pct(1 - session_energy_pchop / session_energy_full)
+                  << " less)\n";
+        std::cout << "\nOn a phone, that energy delta is battery life: "
+                     "PowerChop trades ~2%\nperformance nobody notices "
+                     "for double-digit power savings.\n";
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

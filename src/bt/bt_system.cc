@@ -1,0 +1,43 @@
+#include "bt/bt_system.hh"
+
+namespace powerchop
+{
+
+BtSystem::BtSystem(const Program &program, const BtParams &params)
+    : program_(program), params_(params),
+      interpreter_(params.hotThreshold),
+      translator_(program, params.translator),
+      regionCache_(params.regionCacheCapacity),
+      nucleus_(params.nucleus)
+{
+}
+
+RegionEntry
+BtSystem::enterRegion(BlockId head)
+{
+    RegionEntry entry;
+    const Addr head_pc = program_.block(head).head;
+
+    Translation *t = regionCache_.lookup(head_pc);
+    if (t) {
+        ++t->execCount;
+        entry.mode = ExecMode::Translated;
+        entry.translation = t;
+        return entry;
+    }
+
+    entry.mode = ExecMode::Interpreted;
+    bool became_hot = interpreter_.recordExecution(head_pc);
+    if (became_hot) {
+        entry.extraCycles +=
+            nucleus_.takeInterrupt(InterruptKind::Translation);
+        entry.extraCycles += params_.translationCost;
+        regionCache_.insert(translator_.translate(head));
+        interpreter_.forget(head_pc);
+        // The current pass still interprets; the next entry runs the
+        // translation.
+    }
+    return entry;
+}
+
+} // namespace powerchop

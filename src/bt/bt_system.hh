@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Facade over the BT subsystem: interpreter + translator + region
+ * cache + nucleus, presenting the execution-mode decision the core
+ * timing model needs at each block head.
+ */
+
+#ifndef POWERCHOP_BT_BT_SYSTEM_HH
+#define POWERCHOP_BT_BT_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "bt/interpreter.hh"
+#include "bt/nucleus.hh"
+#include "bt/region_cache.hh"
+#include "bt/translator.hh"
+#include "isa/program.hh"
+
+namespace powerchop
+{
+
+/** How the instructions of the current region execute. */
+enum class ExecMode : std::uint8_t
+{
+    Translated,   ///< From the region cache at native speed.
+    Interpreted,  ///< Through the interpreter (slow).
+};
+
+/** Outcome of entering a region at a block head. */
+struct RegionEntry
+{
+    ExecMode mode = ExecMode::Interpreted;
+
+    /** The translation executing, when mode == Translated. */
+    Translation *translation = nullptr;
+
+    /** Stall cycles charged at this entry (translator runs, traps). */
+    double extraCycles = 0;
+};
+
+/** BT configuration. */
+struct BtParams
+{
+    unsigned hotThreshold = 24;
+    double translationCost = 4000.0;
+    TranslatorParams translator;
+    NucleusParams nucleus;
+    std::size_t regionCacheCapacity = 0;
+};
+
+/**
+ * The hybrid processor's software layer.
+ */
+class BtSystem
+{
+  public:
+    /**
+     * @param program The guest program (must outlive the system).
+     * @param params  Subsystem parameters.
+     */
+    BtSystem(const Program &program, const BtParams &params = {});
+
+    /**
+     * Enter the region headed by a block: consult the region cache,
+     * fall back to interpretation, and translate regions that just
+     * crossed the hotness threshold.
+     *
+     * @param head The block whose head is being entered.
+     * @return how this region executes and any stall cycles.
+     */
+    RegionEntry enterRegion(BlockId head);
+
+    const RegionCache &regionCache() const { return regionCache_; }
+    const Interpreter &interpreter() const { return interpreter_; }
+    const Translator &translator() const { return translator_; }
+    Nucleus &nucleus() { return nucleus_; }
+    const Nucleus &nucleus() const { return nucleus_; }
+
+  private:
+    const Program &program_;
+    BtParams params_;
+    Interpreter interpreter_;
+    Translator translator_;
+    RegionCache regionCache_;
+    Nucleus nucleus_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_BT_BT_SYSTEM_HH

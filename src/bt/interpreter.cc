@@ -1,0 +1,37 @@
+#include "bt/interpreter.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+Interpreter::Interpreter(unsigned hot_threshold)
+    : hotThreshold_(hot_threshold)
+{
+    if (hot_threshold == 0)
+        fatal("interpreter hot threshold must be non-zero");
+}
+
+bool
+Interpreter::recordExecution(Addr head_pc)
+{
+    ++interpreted_;
+    std::uint64_t &c = counts_[head_pc];
+    ++c;
+    return c == hotThreshold_;
+}
+
+std::uint64_t
+Interpreter::hotness(Addr head_pc) const
+{
+    auto it = counts_.find(head_pc);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void
+Interpreter::forget(Addr head_pc)
+{
+    counts_.erase(head_pc);
+}
+
+} // namespace powerchop

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The BT interpreter: decodes and executes guest instructions
+ * sequentially while collecting hotness statistics about code regions
+ * and branch behaviour. When a region reaches the hotness threshold
+ * the interpreter yields to the translator (Section II-A).
+ */
+
+#ifndef POWERCHOP_BT_INTERPRETER_HH
+#define POWERCHOP_BT_INTERPRETER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/**
+ * Hotness-tracking interpreter model.
+ *
+ * The timing cost of interpretation is charged by the simulator; this
+ * class tracks per-region execution counts and reports when a region
+ * crosses the hotness threshold.
+ */
+class Interpreter
+{
+  public:
+    /**
+     * @param hot_threshold Executions of a head before translation.
+     */
+    explicit Interpreter(unsigned hot_threshold);
+
+    /**
+     * Record one interpreted execution of the region at head_pc.
+     *
+     * @return true if the region just became hot (translate now).
+     */
+    bool recordExecution(Addr head_pc);
+
+    /** @return the execution count collected for a head. */
+    std::uint64_t hotness(Addr head_pc) const;
+
+    /** Forget a head (it has been translated). */
+    void forget(Addr head_pc);
+
+    std::uint64_t interpretedRegions() const { return interpreted_; }
+    unsigned hotThreshold() const { return hotThreshold_; }
+
+  private:
+    unsigned hotThreshold_;
+    std::unordered_map<Addr, std::uint64_t> counts_;
+    std::uint64_t interpreted_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_BT_INTERPRETER_HH

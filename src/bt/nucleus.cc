@@ -1,0 +1,40 @@
+#include "bt/nucleus.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+Nucleus::Nucleus(const NucleusParams &params) : params_(params)
+{
+}
+
+double
+Nucleus::takeInterrupt(InterruptKind kind)
+{
+    double cost = 0;
+    switch (kind) {
+      case InterruptKind::PvtMiss:
+        cost = params_.pvtMissTrapCycles;
+        break;
+      case InterruptKind::Translation:
+        cost = params_.translationTrapCycles;
+        break;
+      case InterruptKind::Other:
+        cost = params_.otherTrapCycles;
+        break;
+      default:
+        panic("unknown interrupt kind %d", static_cast<int>(kind));
+    }
+    ++counts_[static_cast<unsigned>(kind)];
+    totalCycles_ += cost;
+    return cost;
+}
+
+std::uint64_t
+Nucleus::count(InterruptKind kind) const
+{
+    return counts_[static_cast<unsigned>(kind)];
+}
+
+} // namespace powerchop

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The nucleus: the BT runtime's interrupt/exception layer.
+ *
+ * In a hybrid processor the nucleus handles host-level interrupts and
+ * microarchitectural exceptions. PowerChop adds one interrupt source:
+ * PVT misses, which transfer control to the Criticality Decision
+ * Engine (Section IV-C3 measures the resulting overhead: about 0.017%
+ * of translations miss the PVT, costing under 0.5% performance).
+ */
+
+#ifndef POWERCHOP_BT_NUCLEUS_HH
+#define POWERCHOP_BT_NUCLEUS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** Interrupt classes the nucleus dispatches. */
+enum class InterruptKind : std::uint8_t
+{
+    PvtMiss,       ///< PVT lookup missed; invoke the CDE.
+    Translation,   ///< A region crossed the hotness threshold.
+    Other,         ///< Ordinary host interrupts (devices, timers).
+};
+
+/** Cycle costs of taking each interrupt class. */
+struct NucleusParams
+{
+    /** Trap + CDE dispatch + return. The CDE's own work is charged
+     *  separately by its caller. */
+    double pvtMissTrapCycles = 300.0;
+
+    /** Trap overhead around a translator run. */
+    double translationTrapCycles = 200.0;
+
+    double otherTrapCycles = 500.0;
+};
+
+/**
+ * Interrupt cost accounting for the BT runtime.
+ */
+class Nucleus
+{
+  public:
+    explicit Nucleus(const NucleusParams &params = {});
+
+    /**
+     * Take one interrupt.
+     *
+     * @param kind The interrupt class.
+     * @return the cycle cost the core stalls for.
+     */
+    double takeInterrupt(InterruptKind kind);
+
+    std::uint64_t count(InterruptKind kind) const;
+    double totalCycles() const { return totalCycles_; }
+
+  private:
+    NucleusParams params_;
+    std::uint64_t counts_[3] = {0, 0, 0};
+    double totalCycles_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_BT_NUCLEUS_HH

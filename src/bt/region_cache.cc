@@ -1,0 +1,40 @@
+#include "bt/region_cache.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+RegionCache::RegionCache(std::size_t capacity) : capacity_(capacity)
+{
+}
+
+Translation *
+RegionCache::lookup(Addr head_pc)
+{
+    ++lookups_;
+    auto it = map_.find(head_pc);
+    if (it == map_.end())
+        return nullptr;
+    ++hits_;
+    return it->second.get();
+}
+
+Translation *
+RegionCache::insert(std::unique_ptr<Translation> t)
+{
+    if (!t)
+        panic("RegionCache::insert of null translation");
+    if (capacity_ != 0 && map_.size() >= capacity_) {
+        map_.clear();
+        ++flushes_;
+    }
+    Addr head = t->headPc;
+    auto [it, fresh] = map_.emplace(head, std::move(t));
+    if (!fresh)
+        panic("duplicate translation for head 0x%llx",
+              static_cast<unsigned long long>(head));
+    return it->second.get();
+}
+
+} // namespace powerchop

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The region cache: the software code cache holding translations.
+ */
+
+#ifndef POWERCHOP_BT_REGION_CACHE_HH
+#define POWERCHOP_BT_REGION_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "bt/translation.hh"
+
+namespace powerchop
+{
+
+/**
+ * Software structure mapping guest head PCs to translations.
+ *
+ * The real system bounds the region cache and garbage-collects cold
+ * translations; our synthetic programs are small enough that an
+ * optional capacity with coarse flush models that adequately.
+ */
+class RegionCache
+{
+  public:
+    /**
+     * @param capacity Maximum resident translations; 0 = unbounded.
+     */
+    explicit RegionCache(std::size_t capacity = 0);
+
+    /** @return the translation for a head PC, or nullptr. */
+    Translation *lookup(Addr head_pc);
+
+    /**
+     * Insert a translation.
+     *
+     * If at capacity, the whole cache is flushed first (Transmeta-
+     * style coarse eviction).
+     *
+     * @return the resident translation.
+     */
+    Translation *insert(std::unique_ptr<Translation> t);
+
+    std::size_t size() const { return map_.size(); }
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t flushes() const { return flushes_; }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, std::unique_ptr<Translation>> map_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_BT_REGION_CACHE_HH

@@ -1,0 +1,4 @@
+#include "bt/translation.hh"
+
+// Translation is a plain aggregate; this file anchors the module in
+// the build and keeps a home for future out-of-line members.

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The translation: the unit of optimized code the BT layer produces
+ * and the primitive PowerChop's phase analysis is built on.
+ *
+ * A translation is a short trace of guest basic blocks converted to
+ * host-ISA code and stored in the region cache. Its unique id is the
+ * lower 32 bits of the head PC (Section IV-B2: the region cache is far
+ * smaller than 32 bits of address space, so these are unique). The
+ * host instruction format carries a translation-head marker bit; the
+ * HTB snoops head executions off the critical path.
+ */
+
+#ifndef POWERCHOP_BT_TRANSLATION_HH
+#define POWERCHOP_BT_TRANSLATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace powerchop
+{
+
+/**
+ * One translation in the region cache.
+ */
+struct Translation
+{
+    /** Unique id: lower 32 bits of the head PC. */
+    TranslationId id = invalidTranslationId;
+
+    /** Guest PC of the trace head. */
+    Addr headPc = 0;
+
+    /** Guest basic blocks covered by this trace, in order. */
+    std::vector<BlockId> blocks;
+
+    /** Static guest instructions covered. */
+    unsigned staticInsts = 0;
+
+    /** True if any covered instruction is a SIMD op; such translations
+     *  carry a scalar-emulation alternate path for VPU-off phases. */
+    bool hasSimd = false;
+
+    /** Dynamic executions of this translation (profile data). */
+    std::uint64_t execCount = 0;
+
+    /** Derive the translation id from a head PC. */
+    static TranslationId
+    idFor(Addr head_pc)
+    {
+        return static_cast<TranslationId>(head_pc & 0xffffffffu);
+    }
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_BT_TRANSLATION_HH

@@ -1,0 +1,44 @@
+#include "bt/translator.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+Translator::Translator(const Program &program,
+                       const TranslatorParams &params)
+    : program_(program), params_(params)
+{
+    if (params.maxTraceBlocks == 0)
+        fatal("translator maxTraceBlocks must be non-zero");
+}
+
+std::unique_ptr<Translation>
+Translator::translate(BlockId head)
+{
+    auto t = std::make_unique<Translation>();
+    const BasicBlock &hb = program_.block(head);
+    t->headPc = hb.head;
+    t->id = Translation::idFor(hb.head);
+
+    BlockId cur = head;
+    for (unsigned n = 0; n < params_.maxTraceBlocks; ++n) {
+        const BasicBlock &bb = program_.block(cur);
+        t->blocks.push_back(cur);
+        t->staticInsts += static_cast<unsigned>(bb.insts.size());
+        if (bb.simdCount > 0)
+            t->hasSimd = true;
+
+        // Follow the statically most likely successor; stop when the
+        // trace would loop back on itself.
+        BlockId next = bb.takenSucc;
+        if (next == invalidBlockId || next == head)
+            break;
+        cur = next;
+    }
+
+    ++made_;
+    return t;
+}
+
+} // namespace powerchop

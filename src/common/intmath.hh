@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the microarchitectural
+ * models (power-of-two checks, log2, alignment).
+ */
+
+#ifndef POWERCHOP_COMMON_INTMATH_HH
+#define POWERCHOP_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace powerchop
+{
+
+/** @return true if n is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** @return floor(log2(n)); log2 of 0 is defined as 0 for convenience. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned l = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** @return the smallest power of two >= n (n = 0 yields 1). */
+constexpr std::uint64_t
+ceilPowerOf2(std::uint64_t n)
+{
+    std::uint64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/** @return v rounded down to a multiple of align (align must be a
+ *  power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** @return v rounded up to a multiple of align (align must be a power
+ *  of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** @return ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_INTMATH_HH

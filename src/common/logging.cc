@@ -1,0 +1,94 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace powerchop
+{
+
+namespace
+{
+bool quietFlag = false;
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+std::string
+vcsprintf(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (len < 0)
+        return "<format error>";
+
+    std::string out(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vcsprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace powerchop

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Error-reporting and status-message primitives in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug).
+ * fatal()  — the simulation cannot continue because of user input
+ *            (bad configuration, invalid arguments).
+ * warn()   — something works, but approximately; worth knowing about.
+ * inform() — normal operating status messages.
+ *
+ * Unlike gem5, panic() and fatal() throw typed exceptions instead of
+ * aborting the process; a library embedded in tests and long-running
+ * tools must leave termination policy to the caller.
+ */
+
+#ifndef POWERCHOP_COMMON_LOGGING_HH
+#define POWERCHOP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace powerchop
+{
+
+/** Error thrown by panic(): an internal simulator invariant failed. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Error thrown by fatal(): user-caused misconfiguration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Format a printf-style message into a std::string.
+ *
+ * @param fmt printf-style format string.
+ * @return The formatted message.
+ */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Variant of csprintf() taking a va_list. */
+std::string vcsprintf(const char *fmt, std::va_list args);
+
+/**
+ * Report an internal simulator bug and throw PanicError.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused fatal condition and throw FatalError.
+ * Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. Execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. Execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() output (used by tests/benches). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() output is currently suppressed. */
+bool quiet();
+
+/**
+ * panic() unless the given condition holds.
+ *
+ * A function (not a macro) so call sites stay expression-like; the
+ * message should describe the violated invariant.
+ */
+inline void
+panicIf(bool condition, const char *msg)
+{
+    if (condition)
+        panic("%s", msg);
+}
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_LOGGING_HH

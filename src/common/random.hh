@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All randomness in the simulator flows through Rng so that every
+ * experiment is exactly reproducible from a seed. The generator is
+ * xoshiro256** (public domain, Blackman & Vigna), which is fast and has
+ * excellent statistical quality for simulation purposes.
+ */
+
+#ifndef POWERCHOP_COMMON_RANDOM_HH
+#define POWERCHOP_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace powerchop
+{
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Seeding uses splitmix64 so that small or correlated seeds still
+ * produce well-distributed state.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. The same seed always produces the
+     *  same sequence. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return a uniformly distributed double in [0, 1). */
+    double uniform();
+
+    /** @return a uniformly distributed integer in [0, bound). bound
+     *  must be non-zero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniformly distributed integer in [lo, hi]. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** @return true with probability p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /**
+     * Approximately normal variate via the sum of three uniforms
+     * (Irwin-Hall), adequate for jittering workload parameters.
+     *
+     * @param mean   Distribution mean.
+     * @param stddev Distribution standard deviation.
+     */
+    double normal(double mean, double stddev);
+
+    /**
+     * Geometric-ish burst length: number of trials until first failure
+     * with continue-probability p, capped at max.
+     */
+    std::uint64_t burstLength(double p, std::uint64_t max);
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t seed);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_RANDOM_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Saturating counter, the basic storage element of branch predictors
+ * and approximate-LRU replacement state.
+ */
+
+#ifndef POWERCHOP_COMMON_SAT_COUNTER_HH
+#define POWERCHOP_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+/**
+ * An n-bit saturating up/down counter.
+ *
+ * The counter saturates at [0, 2^bits - 1]. For a 2-bit predictor
+ * counter the conventional "predict taken" reading is the top half of
+ * the range (values >= 2).
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits    Counter width in bits (1..8).
+     * @param initial Initial counter value (clamped to range).
+     */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxVal_((1u << bits) - 1),
+          val_(initial > maxVal_ ? maxVal_ : initial)
+    {
+        if (bits == 0 || bits > 8)
+            panic("SatCounter width %u out of range", bits);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (val_ < maxVal_)
+            ++val_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (val_ > 0)
+            --val_;
+    }
+
+    /** @return the raw counter value. */
+    unsigned value() const { return val_; }
+
+    /** @return the saturation maximum. */
+    unsigned maxValue() const { return maxVal_; }
+
+    /** @return true if the counter is in its upper half ("taken"). */
+    bool isSet() const { return val_ > maxVal_ / 2; }
+
+    /** Reset to a given value (clamped). */
+    void
+    reset(unsigned v = 0)
+    {
+        val_ = v > maxVal_ ? maxVal_ : v;
+    }
+
+  private:
+    unsigned maxVal_;
+    unsigned val_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_SAT_COUNTER_HH

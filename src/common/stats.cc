@@ -1,0 +1,91 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+namespace stats
+{
+
+Distribution::Distribution(double min, double max, unsigned buckets)
+    : min_(min), max_(max),
+      bucketWidth_((max - min) / (buckets ? buckets : 1)),
+      buckets_(buckets, 0)
+{
+    if (buckets == 0)
+        panic("Distribution requires at least one bucket");
+    if (max <= min)
+        panic("Distribution requires max > min");
+}
+
+void
+Distribution::sample(double v)
+{
+    ++samples_;
+    sum_ += v;
+    if (v < min_) {
+        ++underflow_;
+        ++buckets_.front();
+    } else if (v >= max_) {
+        ++overflow_;
+        ++buckets_.back();
+    } else {
+        auto idx = static_cast<std::size_t>((v - min_) / bucketWidth_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+}
+
+std::uint64_t
+Distribution::bucketCount(unsigned i) const
+{
+    if (i >= buckets_.size())
+        panic("Distribution bucket index %u out of range", i);
+    return buckets_[i];
+}
+
+double
+Distribution::mean() const
+{
+    return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    samples_ = 0;
+    underflow_ = 0;
+    overflow_ = 0;
+    sum_ = 0.0;
+}
+
+void
+Group::addScalar(const std::string &name, const Scalar *s)
+{
+    scalars_[name] = s;
+}
+
+void
+Group::addAverage(const std::string &name, const Average *a)
+{
+    averages_[name] = a;
+}
+
+std::string
+Group::dump() const
+{
+    std::ostringstream out;
+    for (const auto &[name, s] : scalars_)
+        out << name_ << "." << name << " " << s->value() << "\n";
+    for (const auto &[name, a] : averages_)
+        out << name_ << "." << name << " " << a->mean() << "\n";
+    return out.str();
+}
+
+} // namespace stats
+} // namespace powerchop

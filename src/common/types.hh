@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the PowerChop simulator.
+ *
+ * Follows the gem5 convention of naming the common architectural
+ * quantities (addresses, cycle counts, instruction counts) so that
+ * signatures document intent rather than raw integer widths.
+ */
+
+#ifndef POWERCHOP_COMMON_TYPES_HH
+#define POWERCHOP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace powerchop
+{
+
+/** A guest or host virtual address. */
+using Addr = std::uint64_t;
+
+/** A count of clock cycles. Fractional cycles accumulate in the timing
+ *  model, so this is a floating point quantity; it is rounded when a
+ *  whole-cycle figure is reported. */
+using Cycles = double;
+
+/** A count of dynamic instructions. */
+using InsnCount = std::uint64_t;
+
+/** A count of executed translations. */
+using TransCount = std::uint64_t;
+
+/** Unique identifier of a binary translation. The lower 32 bits of the
+ *  translation head's program counter (Section IV-B2 of the paper). */
+using TranslationId = std::uint32_t;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Invalid/sentinel translation id. Translation heads are aligned and
+ *  non-zero in our guest programs, so 0 is never a legal id. */
+constexpr TranslationId invalidTranslationId = 0;
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_TYPES_HH

@@ -1,0 +1,140 @@
+#include "core/cde.hh"
+
+namespace powerchop
+{
+
+Cde::Cde(const CdeParams &params) : params_(params)
+{
+}
+
+GatingPolicy
+Cde::scoreCriticality(double vpu_crit, double bpu_crit,
+                      double mlc_crit) const
+{
+    GatingPolicy policy = GatingPolicy::fullPower();
+
+    // Criticality_VPU = SIMD fraction of committed instructions.
+    if (manageVpu_)
+        policy.vpuOn = vpu_crit > params_.thresholdVpu;
+
+    // Criticality_BPU = accuracy the large predictor adds over the
+    // small one.
+    if (manageBpu_)
+        policy.bpuOn = bpu_crit > params_.thresholdBpu;
+
+    // Criticality_MLC = L2 hits per committed instruction, banded
+    // into the three way states.
+    if (manageMlc_) {
+        if (mlc_crit > params_.thresholdMlc1) {
+            policy.mlc = MlcPolicy::AllWays;
+        } else if (mlc_crit <= params_.thresholdMlc2) {
+            policy.mlc = MlcPolicy::OneWay;
+        } else if (params_.enableQuarterWays &&
+                   mlc_crit <= params_.thresholdMlcQuarter) {
+            policy.mlc = MlcPolicy::QuarterWays;
+        } else {
+            policy.mlc = MlcPolicy::HalfWays;
+        }
+    }
+
+    return policy;
+}
+
+GatingPolicy
+Cde::scorePolicy(const WindowProfile &wp) const
+{
+    return scoreCriticality(wp.vpuCriticality(),
+                            wp.mispredSmall - wp.mispredLarge,
+                            wp.mlcCriticality());
+}
+
+Cde::Result
+Cde::onPvtMiss(const PhaseSignature &sig, const WindowProfile &profile,
+               Pvt &pvt)
+{
+    Result res;
+    res.cycles = params_.workCycles;
+
+    // Evicted phase: policy known, re-register (capacity miss).
+    auto stored = store_.find(sig);
+    if (stored != store_.end()) {
+        ++capacityMisses_;
+        res.policy = stored->second;
+        res.registered = true;
+        if (auto ev = pvt.registerPolicy(sig, stored->second))
+            onEviction(*ev);
+        return res;
+    }
+
+    auto prof = profiling_.find(sig);
+    if (prof == profiling_.end()) {
+        // New phase: start collecting (Algorithm 1).
+        ++newPhases_;
+        ProfilingState st;
+        st.simdSum = profile.simdInsns;
+        st.insnSum = profile.totalInsns;
+        st.lastWindow = profile;
+        st.windowsCollected = 1;
+        if (params_.profilingWindows <= bpuWarmupWindows) {
+            // Degenerate short-profiling configs use every window.
+            st.mispredLargeSum = profile.mispredLarge;
+            st.mispredSmallSum = profile.mispredSmall;
+            st.mispredWindows = 1;
+        }
+        prof = profiling_.emplace(sig, st).first;
+    } else {
+        // Continued phase profiling: SIMD ratios accumulate over all
+        // windows; mispredict rates accumulate once the shadow
+        // predictors have warmed; the MLC hit ratio is taken from the
+        // final window, after the phase's working set has re-warmed
+        // the shadow tag array.
+        ++profilingContinues_;
+        ProfilingState &st = prof->second;
+        ++st.windowsCollected;
+        st.simdSum += profile.simdInsns;
+        st.insnSum += profile.totalInsns;
+        if (st.windowsCollected > bpuWarmupWindows ||
+            params_.profilingWindows <= bpuWarmupWindows) {
+            st.mispredLargeSum += profile.mispredLarge;
+            st.mispredSmallSum += profile.mispredSmall;
+            ++st.mispredWindows;
+        }
+        st.lastWindow = profile;
+    }
+
+    ProfilingState &st = prof->second;
+    if (st.windowsCollected < params_.profilingWindows) {
+        // Insufficient information: keep collecting.
+        res.keepCurrent = true;
+        res.registered = false;
+        return res;
+    }
+
+    double vpu_crit = st.insnSum
+        ? static_cast<double>(st.simdSum) / st.insnSum : 0.0;
+    double bpu_crit = st.mispredWindows
+        ? (st.mispredSmallSum - st.mispredLargeSum) / st.mispredWindows
+        : 0.0;
+    double mlc_crit = st.lastWindow.mlcCriticality();
+
+    GatingPolicy policy = scoreCriticality(vpu_crit, bpu_crit, mlc_crit);
+    profiling_.erase(prof);
+    store_[sig] = policy;
+    ++registered_;
+    if (auto ev = pvt.registerPolicy(sig, policy))
+        onEviction(*ev);
+
+    res.policy = policy;
+    res.registered = true;
+    return res;
+}
+
+void
+Cde::onEviction(const PvtEviction &evicted)
+{
+    // Evicted entries are stored in memory by the CDE (Section IV-A,
+    // step 5) and re-registered on a future capacity miss.
+    store_[evicted.signature] = evicted.policy;
+}
+
+} // namespace powerchop

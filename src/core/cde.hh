@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The Criticality Decision Engine (CDE), Sections IV-C1/IV-C2.
+ *
+ * The CDE lives in the BT software layer. It is invoked through a
+ * nucleus interrupt on every PVT miss and performs one of three
+ * actions (Algorithm 1):
+ *
+ *  - New phase: begin profiling; collect one window of performance-
+ *    monitor data. The VPU and MLC scores need a single window; the
+ *    BPU score needs a second window, so new phases stay in profiling
+ *    mode for one more occurrence.
+ *  - Continued phase profiling: finish collecting, score criticality,
+ *    assign the gating policy and register it with the PVT.
+ *  - Evicted phase: the policy already exists in the CDE's memory-
+ *    backed store (a PVT capacity miss); re-register it.
+ */
+
+#ifndef POWERCHOP_CORE_CDE_HH
+#define POWERCHOP_CORE_CDE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/perf_monitor.hh"
+#include "core/policy.hh"
+#include "core/pvt.hh"
+#include "core/signature.hh"
+
+namespace powerchop
+{
+
+/** CDE thresholds and software costs. */
+struct CdeParams
+{
+    /** Gate the VPU off when SIMD/total falls at or below this. */
+    double thresholdVpu = 0.01;
+
+    /** Gate the large BPU off when (MisPred_Small - MisPred_Large)
+     *  falls at or below this. Set above the per-window sampling
+     *  noise of the mispredict-rate difference (~1% for 1000-branch
+     *  windows) so easy phases classify robustly. */
+    double thresholdBpu = 0.01;
+
+    /** MLC keeps all ways when L2Hit/total exceeds this... */
+    double thresholdMlc1 = 0.01;
+
+    /** ...and drops to one way when it does not exceed this;
+     *  otherwise half the ways stay on. */
+    double thresholdMlc2 = 0.0001;
+
+    /** Optional fourth MLC state (Section IV-B3 notes the state
+     *  count can grow): when enabled, criticalities in
+     *  (thresholdMlc2, thresholdMlcQuarter] get a quarter of the
+     *  ways instead of half. */
+    bool enableQuarterWays = false;
+    double thresholdMlcQuarter = 0.005;
+
+    /**
+     * Windows collected before a phase's policy is registered
+     * (Algorithm 1's "insufficient information, keep collecting").
+     * The VPU score needs one window and the BPU score two, but the
+     * MLC hit ratio is measured while the phase's working set is
+     * still re-warming the (shadow) cache after the phase edge, so
+     * the MLC score uses the *last* profiling window, by which point
+     * resident phases show their steady-state hit ratios.
+     */
+    unsigned profilingWindows = 12;
+
+    /** Software cycles of one CDE invocation (on top of the nucleus
+     *  trap cost). */
+    double workCycles = 600.0;
+};
+
+/**
+ * The Criticality Decision Engine.
+ */
+class Cde
+{
+  public:
+    explicit Cde(const CdeParams &params = {});
+
+    /** Outcome of one CDE invocation. */
+    struct Result
+    {
+        /** Policy to apply now (valid when !keepCurrent). */
+        GatingPolicy policy = GatingPolicy::fullPower();
+
+        /** True while the phase is still being profiled: the current
+         *  gating state is left untouched. Profiling reads shadow
+         *  monitors, so measurements do not depend on power state and
+         *  no disruptive full-power flip is needed. */
+        bool keepCurrent = false;
+
+        /** True when the policy was registered with the PVT (not a
+         *  profiling placeholder). */
+        bool registered = false;
+
+        /** Software cycles consumed. */
+        double cycles = 0;
+    };
+
+    /**
+     * Handle a PVT miss for a phase signature.
+     *
+     * @param sig     The missing signature.
+     * @param profile The just-completed window's performance profile
+     *                (the profile of this phase's execution).
+     * @param pvt     The PVT to register policies with.
+     */
+    Result onPvtMiss(const PhaseSignature &sig,
+                     const WindowProfile &profile, Pvt &pvt);
+
+    /** Accept an entry the PVT evicted (stored to memory). */
+    void onEviction(const PvtEviction &evicted);
+
+    /** Score a profile into a gating policy (exposed for tests and
+     *  for the per-unit isolation runs). */
+    GatingPolicy scorePolicy(const WindowProfile &profile) const;
+
+    /** Score raw criticality values into a gating policy. */
+    GatingPolicy scoreCriticality(double vpu_crit, double bpu_crit,
+                                  double mlc_crit) const;
+
+    /** Restrict which units the CDE may gate (per-unit studies of
+     *  Section V-C run with only one unit managed). @{ */
+    void setManageVpu(bool m) { manageVpu_ = m; }
+    void setManageBpu(bool m) { manageBpu_ = m; }
+    void setManageMlc(bool m) { manageMlc_ = m; }
+    /** @} */
+
+    const CdeParams &params() const { return params_; }
+
+    /** Statistics. @{ */
+    std::uint64_t newPhases() const { return newPhases_; }
+    std::uint64_t profilingContinues() const { return profilingContinues_; }
+    std::uint64_t capacityMisses() const { return capacityMisses_; }
+    std::uint64_t policiesRegistered() const { return registered_; }
+    std::size_t storedPolicies() const { return store_.size(); }
+    /** @} */
+
+  private:
+    struct ProfilingState
+    {
+        /** SIMD/instruction sums over all profiling windows. */
+        std::uint64_t simdSum = 0;
+        std::uint64_t insnSum = 0;
+
+        /** Post-warmup sums of the two predictors' per-window
+         *  mispredict rates. Skipping the first windows lets the
+         *  shadow predictors warm on the phase's branches; averaging
+         *  the rest keeps the rate difference's sampling noise well
+         *  below Threshold_BPU. */
+        double mispredLargeSum = 0;
+        double mispredSmallSum = 0;
+        unsigned mispredWindows = 0;
+
+        /** The most recent window (MLC steady-state hit ratio). */
+        WindowProfile lastWindow;
+
+        unsigned windowsCollected = 0;
+    };
+
+    /** Profiling windows ignored by the BPU score while the shadow
+     *  predictors warm on a new phase's branches. */
+    static constexpr unsigned bpuWarmupWindows = 2;
+
+    CdeParams params_;
+
+    /** Memory-backed policy store for phases evicted from the PVT. */
+    std::unordered_map<PhaseSignature, GatingPolicy, PhaseSignatureHash>
+        store_;
+
+    /** Phases currently in profiling mode. */
+    std::unordered_map<PhaseSignature, ProfilingState, PhaseSignatureHash>
+        profiling_;
+
+    bool manageVpu_ = true;
+    bool manageBpu_ = true;
+    bool manageMlc_ = true;
+
+    std::uint64_t newPhases_ = 0;
+    std::uint64_t profilingContinues_ = 0;
+    std::uint64_t capacityMisses_ = 0;
+    std::uint64_t registered_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_CDE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Drowsy-MLC baseline (Flautner et al., cited in the paper's related
+ * work as the per-line alternative for cache leakage).
+ *
+ * Policy: the "simple" drowsy scheme — every `intervalCycles`, all
+ * valid MLC lines drop into a low-voltage drowsy state that retains
+ * contents but cannot be read; the next access to a drowsy line first
+ * wakes it, costing a short latency penalty. Drowsy lines leak at a
+ * reduced fraction of full leakage.
+ *
+ * Contrast with PowerChop: drowsy saves leakage on *cold lines*
+ * without losing state and needs no criticality analysis, but it
+ * cannot reduce the MLC's dynamic or peripheral power, cannot resize
+ * the array, and wakes costs recur on every reuse.
+ */
+
+#ifndef POWERCHOP_CORE_DROWSY_MLC_HH
+#define POWERCHOP_CORE_DROWSY_MLC_HH
+
+#include <cstdint>
+
+#include "uarch/mem_hierarchy.hh"
+
+namespace powerchop
+{
+
+/** Drowsy-MLC configuration. */
+struct DrowsyParams
+{
+    /** Cycles between global drowse sweeps (Flautner's simple
+     *  policy used 2000-4000 cycles for an L1; the MLC's longer
+     *  reuse distances favour a longer period). */
+    double intervalCycles = 8000.0;
+
+    /** Extra latency of an access that wakes a drowsy line (one
+     *  cycle to restore the full supply voltage). */
+    double wakePenaltyCycles = 1.0;
+
+    /** Leakage of a drowsy line relative to an awake one. */
+    double drowsyLeakageFraction = 0.15;
+};
+
+/**
+ * Periodic drowse controller for the MLC.
+ *
+ * The caller reports time progression; the controller performs the
+ * periodic sweeps and integrates the awake-line fraction for the
+ * power model.
+ */
+class DrowsyMlc
+{
+  public:
+    DrowsyMlc(MemHierarchy &mem, const DrowsyParams &params = {});
+
+    /**
+     * Called at coarse boundaries with the current cycle count;
+     * performs any due drowse sweeps and accumulates the awake-line
+     * residency integral.
+     */
+    void tick(double now_cycles);
+
+    /** Finalize residency accounting at the end of the run. */
+    void finish(double now_cycles);
+
+    /**
+     * Time-averaged fraction of MLC lines that were drowsy, over the
+     * run up to the last tick/finish.
+     */
+    double avgDrowsyFraction() const;
+
+    std::uint64_t sweeps() const { return sweeps_; }
+    const DrowsyParams &params() const { return params_; }
+
+  private:
+    void accumulate(double now_cycles);
+
+    MemHierarchy &mem_;
+    DrowsyParams params_;
+    double lastSweep_ = 0;
+    double lastAccum_ = 0;
+    double drowsyLineCycles_ = 0;
+    double totalLineCycles_ = 0;
+    std::uint64_t sweeps_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_DROWSY_MLC_HH

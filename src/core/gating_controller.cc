@@ -1,0 +1,89 @@
+#include "core/gating_controller.hh"
+
+namespace powerchop
+{
+
+GatingController::GatingController(Vpu &vpu, BpuComplex &bpu,
+                                   MemHierarchy &mem,
+                                   const GatingPenalties &penalties)
+    : vpu_(vpu), bpu_(bpu), mem_(mem), penalties_(penalties)
+{
+}
+
+double
+GatingController::applyPolicy(const GatingPolicy &policy)
+{
+    double stall = 0;
+
+    // --- VPU --------------------------------------------------------------
+    if (policy.vpuOn != current_.vpuOn) {
+        // Register file is explicitly saved (gate off) or restored
+        // (gate on); execution halts while that happens.
+        stall += penalties_.vpuSwitchCycles +
+                 penalties_.vpuSaveRestoreCycles;
+        ++stats_.vpuSwitches;
+        if (policy.vpuOn)
+            vpu_.gateOn();
+        else
+            vpu_.gateOff();
+    }
+
+    // --- BPU --------------------------------------------------------------
+    if (policy.bpuOn != current_.bpuOn) {
+        stall += penalties_.bpuSwitchCycles;
+        ++stats_.bpuSwitches;
+        if (policy.bpuOn) {
+            bpu_.gateLargeOn();     // re-warms from scratch
+        } else {
+            bpu_.gateLargeOff();    // global/chooser/BTB state lost
+        }
+    }
+
+    // --- MLC --------------------------------------------------------------
+    if (policy.mlc != current_.mlc) {
+        stall += penalties_.mlcSwitchCycles;
+        ++stats_.mlcSwitches;
+        unsigned assoc = mem_.mlc().params().assoc;
+        unsigned ways = mlcActiveWays(policy.mlc, assoc);
+        std::uint64_t dirty = mem_.setMlcActiveWays(ways);
+        stats_.mlcDirtyWritebacks += dirty;
+        stall += static_cast<double>(dirty) *
+                 penalties_.mlcWritebackCyclesPerLine;
+    }
+
+    current_ = policy;
+    stats_.stallCycles += stall;
+    return stall;
+}
+
+void
+GatingController::accrue(double cycles)
+{
+    if (!current_.vpuOn)
+        stats_.vpuGatedCycles += cycles;
+    if (!current_.bpuOn)
+        stats_.bpuGatedCycles += cycles;
+    switch (current_.mlc) {
+      case MlcPolicy::AllWays:
+        stats_.mlcFullCycles += cycles;
+        break;
+      case MlcPolicy::HalfWays:
+        stats_.mlcHalfCycles += cycles;
+        break;
+      case MlcPolicy::QuarterWays:
+        stats_.mlcQuarterCycles += cycles;
+        break;
+      case MlcPolicy::OneWay:
+        stats_.mlcOneWayCycles += cycles;
+        break;
+    }
+}
+
+double
+GatingController::mlcActiveFraction() const
+{
+    unsigned assoc = mem_.mlc().params().assoc;
+    return static_cast<double>(mlcActiveWays(current_.mlc, assoc)) / assoc;
+}
+
+} // namespace powerchop

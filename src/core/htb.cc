@@ -1,0 +1,102 @@
+#include "core/htb.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+Htb::Htb(const HtbParams &params)
+    : params_(params), entries_(params.entries)
+{
+    if (params.entries < signatureLength)
+        fatal("HTB must hold at least %u entries", signatureLength);
+    if (params.windowSize == 0)
+        fatal("HTB window size must be non-zero");
+}
+
+std::optional<WindowReport>
+Htb::recordTranslation(TranslationId id, std::uint64_t insns_executed)
+{
+    if (id == invalidTranslationId)
+        panic("HTB fed the invalid translation id");
+
+    // Fully associative search; in hardware this is a CAM match, here
+    // a linear scan over at most 128 live entries.
+    Entry *found = nullptr;
+    for (std::size_t i = 0; i < used_; ++i) {
+        if (entries_[i].id == id) {
+            found = &entries_[i];
+            break;
+        }
+    }
+
+    if (found) {
+        found->insns += insns_executed;
+    } else if (used_ < entries_.size()) {
+        entries_[used_].id = id;
+        entries_[used_].insns = insns_executed;
+        ++used_;
+    } else {
+        // More unique translations than entries: ignore (IV-B2).
+        ++overflowDrops_;
+    }
+
+    ++windowTranslations_;
+    windowInsns_ += insns_executed;
+
+    if (windowTranslations_ >= params_.windowSize) {
+        WindowReport rep = makeReport();
+        return rep;
+    }
+    return std::nullopt;
+}
+
+std::optional<WindowReport>
+Htb::flushWindow()
+{
+    if (windowTranslations_ == 0)
+        return std::nullopt;
+    return makeReport();
+}
+
+WindowReport
+Htb::makeReport()
+{
+    WindowReport rep;
+    rep.instructions = windowInsns_;
+    rep.translations = windowTranslations_;
+
+    rep.profile.reserve(used_);
+    for (std::size_t i = 0; i < used_; ++i)
+        rep.profile.emplace_back(entries_[i].id, entries_[i].insns);
+
+    // Hottest N by attributed dynamic instructions form the signature.
+    std::vector<std::size_t> order(used_);
+    for (std::size_t i = 0; i < used_; ++i)
+        order[i] = i;
+    std::size_t top = std::min<std::size_t>(signatureLength, used_);
+    std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                      [this](std::size_t a, std::size_t b) {
+                          if (entries_[a].insns != entries_[b].insns)
+                              return entries_[a].insns > entries_[b].insns;
+                          return entries_[a].id < entries_[b].id;
+                      });
+
+    TranslationId ids[signatureLength];
+    for (std::size_t i = 0; i < top; ++i)
+        ids[i] = entries_[order[i]].id;
+    rep.signature = PhaseSignature(ids, top);
+
+    std::sort(rep.profile.begin(), rep.profile.end());
+
+    // Flush for the next window.
+    used_ = 0;
+    windowTranslations_ = 0;
+    windowInsns_ = 0;
+    ++windows_;
+    return rep;
+}
+
+} // namespace powerchop

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Hot Translation Buffer (HTB), Section IV-B2.
+ *
+ * A 128-entry fully associative hardware buffer tracking, for the
+ * current execution window, each executed translation and the dynamic
+ * instructions attributed to it. Entries update as a side effect of
+ * translation-head execution, off the critical path. At the end of
+ * each window (1000 executed translations) the HTB emits the phase
+ * signature — the N = 4 hottest translations — triggers a PVT lookup
+ * and flushes for the next window.
+ */
+
+#ifndef POWERCHOP_CORE_HTB_HH
+#define POWERCHOP_CORE_HTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/signature.hh"
+
+namespace powerchop
+{
+
+/** HTB configuration (Section IV-B2/IV-B4). */
+struct HtbParams
+{
+    /** Fully associative entries (1 KB of storage at 64b/entry). */
+    unsigned entries = 128;
+
+    /** Execution window length in executed translations. */
+    unsigned windowSize = 1000;
+};
+
+/** What the HTB reports at an execution-window boundary. */
+struct WindowReport
+{
+    PhaseSignature signature;
+
+    /** Dynamic instructions executed during the window. */
+    InsnCount instructions = 0;
+
+    /** Translations executed during the window (== windowSize unless
+     *  the run ended early). */
+    TransCount translations = 0;
+
+    /** The full (translation id, dynamic instruction count) profile
+     *  of the window; used by the Figure 8 code-similarity analysis
+     *  and by tests. Sorted by id. */
+    std::vector<std::pair<TranslationId, std::uint64_t>> profile;
+};
+
+/**
+ * The hot translation buffer.
+ */
+class Htb
+{
+  public:
+    explicit Htb(const HtbParams &params = {});
+
+    /**
+     * Record the execution of a translation head.
+     *
+     * @param id            The translation's unique id.
+     * @param insns_executed Dynamic instructions executed by this
+     *                      translation (attributed to it).
+     * @return a window report when this execution completes a window.
+     */
+    std::optional<WindowReport> recordTranslation(TranslationId id,
+                                                  std::uint64_t
+                                                      insns_executed);
+
+    /**
+     * Force-close the current window (end of run).
+     * @return the report for the partial window, if non-empty.
+     */
+    std::optional<WindowReport> flushWindow();
+
+    const HtbParams &params() const { return params_; }
+
+    /** Translations dropped because the window had more unique
+     *  translations than HTB entries (they are simply ignored,
+     *  Section IV-B2). */
+    std::uint64_t overflowDrops() const { return overflowDrops_; }
+
+    /** Number of completed windows. */
+    std::uint64_t windowsCompleted() const { return windows_; }
+
+    /** Unique translations currently tracked (for tests). */
+    std::size_t occupancy() const { return used_; }
+
+  private:
+    struct Entry
+    {
+        TranslationId id = invalidTranslationId;
+        std::uint64_t insns = 0;
+    };
+
+    WindowReport makeReport();
+
+    HtbParams params_;
+    std::vector<Entry> entries_;
+    std::size_t used_ = 0;
+    TransCount windowTranslations_ = 0;
+    InsnCount windowInsns_ = 0;
+    std::uint64_t overflowDrops_ = 0;
+    std::uint64_t windows_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_HTB_HH

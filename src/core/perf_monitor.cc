@@ -1,0 +1,28 @@
+#include "core/perf_monitor.hh"
+
+namespace powerchop
+{
+
+PerfMonitor::PerfMonitor(BpuComplex &bpu, MemHierarchy &mem)
+    : bpu_(bpu), mem_(mem)
+{
+}
+
+WindowProfile
+PerfMonitor::snapshotAndReset()
+{
+    WindowProfile wp;
+    wp.totalInsns = insns_;
+    wp.simdInsns = simd_;
+    wp.l2Hits = mem_.mlcWindowHits();
+    wp.mispredLarge = bpu_.largeWindowMispredictRate();
+    wp.mispredSmall = bpu_.smallWindowMispredictRate();
+
+    insns_ = 0;
+    simd_ = 0;
+    mem_.resetWindowStats();
+    bpu_.resetWindowStats();
+    return wp;
+}
+
+} // namespace powerchop

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hardware performance monitors sampled by the CDE at window edges.
+ *
+ * The paper's CDE reads hardware performance counters to score unit
+ * criticality: committed SIMD and total instruction counts (VPU), L2
+ * hit counts (MLC), and the mispredict rates of the large and small
+ * predictors (BPU). This class owns the per-window instruction-side
+ * counters and snapshots the unit-side window counters.
+ */
+
+#ifndef POWERCHOP_CORE_PERF_MONITOR_HH
+#define POWERCHOP_CORE_PERF_MONITOR_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "uarch/bpu_complex.hh"
+#include "uarch/mem_hierarchy.hh"
+
+namespace powerchop
+{
+
+/** One window's profile, the CDE's raw material (Section IV-C2). */
+struct WindowProfile
+{
+    std::uint64_t totalInsns = 0;
+    std::uint64_t simdInsns = 0;
+    std::uint64_t l2Hits = 0;
+    double mispredLarge = 0.0;
+    double mispredSmall = 0.0;
+
+    /** Criticality_VPU = Phase_SIMD / Phase_TotInsn. */
+    double
+    vpuCriticality() const
+    {
+        return totalInsns
+            ? static_cast<double>(simdInsns) / totalInsns : 0.0;
+    }
+
+    /** Criticality_MLC = Phase_L2Hit / Phase_TotInsn. */
+    double
+    mlcCriticality() const
+    {
+        return totalInsns
+            ? static_cast<double>(l2Hits) / totalInsns : 0.0;
+    }
+};
+
+/**
+ * Window-scoped performance counters.
+ */
+class PerfMonitor
+{
+  public:
+    PerfMonitor(BpuComplex &bpu, MemHierarchy &mem);
+
+    /** Count one committed instruction. */
+    void
+    onCommit(OpClass op)
+    {
+        ++insns_;
+        if (op == OpClass::SimdOp)
+            ++simd_;
+    }
+
+    /**
+     * Snapshot the window's profile and reset all window counters
+     * (both local and in the monitored units).
+     */
+    WindowProfile snapshotAndReset();
+
+  private:
+    BpuComplex &bpu_;
+    MemHierarchy &mem_;
+    std::uint64_t insns_ = 0;
+    std::uint64_t simd_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_PERF_MONITOR_HH

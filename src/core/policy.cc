@@ -1,0 +1,89 @@
+#include "core/policy.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+unsigned
+mlcActiveWays(MlcPolicy p, unsigned assoc)
+{
+    if (assoc == 0)
+        panic("mlcActiveWays with zero associativity");
+    switch (p) {
+      case MlcPolicy::AllWays:
+        return assoc;
+      case MlcPolicy::HalfWays:
+        return assoc >= 2 ? assoc / 2 : 1;
+      case MlcPolicy::QuarterWays:
+        return assoc >= 4 ? assoc / 4 : 1;
+      case MlcPolicy::OneWay:
+        return 1;
+    }
+    panic("unknown MlcPolicy %d", static_cast<int>(p));
+}
+
+const char *
+mlcPolicyName(MlcPolicy p)
+{
+    switch (p) {
+      case MlcPolicy::AllWays:
+        return "all";
+      case MlcPolicy::HalfWays:
+        return "half";
+      case MlcPolicy::QuarterWays:
+        return "quarter";
+      case MlcPolicy::OneWay:
+        return "1-way";
+    }
+    panic("unknown MlcPolicy %d", static_cast<int>(p));
+}
+
+std::uint8_t
+GatingPolicy::encode() const
+{
+    std::uint8_t bits = 0;
+    if (vpuOn)
+        bits |= 0b1000;
+    if (bpuOn)
+        bits |= 0b0100;
+    bits |= static_cast<std::uint8_t>(mlc) & 0b11;
+    return bits;
+}
+
+GatingPolicy
+GatingPolicy::decode(std::uint8_t bits)
+{
+    if (bits & ~0b1111)
+        panic("policy vector 0x%x wider than 4 bits", bits);
+    GatingPolicy p;
+    p.vpuOn = bits & 0b1000;
+    p.bpuOn = bits & 0b0100;
+    p.mlc = static_cast<MlcPolicy>(bits & 0b11);
+    return p;
+}
+
+GatingPolicy
+GatingPolicy::fullPower()
+{
+    return GatingPolicy{};
+}
+
+GatingPolicy
+GatingPolicy::minPower()
+{
+    GatingPolicy p;
+    p.vpuOn = false;
+    p.bpuOn = false;
+    p.mlc = MlcPolicy::OneWay;
+    return p;
+}
+
+std::string
+GatingPolicy::toString() const
+{
+    return csprintf("V=%d,B=%d,M=%s", vpuOn ? 1 : 0, bpuOn ? 1 : 0,
+                    mlcPolicyName(mlc));
+}
+
+} // namespace powerchop

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Power-gating policies: the 4-bit policy vector stored in the PVT.
+ *
+ * Per Section IV-B3: the VPU and BPU policies are bimodal (1 bit
+ * each: gated on/off) and the MLC policy is 2 bits with three states
+ * (all ways, half the ways, one way active).
+ */
+
+#ifndef POWERCHOP_CORE_POLICY_HH
+#define POWERCHOP_CORE_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace powerchop
+{
+
+/**
+ * The MLC's way-gating states.
+ *
+ * The paper uses three (all/half/one); Section IV-B3 notes the state
+ * count can grow by widening the PVT's policy bits. QuarterWays uses
+ * the fourth encoding of the existing 2-bit field and is an optional
+ * extension (the CDE only assigns it when configured to).
+ */
+enum class MlcPolicy : std::uint8_t
+{
+    AllWays = 0b11,
+    QuarterWays = 0b10,
+    HalfWays = 0b01,
+    OneWay = 0b00,
+};
+
+/** @return active ways for a policy given the MLC associativity. */
+unsigned mlcActiveWays(MlcPolicy p, unsigned assoc);
+
+/** @return short display name ("all"/"half"/"1-way"). */
+const char *mlcPolicyName(MlcPolicy p);
+
+/**
+ * One phase's gating policy vector.
+ */
+struct GatingPolicy
+{
+    bool vpuOn = true;
+    bool bpuOn = true;
+    MlcPolicy mlc = MlcPolicy::AllWays;
+
+    /** Encode to the 4-bit PVT representation (V B MM). */
+    std::uint8_t encode() const;
+
+    /** Decode from the 4-bit PVT representation. */
+    static GatingPolicy decode(std::uint8_t bits);
+
+    bool
+    operator==(const GatingPolicy &o) const
+    {
+        return vpuOn == o.vpuOn && bpuOn == o.bpuOn && mlc == o.mlc;
+    }
+    bool operator!=(const GatingPolicy &o) const { return !(*this == o); }
+
+    /** The full-power policy (everything on). */
+    static GatingPolicy fullPower();
+
+    /** The minimum-power policy (everything gated/1-way). */
+    static GatingPolicy minPower();
+
+    /** Render as e.g. "V=1,B=0,M=half". */
+    std::string toString() const;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_POLICY_HH

@@ -1,0 +1,59 @@
+#include "core/powerchop_unit.hh"
+
+namespace powerchop
+{
+
+PowerChopUnit::PowerChopUnit(const PowerChopParams &params,
+                             GatingController &controller,
+                             Nucleus &nucleus, PerfMonitor &monitor)
+    : htb_(params.htb), pvt_(params.pvt), cde_(params.cde),
+      controller_(controller), nucleus_(nucleus), monitor_(monitor)
+{
+}
+
+void
+PowerChopUnit::setManagedUnits(bool vpu, bool bpu, bool mlc)
+{
+    cde_.setManageVpu(vpu);
+    cde_.setManageBpu(bpu);
+    cde_.setManageMlc(mlc);
+}
+
+double
+PowerChopUnit::onTranslationHead(TranslationId id, std::uint64_t insns)
+{
+    ++translations_;
+    auto report = htb_.recordTranslation(id, insns);
+    if (!report)
+        return 0;
+    return onWindow(*report);
+}
+
+double
+PowerChopUnit::onWindow(const WindowReport &rep)
+{
+    if (observer_)
+        observer_(rep);
+
+    // The window profile is sampled (and reset) at every window edge
+    // regardless of hit/miss, mirroring counters that free-run per
+    // window in hardware.
+    WindowProfile profile = monitor_.snapshotAndReset();
+
+    double stall = 0;
+    if (auto policy = pvt_.lookup(rep.signature)) {
+        // PVT hit: hardware applies the gating decisions directly.
+        stall += controller_.applyPolicy(*policy);
+        return stall;
+    }
+
+    // PVT miss: trap into the CDE.
+    stall += nucleus_.takeInterrupt(InterruptKind::PvtMiss);
+    Cde::Result res = cde_.onPvtMiss(rep.signature, profile, pvt_);
+    stall += res.cycles;
+    if (!res.keepCurrent)
+        stall += controller_.applyPolicy(res.policy);
+    return stall;
+}
+
+} // namespace powerchop

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The PowerChop orchestrator: wires the HTB, PVT, CDE, nucleus and
+ * gating controller into the runtime loop of Figure 4.
+ *
+ * Per translation-head execution: the HTB accumulates counts; at each
+ * window boundary the HTB emits a phase signature and triggers a PVT
+ * lookup. Hits apply the stored policy at the phase edge. Misses trap
+ * to the CDE, which profiles new phases or re-registers evicted ones.
+ */
+
+#ifndef POWERCHOP_CORE_POWERCHOP_UNIT_HH
+#define POWERCHOP_CORE_POWERCHOP_UNIT_HH
+
+#include <functional>
+
+#include "bt/nucleus.hh"
+#include "core/cde.hh"
+#include "core/gating_controller.hh"
+#include "core/htb.hh"
+#include "core/perf_monitor.hh"
+#include "core/pvt.hh"
+
+namespace powerchop
+{
+
+/** PowerChop system configuration. */
+struct PowerChopParams
+{
+    HtbParams htb;
+    PvtParams pvt;
+    CdeParams cde;
+};
+
+/**
+ * The complete PowerChop mechanism.
+ */
+class PowerChopUnit
+{
+  public:
+    /**
+     * @param params     Structure/threshold configuration.
+     * @param controller Enacts policies on the physical units.
+     * @param nucleus    Charges PVT-miss interrupt costs.
+     * @param monitor    Source of window profiles for the CDE.
+     */
+    PowerChopUnit(const PowerChopParams &params,
+                  GatingController &controller, Nucleus &nucleus,
+                  PerfMonitor &monitor);
+
+    /**
+     * Record one translation-head execution.
+     *
+     * @param id    Executing translation's id.
+     * @param insns Dynamic instructions attributed to it.
+     * @return stall cycles (policy switches, PVT-miss handling).
+     */
+    double onTranslationHead(TranslationId id, std::uint64_t insns);
+
+    /** Observer invoked with every completed window report (used by
+     *  the Figure 8 phase-quality analysis); pass nullptr to clear. */
+    void
+    setWindowObserver(std::function<void(const WindowReport &)> obs)
+    {
+        observer_ = std::move(obs);
+    }
+
+    /** Restrict management to a subset of units (Section V-C runs
+     *  gate one unit at a time). */
+    void setManagedUnits(bool vpu, bool bpu, bool mlc);
+
+    const Htb &htb() const { return htb_; }
+    const Pvt &pvt() const { return pvt_; }
+    const Cde &cde() const { return cde_; }
+
+    /** Total translation-head executions observed. */
+    std::uint64_t translationsSeen() const { return translations_; }
+
+  private:
+    /** Handle a window report: PVT lookup, CDE on miss. */
+    double onWindow(const WindowReport &rep);
+
+    Htb htb_;
+    Pvt pvt_;
+    Cde cde_;
+    GatingController &controller_;
+    Nucleus &nucleus_;
+    PerfMonitor &monitor_;
+    std::function<void(const WindowReport &)> observer_;
+    std::uint64_t translations_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_POWERCHOP_UNIT_HH

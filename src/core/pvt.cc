@@ -1,0 +1,107 @@
+#include "core/pvt.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+Pvt::Pvt(const PvtParams &params)
+    : params_(params), entries_(params.entries),
+      maxAge_(static_cast<std::uint8_t>((1u << params.ageBits) - 1))
+{
+    if (params.entries == 0)
+        fatal("PVT requires at least one entry");
+    if (params.ageBits == 0 || params.ageBits > 8)
+        fatal("PVT age bits out of range");
+}
+
+void
+Pvt::touch(Entry &e)
+{
+    for (auto &other : entries_) {
+        if (other.valid && other.age < maxAge_)
+            ++other.age;
+    }
+    e.age = 0;
+}
+
+std::optional<GatingPolicy>
+Pvt::lookup(const PhaseSignature &sig)
+{
+    ++lookups_;
+    for (auto &e : entries_) {
+        if (e.valid && e.signature == sig) {
+            ++hits_;
+            touch(e);
+            return e.policy;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<PvtEviction>
+Pvt::registerPolicy(const PhaseSignature &sig, const GatingPolicy &policy)
+{
+    // Update in place if resident.
+    for (auto &e : entries_) {
+        if (e.valid && e.signature == sig) {
+            e.policy = policy;
+            touch(e);
+            return std::nullopt;
+        }
+    }
+
+    // Prefer an invalid entry, else the oldest (approximate LRU).
+    Entry *victim = nullptr;
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.age > victim->age)
+            victim = &e;
+    }
+
+    std::optional<PvtEviction> evicted;
+    if (victim->valid) {
+        evicted = PvtEviction{victim->signature, victim->policy};
+        ++evictions_;
+    }
+
+    victim->valid = true;
+    victim->signature = sig;
+    victim->policy = policy;
+    touch(*victim);
+    return evicted;
+}
+
+bool
+Pvt::contains(const PhaseSignature &sig) const
+{
+    for (const auto &e : entries_) {
+        if (e.valid && e.signature == sig)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Pvt::storageBytes() const
+{
+    // Each entry: 4 x 32-bit translation PCs + 4 policy bits, plus
+    // age bits; the paper rounds to 264 bytes for 16 entries.
+    unsigned bits_per_entry = signatureLength * 32 + 4 + params_.ageBits;
+    return (params_.entries * bits_per_entry + 7) / 8;
+}
+
+std::size_t
+Pvt::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+} // namespace powerchop

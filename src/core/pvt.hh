@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Policy Vector Table (PVT), Section IV-B3.
+ *
+ * A 16-entry fully associative hardware cache mapping recently
+ * executed phase signatures to their 4-bit gating policy vectors,
+ * with approximate-LRU replacement. Hits apply the stored policy in
+ * hardware at the phase edge; misses interrupt to the Criticality
+ * Decision Engine, which distinguishes compulsory misses (new phases
+ * needing profiling) from capacity misses (the policy exists in the
+ * CDE's memory-backed store and is re-registered).
+ */
+
+#ifndef POWERCHOP_CORE_PVT_HH
+#define POWERCHOP_CORE_PVT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/policy.hh"
+#include "core/signature.hh"
+
+namespace powerchop
+{
+
+/** PVT configuration (Section IV-B4: 16 entries, 264 bytes). */
+struct PvtParams
+{
+    unsigned entries = 16;
+
+    /** Approximate-LRU: age bits per entry. With 3 bits the aging
+     *  shift behaves like a coarse reference clock. */
+    unsigned ageBits = 3;
+};
+
+/** An entry evicted during registration (returned to the CDE for the
+ *  memory-backed store). */
+struct PvtEviction
+{
+    PhaseSignature signature;
+    GatingPolicy policy;
+};
+
+/**
+ * The policy vector table.
+ */
+class Pvt
+{
+  public:
+    explicit Pvt(const PvtParams &params = {});
+
+    /**
+     * Look up a phase signature.
+     *
+     * @param sig The signature emitted by the HTB.
+     * @return the stored policy on a hit; nullopt on a miss (the
+     *         caller must raise a PVT-miss interrupt).
+     */
+    std::optional<GatingPolicy> lookup(const PhaseSignature &sig);
+
+    /**
+     * Register (or update) a signature -> policy mapping; called by
+     * the CDE.
+     *
+     * @return the evicted entry, if registration displaced one.
+     */
+    std::optional<PvtEviction> registerPolicy(const PhaseSignature &sig,
+                                              const GatingPolicy &policy);
+
+    /** @return true if the signature is currently resident. */
+    bool contains(const PhaseSignature &sig) const;
+
+    /** Hardware cost: bytes of storage (Section IV-B4). */
+    unsigned storageBytes() const;
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return lookups_ - hits_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::size_t occupancy() const;
+
+    const PvtParams &params() const { return params_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        PhaseSignature signature;
+        GatingPolicy policy;
+        /** Approximate-LRU age; 0 = most recently used. */
+        std::uint8_t age = 0;
+    };
+
+    /** Age all valid entries (saturating), zeroing the touched one. */
+    void touch(Entry &e);
+
+    PvtParams params_;
+    std::vector<Entry> entries_;
+    std::uint8_t maxAge_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_PVT_HH

@@ -1,0 +1,44 @@
+#include "core/signature.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+PhaseSignature::PhaseSignature(const TranslationId *ids, std::size_t count)
+{
+    if (count > signatureLength)
+        panic("signature built from %zu ids (max %u)", count,
+              signatureLength);
+    ids_.fill(invalidTranslationId);
+    std::copy(ids, ids + count, ids_.begin());
+    std::sort(ids_.begin(), ids_.begin() + count);
+}
+
+std::size_t
+PhaseSignature::hash() const
+{
+    // FNV-1a over the four 32-bit ids.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (TranslationId id : ids_) {
+        h ^= id;
+        h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+std::string
+PhaseSignature::toString() const
+{
+    std::string out;
+    for (unsigned i = 0; i < signatureLength; ++i) {
+        if (i)
+            out += ",";
+        out += csprintf("t%08x", ids_[i]);
+    }
+    return out;
+}
+
+} // namespace powerchop

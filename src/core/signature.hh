@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Phase signatures: 128-bit identifiers of application phases.
+ *
+ * A phase signature is the set of the N = 4 hottest translation ids
+ * of an execution window (Section IV-B1). Signatures are stored in
+ * canonical (sorted) order so that two windows dominated by the same
+ * translations compare equal regardless of their exact hotness
+ * ordering, which would otherwise flap between near-equal counts.
+ */
+
+#ifndef POWERCHOP_CORE_SIGNATURE_HH
+#define POWERCHOP_CORE_SIGNATURE_HH
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** The paper's signature length N. */
+constexpr unsigned signatureLength = 4;
+
+/**
+ * A 128-bit phase signature: four 32-bit translation ids, sorted
+ * ascending, zero-padded when a window had fewer hot translations.
+ */
+class PhaseSignature
+{
+  public:
+    PhaseSignature() { ids_.fill(invalidTranslationId); }
+
+    /**
+     * Build the canonical signature from up to N translation ids.
+     *
+     * @param ids   The hottest translation ids (any order).
+     * @param count How many are valid.
+     */
+    PhaseSignature(const TranslationId *ids, std::size_t count);
+
+    bool operator==(const PhaseSignature &o) const { return ids_ == o.ids_; }
+    bool operator!=(const PhaseSignature &o) const { return !(*this == o); }
+    bool operator<(const PhaseSignature &o) const { return ids_ < o.ids_; }
+
+    /** @return true if no translation ids are present. */
+    bool empty() const { return ids_[0] == invalidTranslationId &&
+                                ids_[signatureLength - 1] ==
+                                    invalidTranslationId; }
+
+    const std::array<TranslationId, signatureLength> &ids() const
+    {
+        return ids_;
+    }
+
+    /** 64-bit hash for hash-map storage. */
+    std::size_t hash() const;
+
+    /** Render as "t<a>,t<b>,t<c>,t<d>" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::array<TranslationId, signatureLength> ids_;
+};
+
+/** std::hash adapter. */
+struct PhaseSignatureHash
+{
+    std::size_t
+    operator()(const PhaseSignature &s) const
+    {
+        return s.hash();
+    }
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_SIGNATURE_HH

@@ -1,0 +1,53 @@
+#include "core/timeout_gater.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+TimeoutGater::TimeoutGater(Vpu &vpu, const TimeoutParams &params)
+    : vpu_(vpu), params_(params)
+{
+    if (params.timeoutCycles <= 0)
+        fatal("timeout period must be positive");
+}
+
+double
+TimeoutGater::onSimdUse(double now)
+{
+    double stall = 0;
+    if (!vpu_.on()) {
+        // The unit is needed: wake it and restore the register file.
+        gatedCycles_ += now - gatedSince_;
+        vpu_.gateOn();
+        ++switches_;
+        stall = params_.switchCycles + params_.saveRestoreCycles;
+    }
+    lastUse_ = now;
+    return stall;
+}
+
+double
+TimeoutGater::checkIdle(double now)
+{
+    if (!vpu_.on())
+        return 0;
+    if (now - lastUse_ < params_.timeoutCycles)
+        return 0;
+
+    vpu_.gateOff();
+    gatedSince_ = now;
+    ++switches_;
+    return params_.switchCycles + params_.saveRestoreCycles;
+}
+
+void
+TimeoutGater::finish(double now)
+{
+    if (!vpu_.on()) {
+        gatedCycles_ += now - gatedSince_;
+        gatedSince_ = now;
+    }
+}
+
+} // namespace powerchop

@@ -1,0 +1,35 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return "IntAlu";
+      case OpClass::FpAlu:
+        return "FpAlu";
+      case OpClass::SimdOp:
+        return "SimdOp";
+      case OpClass::Load:
+        return "Load";
+      case OpClass::Store:
+        return "Store";
+      case OpClass::Branch:
+        return "Branch";
+    }
+    panic("unknown OpClass %d", static_cast<int>(op));
+}
+
+std::string
+toString(const StaticInst &si)
+{
+    return csprintf("%s @ 0x%llx", opClassName(si.op),
+                    static_cast<unsigned long long>(si.pc));
+}
+
+} // namespace powerchop

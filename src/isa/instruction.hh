@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Guest ISA instruction definitions.
+ *
+ * The hybrid processor exposes a simple RISC-like guest ISA to the
+ * binary-translation layer. Only the properties that matter to the
+ * timing, power and criticality models are represented: the operation
+ * class, the PC, and (dynamically) memory addresses and branch
+ * outcomes. Instructions are a fixed 4 bytes.
+ */
+
+#ifndef POWERCHOP_ISA_INSTRUCTION_HH
+#define POWERCHOP_ISA_INSTRUCTION_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** Fixed guest instruction size in bytes. */
+constexpr Addr guestInsnBytes = 4;
+
+/**
+ * Operation classes of the guest ISA.
+ *
+ * SimdOp instructions are the ones bound for the vector processing
+ * unit; when the VPU is gated off the binary translator emits scalar
+ * emulation sequences for them along alternate code paths.
+ */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< Scalar integer ALU operation.
+    FpAlu,    ///< Scalar floating point operation.
+    SimdOp,   ///< Vector (SIMD) operation; executes on the VPU.
+    Load,     ///< Memory load.
+    Store,    ///< Memory store.
+    Branch,   ///< Conditional or unconditional control transfer.
+};
+
+/** @return a short human-readable mnemonic for an op class. */
+const char *opClassName(OpClass op);
+
+/**
+ * A static (decoded) guest instruction.
+ *
+ * Static instructions live inside basic blocks owned by a Program and
+ * are immutable after program construction.
+ */
+struct StaticInst
+{
+    Addr pc = 0;
+    OpClass op = OpClass::IntAlu;
+
+    bool isMemRef() const
+    {
+        return op == OpClass::Load || op == OpClass::Store;
+    }
+    bool isBranch() const { return op == OpClass::Branch; }
+    bool isSimd() const { return op == OpClass::SimdOp; }
+};
+
+/**
+ * One dynamic instruction as it flows through the pipeline model:
+ * the static instruction plus its runtime operands.
+ */
+struct DynInst
+{
+    const StaticInst *si = nullptr;
+
+    /** Effective address, valid for loads and stores. */
+    Addr effAddr = 0;
+
+    /** Branch outcome, valid for branches. */
+    bool taken = false;
+
+    /** Branch target (the next block head), valid for branches. */
+    Addr target = 0;
+
+    /** True for block terminators: region-chaining jumps predicted
+     *  through the BTB only (no direction prediction). Internal
+     *  conditional branches consult the direction predictors. */
+    bool isTerminator = false;
+
+    OpClass op() const { return si->op; }
+    Addr pc() const { return si->pc; }
+};
+
+/** Render a static instruction for debugging/tracing. */
+std::string toString(const StaticInst &si);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_ISA_INSTRUCTION_HH

@@ -1,0 +1,93 @@
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+BlockId
+Program::addBlock(Addr head, const std::vector<OpClass> &body_ops)
+{
+    if (head == 0 || head % guestInsnBytes != 0)
+        panic("block head 0x%llx must be non-zero and aligned",
+              static_cast<unsigned long long>(head));
+    if (byHead_.count(head))
+        panic("duplicate block head 0x%llx",
+              static_cast<unsigned long long>(head));
+
+    BasicBlock bb;
+    bb.id = static_cast<BlockId>(blocks_.size());
+    bb.head = head;
+    bb.insts.reserve(body_ops.size() + 1);
+
+    Addr pc = head;
+    for (OpClass op : body_ops) {
+        if (op == OpClass::Branch)
+            panic("explicit Branch in block body; terminator is implicit");
+        bb.insts.push_back(StaticInst{pc, op});
+        if (op == OpClass::SimdOp)
+            ++bb.simdCount;
+        if (op == OpClass::Load || op == OpClass::Store)
+            ++bb.memCount;
+        pc += guestInsnBytes;
+    }
+    bb.insts.push_back(StaticInst{pc, OpClass::Branch});
+
+    byHead_[head] = bb.id;
+    blocks_.push_back(std::move(bb));
+    if (entry_ == invalidBlockId)
+        entry_ = blocks_.back().id;
+    return blocks_.back().id;
+}
+
+void
+Program::setSuccessors(BlockId b, BlockId taken, BlockId fallthrough)
+{
+    BasicBlock &bb = block(b);
+    if (taken >= blocks_.size() || fallthrough >= blocks_.size())
+        panic("successor id out of range for block %u", b);
+    bb.takenSucc = taken;
+    bb.fallthroughSucc = fallthrough;
+}
+
+const BasicBlock &
+Program::block(BlockId id) const
+{
+    if (id >= blocks_.size())
+        panic("block id %u out of range", id);
+    return blocks_[id];
+}
+
+BasicBlock &
+Program::block(BlockId id)
+{
+    if (id >= blocks_.size())
+        panic("block id %u out of range", id);
+    return blocks_[id];
+}
+
+BlockId
+Program::findByHead(Addr head) const
+{
+    auto it = byHead_.find(head);
+    return it == byHead_.end() ? invalidBlockId : it->second;
+}
+
+void
+Program::setEntry(BlockId b)
+{
+    if (b >= blocks_.size())
+        panic("entry block id %u out of range", b);
+    entry_ = b;
+}
+
+std::size_t
+Program::numStaticInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &b : blocks_)
+        n += b.insts.size();
+    return n;
+}
+
+} // namespace powerchop

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Guest program representation: basic blocks and the program CFG.
+ *
+ * Synthetic workloads are materialized as real control-flow graphs so
+ * that the binary-translation layer, the phase detector and the branch
+ * predictors operate on genuine code structure (head PCs, block
+ * bodies, terminating branches) rather than abstract event streams.
+ */
+
+#ifndef POWERCHOP_ISA_PROGRAM_HH
+#define POWERCHOP_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace powerchop
+{
+
+/** Index of a basic block within its Program. */
+using BlockId = std::uint32_t;
+
+/** Sentinel for "no block". */
+constexpr BlockId invalidBlockId = 0xffffffffu;
+
+/**
+ * A guest basic block: a straight-line body terminated by a branch.
+ *
+ * The terminating branch's taken target and fall-through successor are
+ * other blocks of the same program; the workload generator decides
+ * dynamically which way each execution goes.
+ */
+struct BasicBlock
+{
+    BlockId id = invalidBlockId;
+
+    /** Address of the first instruction. */
+    Addr head = 0;
+
+    /** Instructions, including the terminating branch (last). */
+    std::vector<StaticInst> insts;
+
+    /** Block executed when the terminating branch is taken. */
+    BlockId takenSucc = invalidBlockId;
+
+    /** Block executed on fall-through. */
+    BlockId fallthroughSucc = invalidBlockId;
+
+    /** Number of SimdOp instructions in the body (cached at build). */
+    unsigned simdCount = 0;
+
+    /** Number of memory references in the body (cached at build). */
+    unsigned memCount = 0;
+
+    std::size_t size() const { return insts.size(); }
+    const StaticInst &terminator() const { return insts.back(); }
+
+    /** Address of the instruction after the block (fall-through PC). */
+    Addr
+    fallthroughAddr() const
+    {
+        return head + insts.size() * guestInsnBytes;
+    }
+};
+
+/**
+ * A complete synthetic guest program: a set of basic blocks laid out
+ * in a flat guest address space, plus an entry block.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    // Programs are large and referenced by pointer everywhere; never
+    // copied.
+    Program(const Program &) = delete;
+    Program &operator=(const Program &) = delete;
+    Program(Program &&) = default;
+    Program &operator=(Program &&) = default;
+
+    /**
+     * Append a new block with the given instruction class layout.
+     *
+     * @param head     Head address; must be unique and 4-byte aligned.
+     * @param body_ops Op classes of the body (a Branch terminator is
+     *                 appended automatically).
+     * @return the new block's id.
+     */
+    BlockId addBlock(Addr head, const std::vector<OpClass> &body_ops);
+
+    /** Wire up the successors of a block. */
+    void setSuccessors(BlockId b, BlockId taken, BlockId fallthrough);
+
+    const BasicBlock &block(BlockId id) const;
+    BasicBlock &block(BlockId id);
+
+    /** Find a block by head address; invalidBlockId if absent. */
+    BlockId findByHead(Addr head) const;
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+    BlockId entry() const { return entry_; }
+    void setEntry(BlockId b);
+
+    /** Total static instruction count across all blocks. */
+    std::size_t numStaticInsts() const;
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::unordered_map<Addr, BlockId> byHead_;
+    BlockId entry_ = invalidBlockId;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_ISA_PROGRAM_HH

@@ -1,0 +1,138 @@
+#include "power/accumulator.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+Joules
+EnergyBreakdown::totalEnergy() const
+{
+    Joules e = 0;
+    for (const auto &u : units)
+        e += u.total();
+    return e;
+}
+
+Joules
+EnergyBreakdown::leakageEnergy() const
+{
+    Joules e = 0;
+    for (const auto &u : units)
+        e += u.leakage;
+    return e;
+}
+
+Joules
+EnergyBreakdown::dynamicEnergy() const
+{
+    Joules e = 0;
+    for (const auto &u : units)
+        e += u.dynamic + u.gatingOverhead;
+    return e;
+}
+
+Watts
+EnergyBreakdown::averagePower() const
+{
+    return seconds > 0 ? totalEnergy() / seconds : 0.0;
+}
+
+Watts
+EnergyBreakdown::averageLeakagePower() const
+{
+    return seconds > 0 ? leakageEnergy() / seconds : 0.0;
+}
+
+std::string
+EnergyBreakdown::toString() const
+{
+    std::ostringstream out;
+    out << "energy breakdown over " << seconds << " s\n";
+    for (unsigned i = 0; i < numUnits; ++i) {
+        const auto &u = units[i];
+        out << "  " << unitName(static_cast<Unit>(i))
+            << " leak " << u.leakage << " J, dyn " << u.dynamic
+            << " J, gate-ovh " << u.gatingOverhead << " J\n";
+    }
+    out << "  total " << totalEnergy() << " J, avg power "
+        << averagePower() << " W, avg leakage power "
+        << averageLeakagePower() << " W\n";
+    return out.str();
+}
+
+EnergyBreakdown
+accumulateEnergy(const CorePowerModel &model,
+                 const ActivityRecord &a, unsigned mlc_assoc)
+{
+    if (mlc_assoc == 0)
+        fatal("accumulateEnergy: zero MLC associativity");
+
+    const CorePowerParams &p = model.params();
+    const double cyc_to_s = 1.0 / p.frequencyHz;
+
+    EnergyBreakdown e;
+    e.seconds = a.cycles * cyc_to_s;
+
+    const double one_frac = 1.0 / mlc_assoc;
+    const double half_frac = 0.5;
+    const double quarter_frac = mlc_assoc >= 4 ? 0.25 : one_frac;
+
+    // --- VPU -----------------------------------------------------------
+    {
+        UnitEnergy &u = e.unit(Unit::Vpu);
+        double on_cycles = a.cycles - a.vpuGatedCycles;
+        u.leakage = model.leakageEnergy(Unit::Vpu, on_cycles * cyc_to_s,
+                                        a.vpuGatedCycles * cyc_to_s);
+        u.dynamic = model.dynamicEnergy(Unit::Vpu, a.vpuOps);
+        u.gatingOverhead = a.vpuSwitches * p.switchOverhead(Unit::Vpu);
+    }
+
+    // --- BPU (the large gateable portion) ------------------------------
+    {
+        UnitEnergy &u = e.unit(Unit::Bpu);
+        double on_cycles = a.cycles - a.bpuGatedCycles;
+        u.leakage = model.leakageEnergy(Unit::Bpu, on_cycles * cyc_to_s,
+                                        a.bpuGatedCycles * cyc_to_s);
+        u.dynamic = model.dynamicEnergy(Unit::Bpu, a.bpuLargeLookups);
+        u.gatingOverhead = a.bpuSwitches * p.switchOverhead(Unit::Bpu);
+    }
+
+    // --- MLC ------------------------------------------------------------
+    {
+        UnitEnergy &u = e.unit(Unit::Mlc);
+        if (a.mlcDrowsyFraction > 0) {
+            // Drowsy baseline: all ways powered, but a time-averaged
+            // fraction of the array sits at the drowsy voltage.
+            const double f = a.mlcDrowsyFraction;
+            u.leakage = p.unit(Unit::Mlc).leakage * e.seconds *
+                        ((1.0 - f) + f * a.drowsyLeakageFraction);
+        } else
+        u.leakage = model.mlcLeakageEnergy(a.mlcFullCycles * cyc_to_s,
+                                           a.mlcHalfCycles * cyc_to_s,
+                                           a.mlcQuarterCycles * cyc_to_s,
+                                           a.mlcOneWayCycles * cyc_to_s,
+                                           one_frac, half_frac,
+                                           quarter_frac);
+        u.dynamic =
+            a.mlcAccessesFull * model.mlcAccessEnergy(1.0) +
+            a.mlcAccessesHalf * model.mlcAccessEnergy(half_frac) +
+            a.mlcAccessesQuarter * model.mlcAccessEnergy(quarter_frac) +
+            a.mlcAccessesOne * model.mlcAccessEnergy(one_frac);
+        u.gatingOverhead = a.mlcSwitches * p.switchOverhead(Unit::Mlc);
+    }
+
+    // --- Rest of core ----------------------------------------------------
+    {
+        UnitEnergy &u = e.unit(Unit::Rest);
+        u.leakage = model.leakageEnergy(Unit::Rest,
+                                        a.cycles * cyc_to_s, 0.0);
+        u.dynamic = model.dynamicEnergy(Unit::Rest, a.instructions);
+    }
+
+    return e;
+}
+
+} // namespace powerchop

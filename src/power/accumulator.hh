@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Power/energy accumulation over one simulation run.
+ *
+ * The simulator records activity (event counts) and residency (cycles
+ * each unit spends in each power state); the accumulator turns that
+ * into a per-unit energy breakdown and average-power figures that the
+ * evaluation benches compare across configurations (Figures 13-14).
+ */
+
+#ifndef POWERCHOP_POWER_ACCUMULATOR_HH
+#define POWERCHOP_POWER_ACCUMULATOR_HH
+
+#include <array>
+#include <string>
+
+#include "power/core_power_model.hh"
+
+namespace powerchop
+{
+
+/** Activity and residency collected during a run. */
+struct ActivityRecord
+{
+    /** Total core cycles of the run. */
+    double cycles = 0;
+
+    /** Committed guest instructions (Rest events). */
+    double instructions = 0;
+
+    /** SIMD ops executed natively on the VPU. */
+    double vpuOps = 0;
+
+    /** Branch lookups through the large BPU (when active). */
+    double bpuLargeLookups = 0;
+
+    /** MLC accesses weighted by active-way state. @{ */
+    double mlcAccessesFull = 0;
+    double mlcAccessesHalf = 0;
+    double mlcAccessesQuarter = 0;
+    double mlcAccessesOne = 0;
+    /** @} */
+
+    /** Cycle residency of gateable units. @{ */
+    double vpuGatedCycles = 0;
+    double bpuGatedCycles = 0;
+    double mlcFullCycles = 0;
+    double mlcHalfCycles = 0;
+    double mlcQuarterCycles = 0;
+    double mlcOneWayCycles = 0;
+    /** @} */
+
+    /** Drowsy baseline: time-averaged fraction of MLC lines in the
+     *  drowsy state (0 disables drowsy leakage modelling) and the
+     *  drowsy leakage fraction to apply. @{ */
+    double mlcDrowsyFraction = 0;
+    double drowsyLeakageFraction = 0.15;
+    /** @} */
+
+    /** Gating switch counts (each costs E_overhead). @{ */
+    double vpuSwitches = 0;
+    double bpuSwitches = 0;
+    double mlcSwitches = 0;
+    /** @} */
+};
+
+/** Per-unit energy totals. */
+struct UnitEnergy
+{
+    Joules leakage = 0;
+    Joules dynamic = 0;
+    Joules gatingOverhead = 0;
+
+    Joules total() const { return leakage + dynamic + gatingOverhead; }
+};
+
+/** Full-core energy breakdown of one run. */
+struct EnergyBreakdown
+{
+    std::array<UnitEnergy, numUnits> units;
+    double seconds = 0;
+
+    const UnitEnergy &unit(Unit u) const
+    {
+        return units[static_cast<unsigned>(u)];
+    }
+    UnitEnergy &unit(Unit u)
+    {
+        return units[static_cast<unsigned>(u)];
+    }
+
+    Joules totalEnergy() const;
+    Joules leakageEnergy() const;
+    Joules dynamicEnergy() const;
+
+    Watts averagePower() const;
+    Watts averageLeakagePower() const;
+
+    /** Human-readable multi-line summary. */
+    std::string toString() const;
+};
+
+/**
+ * Turn an activity record into an energy breakdown under a given core
+ * power model.
+ *
+ * @param model    The core's power model.
+ * @param activity Activity/residency of the run.
+ * @param mlc_assoc     MLC associativity (for way fractions).
+ * @return the energy breakdown.
+ */
+EnergyBreakdown accumulateEnergy(const CorePowerModel &model,
+                                 const ActivityRecord &activity,
+                                 unsigned mlc_assoc);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_POWER_ACCUMULATOR_HH

@@ -1,0 +1,58 @@
+#include "power/cacti_lite.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+// 32nm first-order constants. The 6T SRAM bit cell at 32nm is about
+// 0.15 um^2; CAM cells (9T/10T with match logic) run 3-4x larger.
+// Peripheral overhead (decoders, sense amps, match lines) roughly
+// doubles small arrays.
+constexpr double sramCellUm2 = 0.15;
+constexpr double camCellUm2 = 0.52;
+constexpr double peripheryFactor = 2.0;
+
+// Leakage density for always-on arrays at 32nm high-performance
+// process, W per mm^2.
+constexpr double leakageWPerMm2 = 0.35;
+
+// Dynamic energy: per-bit read energy plus, for CAMs, the match-line
+// broadcast across all entries.
+constexpr double readEnergyPerBitJ = 0.08e-12;
+constexpr double camMatchEnergyPerBitJ = 0.012e-12;
+
+} // namespace
+
+ArrayEstimate
+estimateArray(const ArraySpec &spec)
+{
+    if (spec.entries == 0 || spec.bitsPerEntry == 0)
+        fatal("cacti_lite: empty array");
+
+    const double bits =
+        static_cast<double>(spec.entries) * spec.bitsPerEntry;
+    const double cell_um2 =
+        spec.style == ArrayStyle::Cam ? camCellUm2 : sramCellUm2;
+
+    ArrayEstimate est;
+    est.areaMm2 = bits * cell_um2 * 1e-6 * peripheryFactor;
+    est.leakage = est.areaMm2 * leakageWPerMm2;
+
+    est.energyPerAccess = spec.bitsPerEntry * readEnergyPerBitJ;
+    if (spec.style == ArrayStyle::Cam) {
+        // Every access broadcasts the key across all entries.
+        est.energyPerAccess += bits * camMatchEnergyPerBitJ;
+    }
+
+    est.totalPower =
+        est.leakage + spec.accessesPerSecond * est.energyPerAccess;
+    return est;
+}
+
+} // namespace powerchop

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CACTI-lite: a small analytic SRAM/CAM area, leakage and access
+ * energy estimator.
+ *
+ * The paper uses CACTI to cost the HTB and PVT (Section IV-B4: the
+ * HTB needs roughly 0.027 W and 0.008 mm^2 at 32nm). This module
+ * provides first-order estimates using per-bit cell areas and leakage
+ * densities calibrated to published 32nm figures; it exists to
+ * reproduce the hardware-cost argument, not to replace CACTI.
+ */
+
+#ifndef POWERCHOP_POWER_CACTI_LITE_HH
+#define POWERCHOP_POWER_CACTI_LITE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** Array style: RAM arrays index by address, CAM arrays match
+ *  associatively (bigger cells, extra match-line energy). */
+enum class ArrayStyle : std::uint8_t
+{
+    Ram,
+    Cam,
+};
+
+/** Inputs to the estimator. */
+struct ArraySpec
+{
+    std::uint64_t entries = 128;
+    unsigned bitsPerEntry = 64;
+    ArrayStyle style = ArrayStyle::Cam;
+
+    /** Accesses per second the array sustains (for dynamic power). */
+    double accessesPerSecond = 0.0;
+};
+
+/** Estimator outputs. */
+struct ArrayEstimate
+{
+    double areaMm2 = 0.0;
+    Watts leakage = 0.0;
+    Joules energyPerAccess = 0.0;
+    /** leakage + accessesPerSecond * energyPerAccess */
+    Watts totalPower = 0.0;
+};
+
+/**
+ * Estimate area/power of a small on-core array at 32nm.
+ *
+ * @param spec The array configuration.
+ * @return first-order area, leakage, and energy estimates.
+ */
+ArrayEstimate estimateArray(const ArraySpec &spec);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_POWER_CACTI_LITE_HH

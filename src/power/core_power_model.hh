@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Whole-core power model: per-unit specs for a core design point plus
+ * the arithmetic that turns simulation activity into energy.
+ */
+
+#ifndef POWERCHOP_POWER_CORE_POWER_MODEL_HH
+#define POWERCHOP_POWER_CORE_POWER_MODEL_HH
+
+#include <array>
+#include <string>
+
+#include "power/gating_energy.hh"
+#include "power/unit_power.hh"
+
+namespace powerchop
+{
+
+/** Power description of one core design point. */
+struct CorePowerParams
+{
+    std::string name = "core";
+    double frequencyHz = 3.0e9;
+
+    /** Specs indexed by Unit. */
+    std::array<UnitPowerSpec, numUnits> units;
+
+    GatingEnergyParams gating;
+
+    /** Fraction of MLC read energy that is independent of how many
+     *  ways are powered (decoders, output drivers); the remainder
+     *  scales with the active-way fraction. */
+    double mlcEnergyFloor = 0.3;
+
+    const UnitPowerSpec &unit(Unit u) const
+    {
+        return units[static_cast<unsigned>(u)];
+    }
+    UnitPowerSpec &unit(Unit u)
+    {
+        return units[static_cast<unsigned>(u)];
+    }
+
+    /** Total core area. */
+    double totalAreaMm2() const;
+
+    /** Total core leakage with everything on. */
+    Watts totalLeakage() const;
+
+    /** Area fraction of a unit (for the Table I printout). */
+    double areaFraction(Unit u) const;
+
+    /** E_overhead of one gating switch of a unit (Eq. 1). */
+    Joules switchOverhead(Unit u) const;
+
+    void validate() const;
+};
+
+/**
+ * Power model helper functions shared by the accumulator.
+ */
+class CorePowerModel
+{
+  public:
+    explicit CorePowerModel(const CorePowerParams &params);
+
+    const CorePowerParams &params() const { return params_; }
+
+    /**
+     * Leakage energy of a unit over an interval split between on and
+     * gated states.
+     *
+     * @param u            The unit.
+     * @param on_seconds   Time fully on.
+     * @param gated_seconds Time gated (leaks at the gated fraction).
+     */
+    Joules leakageEnergy(Unit u, double on_seconds,
+                         double gated_seconds) const;
+
+    /**
+     * Leakage energy of the MLC given a time-weighted active-way
+     * fraction profile: inactive ways leak at the gated fraction.
+     *
+     * @param seconds_at_fraction Array of (way fraction, seconds).
+     */
+    Joules mlcLeakageEnergy(double full_seconds, double half_seconds,
+                            double quarter_seconds,
+                            double one_way_seconds,
+                            double one_way_fraction,
+                            double half_fraction,
+                            double quarter_fraction) const;
+
+    /** Dynamic energy of n events of a unit. */
+    Joules dynamicEnergy(Unit u, double events) const;
+
+    /** Dynamic energy of one MLC access at a given active-way
+     *  fraction (energy scales with powered ways above a floor). */
+    Joules mlcAccessEnergy(double way_fraction) const;
+
+  private:
+    CorePowerParams params_;
+};
+
+/** Server design point: Intel Nehalem-class core at 32nm (Table I). */
+CorePowerParams serverPowerParams();
+
+/** Mobile design point: ARM Cortex-A9-class core at 32nm (Table I). */
+CorePowerParams mobilePowerParams();
+
+} // namespace powerchop
+
+#endif // POWERCHOP_POWER_CORE_POWER_MODEL_HH

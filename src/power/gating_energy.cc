@@ -1,0 +1,22 @@
+#include "power/gating_energy.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+Joules
+gatingOverheadEnergy(Watts peak_dynamic, double frequency_hz,
+                     const GatingEnergyParams &p)
+{
+    if (frequency_hz <= 0)
+        fatal("gatingOverheadEnergy: non-positive frequency");
+    if (peak_dynamic < 0)
+        fatal("gatingOverheadEnergy: negative peak dynamic power");
+
+    // E_cyc: average switching energy of the unit for a single cycle.
+    const Joules e_cyc = peak_dynamic / frequency_hz;
+    return 2.0 * p.sleepTransistorRatio * e_cyc * p.switchingFactor;
+}
+
+} // namespace powerchop

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Power-gating overhead energy model (Hu et al., summarized as
+ * Equation 1 of the paper):
+ *
+ *     E_overhead = 2 * (W/H) * E_cyc * SF
+ *
+ * where E_cyc is the unit's average switching energy for one cycle
+ * (derived from its McPAT peak dynamic power), W/H is the ratio of
+ * sleep-transistor area to unit area (the paper conservatively uses
+ * 0.20, the top of the literature's 0.05-0.20 range), and SF is the
+ * average switching factor (0.5).
+ */
+
+#ifndef POWERCHOP_POWER_GATING_ENERGY_HH
+#define POWERCHOP_POWER_GATING_ENERGY_HH
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** Parameters of the gating-overhead model. */
+struct GatingEnergyParams
+{
+    /** Sleep transistor width/height area ratio (W/H in Eq. 1). */
+    double sleepTransistorRatio = 0.20;
+
+    /** Average switching factor. */
+    double switchingFactor = 0.5;
+
+    /** Leakage of a gated unit as a fraction of its on leakage; the
+     *  paper assumes 5% (supply is reduced, not zeroed). */
+    double gatedLeakageFraction = 0.05;
+};
+
+/**
+ * Energy overhead of one assert/deassert of a unit's sleep signal.
+ *
+ * @param peak_dynamic The unit's peak dynamic power (McPAT estimate).
+ * @param frequency_hz Core clock frequency.
+ * @param p            Model parameters.
+ * @return E_overhead in joules.
+ */
+Joules gatingOverheadEnergy(Watts peak_dynamic, double frequency_hz,
+                            const GatingEnergyParams &p = {});
+
+} // namespace powerchop
+
+#endif // POWERCHOP_POWER_GATING_ENERGY_HH

@@ -1,0 +1,33 @@
+#include "power/unit_power.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::Vpu:
+        return "VPU";
+      case Unit::Bpu:
+        return "BPU";
+      case Unit::Mlc:
+        return "MLC";
+      case Unit::Rest:
+        return "Rest";
+    }
+    panic("unknown Unit %d", static_cast<int>(u));
+}
+
+void
+UnitPowerSpec::validate(const std::string &who) const
+{
+    if (areaMm2 <= 0)
+        fatal("%s: non-positive area", who.c_str());
+    if (leakage < 0 || energyPerEvent < 0 || peakDynamic < 0)
+        fatal("%s: negative power figure", who.c_str());
+}
+
+} // namespace powerchop

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-unit power specifications (the McPAT substitute).
+ *
+ * Each gateable unit is described by its share of core area, its
+ * leakage power (proportional to area at a process-dependent leakage
+ * density), its per-event dynamic energy, and its peak dynamic power
+ * (used by the gating-overhead model of Hu et al.).
+ */
+
+#ifndef POWERCHOP_POWER_UNIT_POWER_HH
+#define POWERCHOP_POWER_UNIT_POWER_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** The units PowerChop manages, plus the rest of the core. */
+enum class Unit : std::uint8_t
+{
+    Vpu,
+    Bpu,
+    Mlc,
+    Rest,
+};
+
+constexpr unsigned numUnits = 4;
+
+/** @return the display name of a unit. */
+const char *unitName(Unit u);
+
+/** Static power description of one unit. */
+struct UnitPowerSpec
+{
+    /** Silicon area of the unit. */
+    double areaMm2 = 1.0;
+
+    /** Leakage power with the unit fully on. */
+    Watts leakage = 0.1;
+
+    /** Dynamic energy of one event (one SIMD op, one BPU lookup, one
+     *  MLC access, one committed instruction for Rest). */
+    Joules energyPerEvent = 0.1e-9;
+
+    /** Peak dynamic power; E_cyc for the gating-overhead model is
+     *  peakDynamic / frequency. */
+    Watts peakDynamic = 1.0;
+
+    /** Validate ranges (fatal() on violation). */
+    void validate(const std::string &who) const;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_POWER_UNIT_POWER_HH

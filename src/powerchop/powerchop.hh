@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Umbrella public header for the PowerChop library.
+ *
+ * Including this header gives access to the full public API: the
+ * workload models, the hybrid-core simulator, the PowerChop mechanism
+ * (HTB / PVT / CDE / gating controller), the timeout baseline and the
+ * power models.
+ *
+ * Quick start:
+ * @code
+ *   #include "powerchop/powerchop.hh"
+ *   using namespace powerchop;
+ *
+ *   MachineConfig server = serverConfig();
+ *   WorkloadSpec gobmk = findWorkload("gobmk");
+ *
+ *   SimOptions opts;
+ *   opts.mode = SimMode::PowerChop;
+ *   opts.maxInstructions = 5'000'000;
+ *   SimResult r = simulate(server, gobmk, opts);
+ * @endcode
+ */
+
+#ifndef POWERCHOP_POWERCHOP_HH
+#define POWERCHOP_POWERCHOP_HH
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+#include "workload/generator.hh"
+#include "workload/suites.hh"
+#include "workload/workload.hh"
+
+#include "bt/bt_system.hh"
+
+#include "uarch/bpu_complex.hh"
+#include "uarch/cache.hh"
+#include "uarch/mem_hierarchy.hh"
+#include "uarch/vpu.hh"
+
+#include "core/cde.hh"
+#include "core/gating_controller.hh"
+#include "core/htb.hh"
+#include "core/policy.hh"
+#include "core/powerchop_unit.hh"
+#include "core/pvt.hh"
+#include "core/signature.hh"
+#include "core/timeout_gater.hh"
+
+#include "power/accumulator.hh"
+#include "power/cacti_lite.hh"
+#include "power/core_power_model.hh"
+
+#include "sim/experiment.hh"
+#include "sim/machine_config.hh"
+#include "sim/sim_result.hh"
+#include "sim/simulator.hh"
+
+#endif // POWERCHOP_POWERCHOP_HH

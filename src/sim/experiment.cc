@@ -1,0 +1,86 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+InsnCount
+insnBudget(InsnCount def)
+{
+    const char *env = std::getenv("POWERCHOP_INSNS");
+    if (!env || !*env)
+        return def;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || v == 0) {
+        warn("ignoring invalid POWERCHOP_INSNS='%s'", env);
+        return def;
+    }
+    return static_cast<InsnCount>(v);
+}
+
+ComparisonRuns
+runComparison(const MachineConfig &machine, const WorkloadSpec &workload,
+              InsnCount insns)
+{
+    ComparisonRuns runs;
+    SimOptions opts;
+    opts.maxInstructions = insns;
+
+    opts.mode = SimMode::FullPower;
+    runs.fullPower = simulate(machine, workload, opts);
+
+    opts.mode = SimMode::PowerChop;
+    runs.powerChop = simulate(machine, workload, opts);
+
+    opts.mode = SimMode::MinPower;
+    runs.minPower = simulate(machine, workload, opts);
+    return runs;
+}
+
+ComparisonRuns
+runPair(const MachineConfig &machine, const WorkloadSpec &workload,
+        InsnCount insns)
+{
+    ComparisonRuns runs;
+    SimOptions opts;
+    opts.maxInstructions = insns;
+
+    opts.mode = SimMode::FullPower;
+    runs.fullPower = simulate(machine, workload, opts);
+
+    opts.mode = SimMode::PowerChop;
+    runs.powerChop = simulate(machine, workload, opts);
+    return runs;
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return *std::max_element(v.begin(), v.end());
+}
+
+std::string
+pct(double fraction)
+{
+    return csprintf("%6.2f%%", fraction * 100.0);
+}
+
+} // namespace powerchop

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment helpers shared by the benchmark harness and examples:
+ * standard baseline/PowerChop comparisons, suite aggregation, and the
+ * instruction-budget environment override.
+ */
+
+#ifndef POWERCHOP_SIM_EXPERIMENT_HH
+#define POWERCHOP_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace powerchop
+{
+
+/**
+ * Instruction budget for evaluation runs.
+ *
+ * @param def Default budget.
+ * @return POWERCHOP_INSNS from the environment if set, else def.
+ */
+InsnCount insnBudget(InsnCount def = 10'000'000);
+
+/** The three runs most figures compare (Figure 12). */
+struct ComparisonRuns
+{
+    SimResult fullPower;
+    SimResult powerChop;
+    SimResult minPower;
+};
+
+/**
+ * Run full-power, PowerChop and min-power on one workload.
+ *
+ * @param machine  Design point.
+ * @param workload Application model.
+ * @param insns    Instruction budget per run.
+ */
+ComparisonRuns runComparison(const MachineConfig &machine,
+                             const WorkloadSpec &workload,
+                             InsnCount insns);
+
+/**
+ * Run full-power and PowerChop only (enough for the power/energy
+ * figures; cheaper than the full triple).
+ */
+ComparisonRuns runPair(const MachineConfig &machine,
+                       const WorkloadSpec &workload, InsnCount insns);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Maximum; 0 for an empty vector. */
+double maxOf(const std::vector<double> &v);
+
+/** Format a fraction as a fixed-width percentage string. */
+std::string pct(double fraction);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SIM_EXPERIMENT_HH

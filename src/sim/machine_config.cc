@@ -1,0 +1,112 @@
+#include "sim/machine_config.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+void
+MachineConfig::validate() const
+{
+    core.validate();
+    power.validate();
+    if (mlc.assoc < 2)
+        fatal("%s: MLC must be at least 2-way for way gating",
+              name.c_str());
+    if (l1.sizeBytes >= mlc.sizeBytes)
+        fatal("%s: L1 must be smaller than the MLC", name.c_str());
+}
+
+MachineConfig
+serverConfig()
+{
+    MachineConfig m;
+    m.name = "server";
+
+    m.core.name = "server-core";
+    m.core.issueWidth = 4;
+    m.core.frequencyHz = 3.0e9;
+    m.core.mispredictPenalty = 15.0;
+    m.core.btbMissPenalty = 4.0;
+    m.core.mlcHitPenalty = 10.0;
+    // Effective (post-overlap) miss cost; modern cores hide much of
+    // the raw DRAM latency behind MLP and prefetch.
+    m.core.memoryPenalty = 60.0;
+    m.core.storeStallFraction = 0.3;
+    m.core.interpreterCpi = 8.0;
+    m.core.translationCost = 4000.0;
+    m.core.hotThreshold = 24;
+
+    // Large BPU: loc/glob tournament, 4K-entry BTB, 16K-entry chooser.
+    m.bpu.large.localHistoryEntries = 2048;
+    m.bpu.large.localHistoryBits = 10;
+    m.bpu.large.localPatternEntries = 4096;
+    m.bpu.large.globalEntries = 16384;
+    m.bpu.large.globalHistoryBits = 8;
+    m.bpu.large.chooserEntries = 16384;
+    m.bpu.largeBtbEntries = 4096;
+    // Small BPU: local only with a 1K-entry BTB.
+    m.bpu.smallPredictorEntries = 1024;
+    m.bpu.smallBtbEntries = 1024;
+    m.bpu.btbAssoc = 4;
+
+    m.l1 = CacheParams{32 * 1024, 8, 64};
+    m.mlc = CacheParams{1024 * 1024, 8, 64};   // 1024KB 8-way
+
+    m.vpu.width = 4;
+    m.vpu.numRegisters = 16;
+    m.vpu.emulationExpansion = 2.0;
+
+    m.bt.hotThreshold = m.core.hotThreshold;
+    m.bt.translationCost = m.core.translationCost;
+
+    m.power = serverPowerParams();
+    return m;
+}
+
+MachineConfig
+mobileConfig()
+{
+    MachineConfig m;
+    m.name = "mobile";
+
+    m.core.name = "mobile-core";
+    m.core.issueWidth = 2;
+    m.core.frequencyHz = 1.5e9;
+    m.core.mispredictPenalty = 10.0;
+    m.core.btbMissPenalty = 3.0;
+    m.core.mlcHitPenalty = 8.0;
+    m.core.memoryPenalty = 45.0;
+    m.core.storeStallFraction = 0.3;
+    m.core.interpreterCpi = 8.0;
+    m.core.translationCost = 4000.0;
+    m.core.hotThreshold = 24;
+
+    // Large BPU: loc/glob tournament, 2K-entry BTB, 8K-entry chooser.
+    m.bpu.large.localHistoryEntries = 1024;
+    m.bpu.large.localHistoryBits = 10;
+    m.bpu.large.localPatternEntries = 2048;
+    m.bpu.large.globalEntries = 8192;
+    m.bpu.large.globalHistoryBits = 8;
+    m.bpu.large.chooserEntries = 8192;
+    m.bpu.largeBtbEntries = 2048;
+    // Small BPU: local only with a 512-entry BTB.
+    m.bpu.smallPredictorEntries = 512;
+    m.bpu.smallBtbEntries = 512;
+    m.bpu.btbAssoc = 4;
+
+    m.l1 = CacheParams{32 * 1024, 4, 64};
+    m.mlc = CacheParams{2048 * 1024, 8, 64};   // 2048KB 8-way
+
+    m.vpu.width = 2;
+    m.vpu.numRegisters = 16;
+    m.vpu.emulationExpansion = 2.0;
+
+    m.bt.hotThreshold = m.core.hotThreshold;
+    m.bt.translationCost = m.core.translationCost;
+
+    m.power = mobilePowerParams();
+    return m;
+}
+
+} // namespace powerchop

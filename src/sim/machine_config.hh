@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Machine configurations: the two architectural design points of
+ * Table I (a Nehalem-class server core and a Cortex-A9-class mobile
+ * core), each with the unit geometries PowerChop manages.
+ */
+
+#ifndef POWERCHOP_SIM_MACHINE_CONFIG_HH
+#define POWERCHOP_SIM_MACHINE_CONFIG_HH
+
+#include <string>
+
+#include "bt/bt_system.hh"
+#include "core/gating_controller.hh"
+#include "core/powerchop_unit.hh"
+#include "core/drowsy_mlc.hh"
+#include "core/timeout_gater.hh"
+#include "power/core_power_model.hh"
+#include "uarch/bpu_complex.hh"
+#include "uarch/cache.hh"
+#include "uarch/core_params.hh"
+#include "uarch/vpu.hh"
+
+namespace powerchop
+{
+
+/** A complete machine design point. */
+struct MachineConfig
+{
+    std::string name = "machine";
+
+    CoreParams core;
+    BpuParams bpu;
+    CacheParams l1;
+    CacheParams mlc;
+    VpuParams vpu;
+    BtParams bt;
+    PowerChopParams powerChop;
+    GatingPenalties penalties;
+    TimeoutParams timeout;
+    DrowsyParams drowsy;
+    CorePowerParams power;
+
+    /** Validate the whole configuration. */
+    void validate() const;
+};
+
+/**
+ * The server design point (Table I, left column): 4-wide core at
+ * 3 GHz; 1024KB 8-way MLC (gateable to 512KB 4-way or 128KB 1-way);
+ * 4-wide SIMD VPU; loc/glob tournament BPU with 4K-entry BTB backed
+ * by a local-only small predictor with a 1K-entry BTB.
+ */
+MachineConfig serverConfig();
+
+/**
+ * The mobile design point (Table I, right column): 2-wide core at
+ * 1.5 GHz; 2048KB 8-way MLC (gateable to 1024KB 4-way or 256KB
+ * 1-way); 2-wide SIMD VPU; tournament BPU with 2K-entry BTB backed by
+ * a local-only small predictor with a 512-entry BTB.
+ */
+MachineConfig mobileConfig();
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SIM_MACHINE_CONFIG_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Results of one simulation run, with the comparison arithmetic the
+ * evaluation figures are built from (slowdown, power reduction,
+ * energy reduction, leakage reduction).
+ */
+
+#ifndef POWERCHOP_SIM_SIM_RESULT_HH
+#define POWERCHOP_SIM_SIM_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/gating_controller.hh"
+#include "power/accumulator.hh"
+
+namespace powerchop
+{
+
+/** Simulation operating mode. */
+enum class SimMode : std::uint8_t
+{
+    FullPower,    ///< All units at full power throughout (baseline).
+    PowerChop,    ///< PowerChop manages the three units.
+    MinPower,     ///< All units at their lowest-power states.
+    TimeoutVpu,   ///< Idle-timeout gating on the VPU only (V-E).
+    StaticPolicy, ///< A fixed caller-supplied policy for the whole
+                  ///< run (Figures 2-3 compare static unit configs).
+    DrowsyMlc,    ///< Periodic drowsy MLC (Flautner et al.), the
+                  ///< related-work per-line leakage baseline.
+};
+
+/** @return a display name for a mode. */
+const char *simModeName(SimMode m);
+
+/** Everything measured in one run. */
+struct SimResult
+{
+    std::string workload;
+    std::string machine;
+    SimMode mode = SimMode::FullPower;
+
+    InsnCount instructions = 0;
+    Cycles cycles = 0;
+    double seconds = 0;
+
+    double ipc() const
+    {
+        return cycles > 0 ? instructions / cycles : 0.0;
+    }
+
+    /** Gating activity. */
+    GatingStats gating;
+
+    /** Per-unit gated-off cycle fractions (Figures 9-10). @{ */
+    double vpuGatedFraction = 0;
+    double bpuGatedFraction = 0;
+    double mlcHalfFraction = 0;
+    double mlcQuarterFraction = 0;
+    double mlcOneWayFraction = 0;
+    /** @} */
+
+    /** Policy switches per million cycles (Figure 11). @{ */
+    double vpuSwitchesPerMcycle = 0;
+    double bpuSwitchesPerMcycle = 0;
+    double mlcSwitchesPerMcycle = 0;
+    /** @} */
+
+    /** PVT behaviour (Section IV-C3). @{ */
+    std::uint64_t pvtLookups = 0;
+    std::uint64_t pvtHits = 0;
+    std::uint64_t translationsExecuted = 0;
+    /** PVT misses as a fraction of executed translations. */
+    double pvtMissPerTranslation = 0;
+    /** @} */
+
+    /** Cache behaviour. @{ */
+    double l1HitRate = 0;
+    double mlcHitRate = 0;
+    double mlcAccessesPerKilo = 0;
+    /** @} */
+
+    /** Branch behaviour. @{ */
+    double branchMispredictRate = 0;
+    double branchesPerKilo = 0;
+    /** @} */
+
+    /** SIMD behaviour. @{ */
+    std::uint64_t simdOps = 0;
+    std::uint64_t simdEmulated = 0;
+    /** @} */
+
+    /** Drowsy baseline: time-averaged drowsy line fraction and
+     *  wakeup count (DrowsyMlc mode only). @{ */
+    double mlcDrowsyFraction = 0;
+    std::uint64_t drowsyWakes = 0;
+    /** @} */
+
+    /** Raw activity and the resulting energy breakdown. */
+    ActivityRecord activity;
+    EnergyBreakdown energy;
+
+    // --- comparisons against a baseline run ------------------------------
+
+    /** Fractional slowdown vs. a baseline (positive = slower). */
+    double slowdownVs(const SimResult &base) const;
+
+    /** Fractional total-core average-power reduction vs. baseline. */
+    double powerReductionVs(const SimResult &base) const;
+
+    /** Fractional total energy reduction vs. baseline. */
+    double energyReductionVs(const SimResult &base) const;
+
+    /** Fractional leakage-power reduction vs. baseline. */
+    double leakageReductionVs(const SimResult &base) const;
+
+    /** Multi-line human-readable summary. */
+    std::string toString() const;
+
+    /** Compact single-object JSON rendering of the run's metrics
+     *  (for scripting; no external dependencies). */
+    std::string toJson() const;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SIM_SIM_RESULT_HH

@@ -1,0 +1,318 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "core/drowsy_mlc.hh"
+#include "core/perf_monitor.hh"
+
+namespace powerchop
+{
+
+SimResult
+simulate(const MachineConfig &machine, const WorkloadSpec &workload,
+         const SimOptions &opts)
+{
+    machine.validate();
+    if (opts.maxInstructions == 0)
+        fatal("simulate: zero instruction budget");
+
+    // --- Build the machine -------------------------------------------------
+    WorkloadGenerator gen(workload);
+    BtParams bt_params = machine.bt;
+    BtSystem bt(gen.program(), bt_params);
+    BpuComplex bpu(machine.bpu);
+    MemHierarchy mem(machine.l1, machine.mlc);
+    Vpu vpu(machine.vpu);
+    GatingController controller(vpu, bpu, mem, machine.penalties);
+    PerfMonitor monitor(bpu, mem);
+    PowerChopUnit pchop(machine.powerChop, controller, bt.nucleus(),
+                        monitor);
+
+    TimeoutParams to_params = machine.timeout;
+    if (opts.timeoutCycles > 0)
+        to_params.timeoutCycles = opts.timeoutCycles;
+    TimeoutGater timeout(vpu, to_params);
+    DrowsyMlc drowsy(mem, machine.drowsy);
+
+    const CoreParams &core = machine.core;
+    const double slot = 1.0 / core.issueWidth;
+
+    const bool use_powerchop = opts.mode == SimMode::PowerChop;
+    const bool use_timeout = opts.mode == SimMode::TimeoutVpu;
+    const bool use_drowsy = opts.mode == SimMode::DrowsyMlc;
+
+    if (use_powerchop) {
+        pchop.setManagedUnits(opts.manageVpu, opts.manageBpu,
+                              opts.manageMlc);
+        if (opts.windowObserver)
+            pchop.setWindowObserver(opts.windowObserver);
+    }
+
+    SimResult res;
+    res.workload = workload.name;
+    res.machine = machine.name;
+    res.mode = opts.mode;
+
+    Cycles cycles = 0;
+
+    if (opts.mode == SimMode::MinPower) {
+        // Everything to its lowest-power state for the entire run.
+        cycles += controller.applyPolicy(GatingPolicy::minPower());
+    } else if (opts.mode == SimMode::StaticPolicy) {
+        cycles += controller.applyPolicy(opts.staticPolicy);
+    }
+
+    // --- Activity counters --------------------------------------------------
+    ActivityRecord act;
+    std::uint64_t branch_lookups = 0;
+    std::uint64_t branch_mispredicts = 0;
+    std::uint64_t bpu_large_lookups = 0;
+    std::uint64_t mlc_accesses = 0;
+
+    // Translation attribution: instructions since the last translated
+    // head, credited to that translation at the next head.
+    TranslationId last_trans = invalidTranslationId;
+    std::uint64_t insns_since_head = 0;
+
+    // Multi-block trace execution: while the dynamic block sequence
+    // matches the current translation's trace, execution stays inside
+    // it — no region-cache lookup and no new translation-head event
+    // until the trace exits (side exit or completion).
+    const Translation *cur_trace = nullptr;
+    std::size_t trace_idx = 0;
+
+    // Stream detector for the MLP/prefetch model: misses adjacent to
+    // the previous miss are largely hidden.
+    Addr last_miss_line = ~static_cast<Addr>(0);
+    const Addr line_shift = 6;
+
+    bool interpreting = true;
+    Cycles last_accrue = cycles;
+    InsnCount next_sample = opts.sampleInterval;
+
+    auto accrue = [&]() {
+        if (cycles > last_accrue) {
+            controller.accrue(cycles - last_accrue);
+            last_accrue = cycles;
+        }
+    };
+
+    for (InsnCount n = 0; n < opts.maxInstructions; ++n) {
+        if (gen.atBlockHead()) {
+            const BlockId blk = gen.currentBlock();
+
+            if (cur_trace && trace_idx < cur_trace->blocks.size() &&
+                cur_trace->blocks[trace_idx] == blk) {
+                // Still on the translated trace's expected path.
+                ++trace_idx;
+                interpreting = false;
+            } else {
+                cur_trace = nullptr;
+                RegionEntry entry = bt.enterRegion(blk);
+                cycles += entry.extraCycles;
+                interpreting = (entry.mode == ExecMode::Interpreted);
+
+                if (entry.mode == ExecMode::Translated) {
+                    // Credit the instructions executed since the
+                    // previous head to that translation, then roll
+                    // the HTB.
+                    if (use_powerchop &&
+                        last_trans != invalidTranslationId) {
+                        accrue();
+                        cycles += pchop.onTranslationHead(
+                            last_trans, insns_since_head);
+                        last_accrue = cycles;
+                    }
+                    last_trans = entry.translation->id;
+                    insns_since_head = 0;
+                    cur_trace = entry.translation;
+                    trace_idx = 1;
+                } else {
+                    last_trans = invalidTranslationId;
+                    insns_since_head = 0;
+                }
+            }
+
+            if (use_timeout) {
+                accrue();
+                cycles += timeout.checkIdle(cycles);
+                last_accrue = cycles;
+            }
+            if (use_drowsy)
+                drowsy.tick(cycles);
+        }
+
+        const DynInst &di = gen.next();
+        const OpClass op = di.op();
+        ++insns_since_head;
+        monitor.onCommit(op);
+
+        cycles += interpreting ? core.interpreterCpi : slot;
+
+        switch (op) {
+          case OpClass::SimdOp: {
+            if (use_timeout)
+                cycles += timeout.onSimdUse(cycles);
+            double slots = vpu.executeSimd();
+            if (slots > 1.0) {
+                // Scalar emulation: the extra scalar ops occupy issue
+                // slots (and energy) in the rest of the core.
+                cycles += (slots - 1.0) * slot;
+                act.instructions += slots - 1.0;
+            }
+            break;
+          }
+          case OpClass::Load:
+          case OpClass::Store: {
+            const bool is_store = (op == OpClass::Store);
+            MemAccessResult r = mem.access(di.effAddr, is_store);
+            double scale = is_store ? core.storeStallFraction : 1.0;
+            if (r.level == MemLevel::Mlc) {
+                cycles += core.mlcHitPenalty * scale;
+                if (r.mlcWokeDrowsy)
+                    cycles += machine.drowsy.wakePenaltyCycles * scale;
+            } else if (r.level == MemLevel::Memory) {
+                Addr line = di.effAddr >> line_shift;
+                Addr delta = line > last_miss_line
+                    ? line - last_miss_line : last_miss_line - line;
+                bool streamed = delta <= 2;
+                last_miss_line = line;
+                cycles += core.memoryPenalty * scale *
+                          (streamed ? core.streamMissFactor : 1.0);
+            }
+            if (r.level != MemLevel::L1) {
+                ++mlc_accesses;
+                switch (controller.current().mlc) {
+                  case MlcPolicy::AllWays:
+                    act.mlcAccessesFull += 1;
+                    break;
+                  case MlcPolicy::HalfWays:
+                    act.mlcAccessesHalf += 1;
+                    break;
+                  case MlcPolicy::QuarterWays:
+                    act.mlcAccessesQuarter += 1;
+                    break;
+                  case MlcPolicy::OneWay:
+                    act.mlcAccessesOne += 1;
+                    break;
+                }
+            }
+            break;
+          }
+          case OpClass::Branch: {
+            if (di.isTerminator) {
+                // Region-chaining jump: direct-chained in the region
+                // cache; only a changed target costs a fetch bubble.
+                BpuOutcome o = bpu.predictIndirect(di.pc(), di.target);
+                if (o.targetMiss)
+                    cycles += core.btbMissPenalty;
+                break;
+            }
+            BpuOutcome o = bpu.predict(di.pc(), di.taken, di.target);
+            ++branch_lookups;
+            if (bpu.largeOn())
+                ++bpu_large_lookups;
+            if (o.directionMispredict) {
+                cycles += core.mispredictPenalty;
+                ++branch_mispredicts;
+            } else if (o.targetMiss) {
+                cycles += core.btbMissPenalty;
+            }
+            break;
+          }
+          case OpClass::IntAlu:
+          case OpClass::FpAlu:
+            break;
+        }
+
+        if (opts.sampleInterval && n + 1 >= next_sample) {
+            opts.sampler(n + 1, cycles);
+            next_sample += opts.sampleInterval;
+        }
+    }
+
+    accrue();
+    if (use_timeout)
+        timeout.finish(cycles);
+    if (use_drowsy)
+        drowsy.finish(cycles);
+
+    // --- Collect results -----------------------------------------------------
+    res.instructions = opts.maxInstructions;
+    res.cycles = cycles;
+    res.seconds = cycles / core.frequencyHz;
+
+    res.gating = controller.stats();
+    if (use_timeout) {
+        res.gating.vpuSwitches = timeout.switches();
+        res.gating.vpuGatedCycles = timeout.gatedCycles();
+    }
+
+    res.vpuGatedFraction = res.gating.vpuGatedCycles / cycles;
+    res.bpuGatedFraction = res.gating.bpuGatedCycles / cycles;
+    res.mlcHalfFraction = res.gating.mlcHalfCycles / cycles;
+    res.mlcQuarterFraction = res.gating.mlcQuarterCycles / cycles;
+    res.mlcOneWayFraction = res.gating.mlcOneWayCycles / cycles;
+
+    const double mcycles = cycles / 1e6;
+    res.vpuSwitchesPerMcycle = res.gating.vpuSwitches / mcycles;
+    res.bpuSwitchesPerMcycle = res.gating.bpuSwitches / mcycles;
+    res.mlcSwitchesPerMcycle = res.gating.mlcSwitches / mcycles;
+
+    res.pvtLookups = pchop.pvt().lookups();
+    res.pvtHits = pchop.pvt().hits();
+    res.translationsExecuted = pchop.translationsSeen();
+    res.pvtMissPerTranslation = res.translationsExecuted
+        ? static_cast<double>(pchop.pvt().misses()) /
+              res.translationsExecuted
+        : 0.0;
+
+    res.l1HitRate = mem.l1().hitRate();
+    res.mlcHitRate = mem.mlc().hitRate();
+    res.mlcAccessesPerKilo =
+        1000.0 * mlc_accesses / res.instructions;
+
+    res.branchMispredictRate = branch_lookups
+        ? static_cast<double>(branch_mispredicts) / branch_lookups
+        : 0.0;
+    res.branchesPerKilo = 1000.0 * branch_lookups / res.instructions;
+
+    res.simdOps = vpu.nativeOps();
+    res.simdEmulated = vpu.emulatedOps();
+
+    if (use_drowsy) {
+        res.mlcDrowsyFraction = drowsy.avgDrowsyFraction();
+        res.drowsyWakes = mem.mlc().drowsyWakes();
+        act.mlcDrowsyFraction = res.mlcDrowsyFraction;
+        act.drowsyLeakageFraction =
+            machine.drowsy.drowsyLeakageFraction;
+    }
+
+    // --- Energy --------------------------------------------------------------
+    act.cycles = cycles;
+    act.instructions += res.instructions;
+    act.vpuOps = static_cast<double>(vpu.nativeOps());
+    act.bpuLargeLookups = static_cast<double>(bpu_large_lookups);
+    act.vpuGatedCycles = res.gating.vpuGatedCycles;
+    act.bpuGatedCycles = res.gating.bpuGatedCycles;
+    act.mlcFullCycles = res.gating.mlcFullCycles;
+    act.mlcHalfCycles = res.gating.mlcHalfCycles;
+    act.mlcQuarterCycles = res.gating.mlcQuarterCycles;
+    act.mlcOneWayCycles = res.gating.mlcOneWayCycles;
+    if (use_timeout) {
+        act.vpuGatedCycles = timeout.gatedCycles();
+        act.vpuSwitches = static_cast<double>(timeout.switches());
+        act.mlcFullCycles = cycles;
+    } else {
+        act.vpuSwitches = static_cast<double>(res.gating.vpuSwitches);
+    }
+    act.bpuSwitches = static_cast<double>(res.gating.bpuSwitches);
+    act.mlcSwitches = static_cast<double>(res.gating.mlcSwitches);
+
+    CorePowerModel power_model(machine.power);
+    res.activity = act;
+    res.energy = accumulateEnergy(power_model, act, machine.mlc.assoc);
+
+    return res;
+}
+
+} // namespace powerchop

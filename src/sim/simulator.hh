@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The simulator: executes a synthetic workload on a machine design
+ * point under one of the operating modes and produces a SimResult.
+ *
+ * The loop follows the hybrid-processor execution model: the workload
+ * generator supplies the guest dynamic instruction stream; the BT
+ * layer decides at each region head whether the region runs from the
+ * region cache or through the interpreter; the timing model charges
+ * issue slots plus penalties from the BPU, MLC and VPU models; and
+ * PowerChop (or a baseline gater) manages the units' power states.
+ */
+
+#ifndef POWERCHOP_SIM_SIMULATOR_HH
+#define POWERCHOP_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+
+#include "sim/machine_config.hh"
+#include "sim/sim_result.hh"
+#include "workload/generator.hh"
+
+namespace powerchop
+{
+
+/** Per-run options. */
+struct SimOptions
+{
+    SimMode mode = SimMode::FullPower;
+
+    /** Instructions to simulate. */
+    InsnCount maxInstructions = 10'000'000;
+
+    /** Restrict PowerChop to a subset of units (Section V-C). @{ */
+    bool manageVpu = true;
+    bool manageBpu = true;
+    bool manageMlc = true;
+    /** @} */
+
+    /** Override the timeout period (TimeoutVpu mode). 0 = config. */
+    double timeoutCycles = 0;
+
+    /** The fixed policy applied in StaticPolicy mode. */
+    GatingPolicy staticPolicy = GatingPolicy::fullPower();
+
+    /** Optional per-window observer (receives every HTB window
+     *  report; PowerChop mode only). */
+    std::function<void(const WindowReport &)> windowObserver;
+
+    /**
+     * Optional per-interval sampler for time-series figures: called
+     * every sampleInterval instructions with (insns so far, cycles so
+     * far). 0 disables.
+     */
+    InsnCount sampleInterval = 0;
+    std::function<void(InsnCount, Cycles)> sampler;
+};
+
+/**
+ * Run one simulation.
+ *
+ * @param machine  The design point.
+ * @param workload The application model.
+ * @param opts     Mode and instrumentation options.
+ * @return the measured result.
+ */
+SimResult simulate(const MachineConfig &machine,
+                   const WorkloadSpec &workload, const SimOptions &opts);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SIM_SIMULATOR_HH

@@ -1,0 +1,75 @@
+#include "uarch/agree.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+AgreePredictor::AgreePredictor(unsigned entries, unsigned bias_entries,
+                               unsigned history_bits)
+    : agreeTable_(entries, SatCounter(2, 2)),
+      biasTable_(bias_entries),
+      patternMask_(entries - 1),
+      biasMask_(bias_entries - 1),
+      historyMask_((1ull << history_bits) - 1)
+{
+    if (!isPowerOf2(entries) || !isPowerOf2(bias_entries))
+        fatal("agree predictor table sizes must be powers of two");
+    if (history_bits == 0 || history_bits > 24)
+        fatal("agree history bits (%u) out of range", history_bits);
+}
+
+std::size_t
+AgreePredictor::patternIndex(Addr pc) const
+{
+    return (history_ ^ (pc >> 2)) & patternMask_;
+}
+
+std::size_t
+AgreePredictor::biasIndex(Addr pc) const
+{
+    return (pc >> 2) & biasMask_;
+}
+
+bool
+AgreePredictor::lookup(Addr pc)
+{
+    const BiasEntry &b = biasTable_[biasIndex(pc)];
+    // Until the bias is set the predictor guesses taken (the common
+    // static heuristic).
+    bool bias = b.set ? b.bias : true;
+    bool agrees = agreeTable_[patternIndex(pc)].isSet();
+    return agrees ? bias : !bias;
+}
+
+void
+AgreePredictor::train(Addr pc, bool taken)
+{
+    BiasEntry &b = biasTable_[biasIndex(pc)];
+    if (!b.set) {
+        // First resolution fixes the bias bit.
+        b.set = true;
+        b.bias = taken;
+    }
+
+    SatCounter &ctr = agreeTable_[patternIndex(pc)];
+    if (taken == b.bias)
+        ctr.increment();
+    else
+        ctr.decrement();
+
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+}
+
+void
+AgreePredictor::reset()
+{
+    for (auto &c : agreeTable_)
+        c.reset(2);
+    for (auto &b : biasTable_)
+        b = BiasEntry{};
+    history_ = 0;
+}
+
+} // namespace powerchop

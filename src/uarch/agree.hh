@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Agree predictor (Sprangle et al., ISCA 1997).
+ *
+ * One of the predictor families the paper's Section III lists as
+ * tournament ingredients. Each branch carries a bias bit (set from
+ * its first resolved outcome); a gshare-indexed pattern table then
+ * predicts whether the outcome *agrees* with the bias. Because most
+ * branches agree with their bias most of the time, aliasing between
+ * unrelated branches in the pattern table becomes constructive
+ * instead of destructive.
+ */
+
+#ifndef POWERCHOP_UARCH_AGREE_HH
+#define POWERCHOP_UARCH_AGREE_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "uarch/direction_predictor.hh"
+
+namespace powerchop
+{
+
+/** Agree predictor. */
+class AgreePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries      Agree pattern-table entries (power of two).
+     * @param bias_entries Bias-bit table entries (power of two).
+     * @param history_bits Global history length.
+     */
+    explicit AgreePredictor(unsigned entries = 4096,
+                            unsigned bias_entries = 2048,
+                            unsigned history_bits = 8);
+
+    void reset() override;
+
+  protected:
+    bool lookup(Addr pc) override;
+    void train(Addr pc, bool taken) override;
+
+  private:
+    std::size_t patternIndex(Addr pc) const;
+    std::size_t biasIndex(Addr pc) const;
+
+    struct BiasEntry
+    {
+        bool set = false;
+        bool bias = false;
+    };
+
+    /** Counters predict "agrees with bias" in the upper half. */
+    std::vector<SatCounter> agreeTable_;
+    std::vector<BiasEntry> biasTable_;
+    std::size_t patternMask_;
+    std::size_t biasMask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_AGREE_HH

@@ -1,0 +1,46 @@
+#include "uarch/bimodal.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+BimodalPredictor::BimodalPredictor(unsigned entries)
+    : table_(entries, SatCounter(2, 1)), mask_(entries - 1)
+{
+    if (!isPowerOf2(entries))
+        fatal("bimodal predictor entries (%u) must be a power of two",
+              entries);
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & mask_;
+}
+
+bool
+BimodalPredictor::lookup(Addr pc)
+{
+    return table_[index(pc)].isSet();
+}
+
+void
+BimodalPredictor::train(Addr pc, bool taken)
+{
+    SatCounter &ctr = table_[index(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+void
+BimodalPredictor::reset()
+{
+    for (auto &c : table_)
+        c.reset(1);
+}
+
+} // namespace powerchop

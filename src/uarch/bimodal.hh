@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bimodal (per-PC 2-bit counter) direction predictor.
+ */
+
+#ifndef POWERCHOP_UARCH_BIMODAL_HH
+#define POWERCHOP_UARCH_BIMODAL_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "uarch/direction_predictor.hh"
+
+namespace powerchop
+{
+
+/**
+ * The classic bimodal predictor: a table of 2-bit saturating counters
+ * indexed by the branch PC.
+ */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries Table size; must be a power of two.
+     */
+    explicit BimodalPredictor(unsigned entries = 1024);
+
+    void reset() override;
+
+    unsigned numEntries() const { return table_.size(); }
+
+  protected:
+    bool lookup(Addr pc) override;
+    void train(Addr pc, bool taken) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<SatCounter> table_;
+    std::size_t mask_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_BIMODAL_HH

@@ -1,0 +1,136 @@
+#include "uarch/bpu_complex.hh"
+
+#include "common/logging.hh"
+#include "uarch/agree.hh"
+#include "uarch/perceptron.hh"
+
+namespace powerchop
+{
+
+const char *
+largePredictorKindName(LargePredictorKind k)
+{
+    switch (k) {
+      case LargePredictorKind::Tournament:
+        return "tournament";
+      case LargePredictorKind::Agree:
+        return "agree";
+      case LargePredictorKind::Perceptron:
+        return "perceptron";
+    }
+    panic("unknown LargePredictorKind %d", static_cast<int>(k));
+}
+
+std::unique_ptr<DirectionPredictor>
+BpuComplex::makeLarge(const BpuParams &params)
+{
+    switch (params.largeKind) {
+      case LargePredictorKind::Tournament:
+        return std::make_unique<TournamentPredictor>(params.large);
+      case LargePredictorKind::Agree:
+        return std::make_unique<AgreePredictor>(
+            params.large.globalEntries,
+            params.large.localPatternEntries,
+            params.large.globalHistoryBits);
+      case LargePredictorKind::Perceptron:
+        return std::make_unique<PerceptronPredictor>(
+            params.large.localHistoryEntries,
+            params.large.globalHistoryBits * 2);
+    }
+    panic("unknown LargePredictorKind %d",
+          static_cast<int>(params.largeKind));
+}
+
+BpuComplex::BpuComplex(const BpuParams &params)
+    : params_(params),
+      large_(makeLarge(params)),
+      shadowLarge_(makeLarge(params)),
+      small_(params.smallPredictorEntries),
+      largeBtb_(params.largeBtbEntries, params.btbAssoc),
+      smallBtb_(params.smallBtbEntries, params.btbAssoc)
+{
+}
+
+BpuOutcome
+BpuComplex::predict(Addr pc, bool taken, Addr target)
+{
+    ++branches_;
+
+    // Both predictors observe every branch so that profiling windows
+    // can compare their accuracies; this mirrors the paper's use of
+    // hardware performance monitors for MisPred_Large/MisPred_Small.
+    bool large_pred = large_->predictAndTrain(pc, taken);
+    shadowLarge_->predictAndTrain(pc, taken);
+    bool small_pred = small_.predictAndTrain(pc, taken);
+
+    BpuOutcome out;
+    bool active_pred = largeOn_ ? large_pred : small_pred;
+    out.directionMispredict = (active_pred != taken);
+
+    if (taken) {
+        bool large_hit = largeBtb_.predictAndUpdate(pc, target);
+        bool small_hit = smallBtb_.predictAndUpdate(pc, target);
+        out.targetMiss = largeOn_ ? !large_hit : !small_hit;
+    }
+
+    if (out.directionMispredict)
+        ++activeMispredicts_;
+    if (out.targetMiss)
+        ++activeTargetMisses_;
+    return out;
+}
+
+BpuOutcome
+BpuComplex::predictIndirect(Addr pc, Addr target)
+{
+    BpuOutcome out;
+    bool large_hit = largeBtb_.predictAndUpdate(pc, target);
+    bool small_hit = smallBtb_.predictAndUpdate(pc, target);
+    out.targetMiss = largeOn_ ? !large_hit : !small_hit;
+    if (out.targetMiss)
+        ++activeTargetMisses_;
+    return out;
+}
+
+void
+BpuComplex::gateLargeOff()
+{
+    if (!largeOn_)
+        return;
+    largeOn_ = false;
+    // Global, chooser and BTB state is lost when the supply voltage is
+    // cut (Table I "Gated Off State").
+    large_->reset();
+    largeBtb_.reset();
+}
+
+void
+BpuComplex::gateLargeOn()
+{
+    largeOn_ = true;
+    // Nothing to restore: the unit re-warms from scratch.
+}
+
+double
+BpuComplex::largeWindowMispredictRate() const
+{
+    // Profiling reads the never-gated shadow so a freshly regated
+    // (cold) large predictor does not masquerade as non-critical.
+    return shadowLarge_->windowMispredictRate();
+}
+
+double
+BpuComplex::smallWindowMispredictRate() const
+{
+    return small_.windowMispredictRate();
+}
+
+void
+BpuComplex::resetWindowStats()
+{
+    large_->resetWindow();
+    shadowLarge_->resetWindow();
+    small_.resetWindow();
+}
+
+} // namespace powerchop

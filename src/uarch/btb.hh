@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Branch target buffer: a set-associative cache of branch targets.
+ *
+ * The paper's Table I gives the small BPU a 1K-entry (mobile: 512)
+ * BTB and the large BPU a 4K-entry (mobile: 2K) BTB. Taken branches
+ * whose targets miss in the active BTB cost a fetch bubble.
+ */
+
+#ifndef POWERCHOP_UARCH_BTB_HH
+#define POWERCHOP_UARCH_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** Set-associative branch target buffer with LRU replacement. */
+class Btb
+{
+  public:
+    /**
+     * @param entries Total entries (power of two).
+     * @param assoc   Associativity (divides entries).
+     */
+    explicit Btb(unsigned entries = 1024, unsigned assoc = 4);
+
+    /**
+     * Look up the predicted target for a branch, then install the
+     * actual target.
+     *
+     * @param pc     Branch PC.
+     * @param target Actual resolved target.
+     * @return true if the BTB held the correct target (hit).
+     */
+    bool predictAndUpdate(Addr pc, Addr target);
+
+    /** Drop all entries (state loss from power gating). */
+    void reset();
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t targetMisses() const { return misses_; }
+    unsigned numEntries() const { return entries_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    unsigned entries_;
+    unsigned assoc_;
+    unsigned numSets_;
+    std::vector<Entry> table_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_BTB_HH

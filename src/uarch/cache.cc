@@ -1,0 +1,178 @@
+#include "uarch/cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+SetAssocCache::SetAssocCache(const CacheParams &params)
+    : params_(params)
+{
+    if (params.lineBytes == 0 || !isPowerOf2(params.lineBytes))
+        fatal("cache line size must be a power of two");
+    if (params.assoc == 0)
+        fatal("cache associativity must be non-zero");
+    std::uint64_t lines = params.sizeBytes / params.lineBytes;
+    if (lines == 0 || lines % params.assoc != 0)
+        fatal("cache size/assoc/line geometry inconsistent");
+    numSets_ = static_cast<unsigned>(lines / params.assoc);
+    if (!isPowerOf2(numSets_))
+        fatal("cache set count (%u) must be a power of two", numSets_);
+
+    activeWays_ = params.assoc;
+    lines_.resize(lines);
+}
+
+std::size_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr / params_.lineBytes) & (numSets_ - 1);
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return (addr / params_.lineBytes) >> floorLog2(numSets_);
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool write)
+{
+    ++tick_;
+    ++windowAccesses_;
+
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * params_.assoc];
+
+    // Full match scan first, then victim selection: prefer the first
+    // invalid way, else the LRU way among the active ways.
+    Line *match = nullptr;
+    for (unsigned w = 0; w < activeWays_; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            match = &l;
+            break;
+        }
+    }
+    Line *victim = &base[0];
+    if (!match) {
+        for (unsigned w = 0; w < activeWays_; ++w) {
+            Line &l = base[w];
+            if (!l.valid) {
+                victim = &l;
+                break;
+            }
+            if (l.lruStamp < victim->lruStamp)
+                victim = &l;
+        }
+    }
+
+    CacheAccessResult res;
+    if (match) {
+        res.hit = true;
+        ++hits_;
+        ++windowHits_;
+        if (match->drowsy) {
+            match->drowsy = false;
+            res.wokeDrowsy = true;
+            ++drowsyWakes_;
+        }
+        match->lruStamp = tick_;
+        if (write)
+            match->dirty = true;
+        return res;
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty) {
+        res.dirtyEviction = true;
+        ++writebacks_;
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->drowsy = false;
+    victim->tag = tag;
+    victim->lruStamp = tick_;
+    return res;
+}
+
+std::uint64_t
+SetAssocCache::drowseAll()
+{
+    std::uint64_t slept = 0;
+    for (auto &l : lines_) {
+        if (l.valid && !l.drowsy) {
+            l.drowsy = true;
+            ++slept;
+        }
+    }
+    return slept;
+}
+
+std::uint64_t
+SetAssocCache::awakeLineCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_)
+        if (l.valid && !l.drowsy)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+SetAssocCache::setActiveWays(unsigned ways)
+{
+    if (ways == 0 || ways > params_.assoc)
+        fatal("active ways %u out of [1, %u]", ways, params_.assoc);
+
+    std::uint64_t dirty_writebacks = 0;
+    if (ways < activeWays_) {
+        // Ways [ways, activeWays_) power down: dirty lines are written
+        // back to the LLC, clean lines are simply lost.
+        for (unsigned set = 0; set < numSets_; ++set) {
+            Line *base = &lines_[static_cast<std::size_t>(set) *
+                                 params_.assoc];
+            for (unsigned w = ways; w < activeWays_; ++w) {
+                Line &l = base[w];
+                if (l.valid && l.dirty) {
+                    ++dirty_writebacks;
+                    ++writebacks_;
+                }
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+    }
+    // Ways powering up come back empty and re-warm through misses.
+    activeWays_ = ways;
+    return dirty_writebacks;
+}
+
+std::uint64_t
+SetAssocCache::invalidateAll()
+{
+    std::uint64_t dirty = 0;
+    for (auto &l : lines_) {
+        if (l.valid && l.dirty) {
+            ++dirty;
+            ++writebacks_;
+        }
+        l.valid = false;
+        l.dirty = false;
+    }
+    return dirty;
+}
+
+std::uint64_t
+SetAssocCache::validLineCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_)
+        if (l.valid)
+            ++n;
+    return n;
+}
+
+} // namespace powerchop

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Set-associative write-back cache with way-level power gating.
+ *
+ * The middle-level cache (MLC) of the paper is way-gated to three
+ * states: all ways on, half the ways on, or one way on (Section
+ * IV-B3). Deactivating ways writes back their dirty lines and loses
+ * clean lines; the cache then re-warms through normal misses.
+ */
+
+#ifndef POWERCHOP_UARCH_CACHE_HH
+#define POWERCHOP_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** Geometry of a set-associative cache. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 1024 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 64;
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** A dirty line was evicted to make room (write-back traffic). */
+    bool dirtyEviction = false;
+    /** The hit line was drowsy and had to be woken (costs a short
+     *  wake penalty; drowsy-cache baseline only). */
+    bool wokeDrowsy = false;
+};
+
+/**
+ * Set-associative LRU write-back, write-allocate cache.
+ *
+ * Ways [activeWays, assoc) are powered off: they hold no lines and
+ * are skipped by lookup and replacement.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheParams &params);
+
+    /**
+     * Access one address.
+     *
+     * @param addr  Byte address.
+     * @param write true for stores (sets the dirty bit).
+     * @return hit/miss and write-back information.
+     */
+    CacheAccessResult access(Addr addr, bool write);
+
+    /**
+     * Reconfigure the number of powered ways.
+     *
+     * Lines in deactivated ways are lost; dirty ones are written back.
+     *
+     * @param ways New active way count in [1, assoc].
+     * @return the number of dirty lines written back.
+     */
+    std::uint64_t setActiveWays(unsigned ways);
+
+    /** Invalidate everything (dirty lines counted as write-backs). */
+    std::uint64_t invalidateAll();
+
+    /**
+     * Drowsy-cache support (Flautner et al., the paper's Section VI
+     * alternative for cache energy): put every valid line into the
+     * low-voltage drowsy state. Lines retain contents; the next
+     * access to a drowsy line wakes it at a small latency cost.
+     *
+     * @return the number of lines put to sleep.
+     */
+    std::uint64_t drowseAll();
+
+    /** Valid lines currently awake (non-drowsy). */
+    std::uint64_t awakeLineCount() const;
+
+    /** Lifetime count of drowsy-line wakeups. */
+    std::uint64_t drowsyWakes() const { return drowsyWakes_; }
+
+    unsigned activeWays() const { return activeWays_; }
+    const CacheParams &params() const { return params_; }
+    unsigned numSets() const { return numSets_; }
+
+    /** @return number of currently valid lines (for tests). */
+    std::uint64_t validLineCount() const;
+
+    /** Lifetime statistics. @{ */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    double
+    hitRate() const
+    {
+        auto a = accesses();
+        return a ? static_cast<double>(hits_) / a : 0.0;
+    }
+    /** @} */
+
+    /** Per-window statistics for CDE profiling. @{ */
+    std::uint64_t windowHits() const { return windowHits_; }
+    std::uint64_t windowAccesses() const { return windowAccesses_; }
+    void
+    resetWindowStats()
+    {
+        windowHits_ = 0;
+        windowAccesses_ = 0;
+    }
+    /** @} */
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool drowsy = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params_;
+    unsigned numSets_;
+    unsigned activeWays_;
+    std::vector<Line> lines_;
+    std::uint64_t tick_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::uint64_t drowsyWakes_ = 0;
+    std::uint64_t windowHits_ = 0;
+    std::uint64_t windowAccesses_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_CACHE_HH

@@ -1,0 +1,27 @@
+#include "uarch/core_params.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+void
+CoreParams::validate() const
+{
+    if (issueWidth == 0 || issueWidth > 8)
+        fatal("%s: issue width %u out of range", name.c_str(), issueWidth);
+    if (frequencyHz <= 0)
+        fatal("%s: non-positive frequency", name.c_str());
+    if (mispredictPenalty < 0 || btbMissPenalty < 0 ||
+        mlcHitPenalty < 0 || memoryPenalty < 0) {
+        fatal("%s: negative penalty", name.c_str());
+    }
+    if (storeStallFraction < 0 || storeStallFraction > 1)
+        fatal("%s: storeStallFraction out of [0,1]", name.c_str());
+    if (interpreterCpi < 1)
+        fatal("%s: interpreter CPI below 1", name.c_str());
+    if (hotThreshold == 0)
+        fatal("%s: hot threshold must be non-zero", name.c_str());
+}
+
+} // namespace powerchop

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Core pipeline timing parameters.
+ *
+ * The timing model is an issue-slot accumulator: every instruction
+ * consumes 1/width cycles at the front end, plus penalty cycles for
+ * branch mispredictions, BTB target misses, cache misses and scalar
+ * emulation of SIMD work. This captures exactly the effects the paper
+ * attributes to the three managed units without modelling the rest of
+ * an out-of-order pipeline.
+ */
+
+#ifndef POWERCHOP_UARCH_CORE_PARAMS_HH
+#define POWERCHOP_UARCH_CORE_PARAMS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace powerchop
+{
+
+/** Timing parameters of one core design point. */
+struct CoreParams
+{
+    std::string name = "core";
+
+    /** Superscalar issue width. */
+    unsigned issueWidth = 4;
+
+    /** Core clock, used to convert cycles to time for power. */
+    double frequencyHz = 3.0e9;
+
+    /** Direction-misprediction penalty (pipeline refill). */
+    double mispredictPenalty = 15.0;
+
+    /** Fetch bubble on a taken branch whose target misses the BTB. */
+    double btbMissPenalty = 4.0;
+
+    /** Extra latency of an L1 miss that hits the MLC, after the
+     *  portion hidden by out-of-order overlap. */
+    double mlcHitPenalty = 10.0;
+
+    /** Extra latency of a reference serviced by memory. */
+    double memoryPenalty = 120.0;
+
+    /** Fraction of the memory penalty charged when the miss is part
+     *  of a detected sequential stream (MLP + stream prefetch hide
+     *  most of the latency of adjacent-line misses). */
+    double streamMissFactor = 0.35;
+
+    /** Fraction of a store's miss latency that stalls the core
+     *  (stores mostly retire through buffers). */
+    double storeStallFraction = 0.3;
+
+    /** Cycles per guest instruction while interpreting (the BT
+     *  interpreter decodes and executes sequentially). */
+    double interpreterCpi = 8.0;
+
+    /** One-time cost of producing a translation (translator runs). */
+    double translationCost = 4000.0;
+
+    /** Dynamic executions of a region before it is translated. */
+    unsigned hotThreshold = 24;
+
+    /** Validate parameter ranges (fatal() on violation). */
+    void validate() const;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_CORE_PARAMS_HH

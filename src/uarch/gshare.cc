@@ -1,0 +1,50 @@
+#include "uarch/gshare.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
+    : table_(entries, SatCounter(2, 1)), mask_(entries - 1),
+      historyMask_((1ull << history_bits) - 1)
+{
+    if (!isPowerOf2(entries))
+        fatal("gshare entries (%u) must be a power of two", entries);
+    if (history_bits == 0 || history_bits > 24)
+        fatal("gshare history bits (%u) out of range", history_bits);
+}
+
+std::size_t
+GsharePredictor::index(Addr pc) const
+{
+    return (history_ ^ (pc >> 2)) & mask_;
+}
+
+bool
+GsharePredictor::lookup(Addr pc)
+{
+    return table_[index(pc)].isSet();
+}
+
+void
+GsharePredictor::train(Addr pc, bool taken)
+{
+    SatCounter &ctr = table_[index(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+}
+
+void
+GsharePredictor::reset()
+{
+    for (auto &c : table_)
+        c.reset(1);
+    history_ = 0;
+}
+
+} // namespace powerchop

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Gshare global-history direction predictor.
+ *
+ * The "global" side of the tournament predictor: the global outcome
+ * history XORed with the PC indexes a table of 2-bit counters,
+ * capturing cross-branch correlation that local predictors cannot.
+ */
+
+#ifndef POWERCHOP_UARCH_GSHARE_HH
+#define POWERCHOP_UARCH_GSHARE_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "uarch/direction_predictor.hh"
+
+namespace powerchop
+{
+
+/** Gshare predictor (McFarling). */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries      Pattern table entries (power of two).
+     * @param history_bits Global history length.
+     */
+    explicit GsharePredictor(unsigned entries = 4096,
+                             unsigned history_bits = 12);
+
+    void reset() override;
+
+    /** @return the current global history register. */
+    std::uint64_t history() const { return history_; }
+
+  protected:
+    bool lookup(Addr pc) override;
+    void train(Addr pc, bool taken) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<SatCounter> table_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_GSHARE_HH

@@ -1,0 +1,67 @@
+#include "uarch/local_predictor.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+LocalPredictor::LocalPredictor(unsigned history_entries,
+                               unsigned history_bits,
+                               unsigned pattern_entries)
+    : historyTable_(history_entries, 0),
+      patternTable_(pattern_entries, SatCounter(2, 1)),
+      historyMask_(history_entries - 1),
+      patternMask_(pattern_entries - 1),
+      localHistMask_((1u << history_bits) - 1)
+{
+    if (!isPowerOf2(history_entries) || !isPowerOf2(pattern_entries))
+        fatal("local predictor table sizes must be powers of two");
+    if (history_bits == 0 || history_bits > 16)
+        fatal("local history bits (%u) out of range", history_bits);
+}
+
+std::size_t
+LocalPredictor::historyIndex(Addr pc) const
+{
+    return (pc >> 2) & historyMask_;
+}
+
+std::size_t
+LocalPredictor::patternIndex(Addr pc) const
+{
+    // Hash the local history with the PC so unrelated branches with
+    // the same history do not fully alias.
+    std::uint32_t hist = historyTable_[historyIndex(pc)];
+    return (hist ^ ((pc >> 2) * 0x9e3779b1u)) & patternMask_;
+}
+
+bool
+LocalPredictor::lookup(Addr pc)
+{
+    return patternTable_[patternIndex(pc)].isSet();
+}
+
+void
+LocalPredictor::train(Addr pc, bool taken)
+{
+    SatCounter &ctr = patternTable_[patternIndex(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+
+    std::uint32_t &hist = historyTable_[historyIndex(pc)];
+    hist = ((hist << 1) | (taken ? 1u : 0u)) & localHistMask_;
+}
+
+void
+LocalPredictor::reset()
+{
+    for (auto &h : historyTable_)
+        h = 0;
+    for (auto &c : patternTable_)
+        c.reset(1);
+}
+
+} // namespace powerchop

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Two-level local-history direction predictor.
+ *
+ * This is the "local" side of the tournament predictor: a per-branch
+ * history table feeding a pattern table of 2-bit counters, which
+ * captures short repeating per-branch patterns the bimodal predictor
+ * cannot.
+ */
+
+#ifndef POWERCHOP_UARCH_LOCAL_PREDICTOR_HH
+#define POWERCHOP_UARCH_LOCAL_PREDICTOR_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "uarch/direction_predictor.hh"
+
+namespace powerchop
+{
+
+/** Two-level local predictor (Yeh/Patt PAg style). */
+class LocalPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param history_entries Entries in the per-branch history table
+     *                        (power of two).
+     * @param history_bits    Local history length.
+     * @param pattern_entries Entries in the pattern table (power of
+     *                        two, at least 2^history_bits is typical).
+     */
+    LocalPredictor(unsigned history_entries = 1024,
+                   unsigned history_bits = 10,
+                   unsigned pattern_entries = 1024);
+
+    void reset() override;
+
+  protected:
+    bool lookup(Addr pc) override;
+    void train(Addr pc, bool taken) override;
+
+  private:
+    std::size_t historyIndex(Addr pc) const;
+    std::size_t patternIndex(Addr pc) const;
+
+    std::vector<std::uint32_t> historyTable_;
+    std::vector<SatCounter> patternTable_;
+    std::size_t historyMask_;
+    std::size_t patternMask_;
+    std::uint32_t localHistMask_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_LOCAL_PREDICTOR_HH

@@ -1,0 +1,84 @@
+#include "uarch/perceptron.hh"
+
+#include <cmath>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+PerceptronPredictor::PerceptronPredictor(unsigned entries,
+                                         unsigned history_bits)
+    : historyBits_(history_bits),
+      // Jimenez & Lin's empirically optimal training threshold.
+      threshold_(static_cast<int>(1.93 * history_bits + 14)),
+      weightClamp_(127),
+      weights_(static_cast<std::size_t>(entries) * (history_bits + 1), 0),
+      mask_(entries - 1)
+{
+    if (!isPowerOf2(entries))
+        fatal("perceptron entries (%u) must be a power of two", entries);
+    if (history_bits == 0 || history_bits > 40)
+        fatal("perceptron history bits (%u) out of range", history_bits);
+}
+
+std::size_t
+PerceptronPredictor::index(Addr pc) const
+{
+    return ((pc >> 2) * 0x9e3779b1u) & mask_;
+}
+
+int
+PerceptronPredictor::output(Addr pc) const
+{
+    const std::int16_t *w = &weights_[index(pc) * (historyBits_ + 1)];
+    int y = w[0];  // bias weight
+    for (unsigned i = 0; i < historyBits_; ++i) {
+        bool h = (history_ >> i) & 1;
+        y += h ? w[i + 1] : -w[i + 1];
+    }
+    return y;
+}
+
+bool
+PerceptronPredictor::lookup(Addr pc)
+{
+    lastOutput_ = output(pc);
+    return lastOutput_ >= 0;
+}
+
+void
+PerceptronPredictor::train(Addr pc, bool taken)
+{
+    const bool predicted = lastOutput_ >= 0;
+    if (predicted != taken || std::abs(lastOutput_) <= threshold_) {
+        std::int16_t *w = &weights_[index(pc) * (historyBits_ + 1)];
+        const int t = taken ? 1 : -1;
+        auto bump = [&](std::int16_t &weight, int dir) {
+            int v = weight + dir;
+            if (v > weightClamp_)
+                v = weightClamp_;
+            if (v < -weightClamp_)
+                v = -weightClamp_;
+            weight = static_cast<std::int16_t>(v);
+        };
+        bump(w[0], t);
+        for (unsigned i = 0; i < historyBits_; ++i) {
+            bool h = (history_ >> i) & 1;
+            bump(w[i + 1], (h ? 1 : -1) * t);
+        }
+    }
+    history_ = (history_ << 1) | (taken ? 1u : 0u);
+}
+
+void
+PerceptronPredictor::reset()
+{
+    for (auto &w : weights_)
+        w = 0;
+    history_ = 0;
+    lastOutput_ = 0;
+}
+
+} // namespace powerchop

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Perceptron predictor (Jimenez & Lin, HPCA 2001).
+ *
+ * The "neural" family from the paper's Section III list. A table of
+ * perceptrons indexed by PC; each holds signed weights over the
+ * global history bits plus a bias weight. The prediction is the sign
+ * of the dot product; training nudges weights when the prediction was
+ * wrong or under-confident. Captures long linearly separable
+ * correlations that saturating-counter tables cannot, but (like any
+ * single-layer perceptron) not parity-style functions.
+ */
+
+#ifndef POWERCHOP_UARCH_PERCEPTRON_HH
+#define POWERCHOP_UARCH_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/direction_predictor.hh"
+
+namespace powerchop
+{
+
+/** Perceptron predictor. */
+class PerceptronPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries      Perceptron table entries (power of two).
+     * @param history_bits History length (weights per perceptron).
+     */
+    explicit PerceptronPredictor(unsigned entries = 512,
+                                 unsigned history_bits = 16);
+
+    void reset() override;
+
+  protected:
+    bool lookup(Addr pc) override;
+    void train(Addr pc, bool taken) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    int output(Addr pc) const;
+
+    unsigned historyBits_;
+    int threshold_;
+    int weightClamp_;
+    /** entries x (historyBits + 1 bias) signed weights. */
+    std::vector<std::int16_t> weights_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+
+    // Latched between lookup and train (the usual one-branch-in-
+    // flight simplification).
+    int lastOutput_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_PERCEPTRON_HH

@@ -1,0 +1,65 @@
+#include "uarch/tournament.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+TournamentPredictor::TournamentPredictor(const TournamentParams &params)
+    : params_(params),
+      local_(params.localHistoryEntries, params.localHistoryBits,
+             params.localPatternEntries),
+      global_(params.globalEntries, params.globalHistoryBits),
+      // Chooser starts weakly toward the local side: on heavily
+      // biased code the cold gshare side would otherwise drag the
+      // tournament below its own local component.
+      chooser_(params.chooserEntries, SatCounter(2, 1)),
+      chooserMask_(params.chooserEntries - 1)
+{
+    if (!isPowerOf2(params.chooserEntries))
+        fatal("tournament chooser entries must be a power of two");
+}
+
+std::size_t
+TournamentPredictor::chooserIndex(Addr pc) const
+{
+    return (pc >> 2) & chooserMask_;
+}
+
+bool
+TournamentPredictor::lookup(Addr pc)
+{
+    lastLocalPred_ = local_.peek(pc);
+    lastGlobalPred_ = global_.peek(pc);
+    bool use_global = chooser_[chooserIndex(pc)].isSet();
+    return use_global ? lastGlobalPred_ : lastLocalPred_;
+}
+
+void
+TournamentPredictor::train(Addr pc, bool taken)
+{
+    // Train the chooser only when the components disagree.
+    bool local_right = (lastLocalPred_ == taken);
+    bool global_right = (lastGlobalPred_ == taken);
+    if (local_right != global_right) {
+        SatCounter &c = chooser_[chooserIndex(pc)];
+        if (global_right)
+            c.increment();
+        else
+            c.decrement();
+    }
+    local_.learn(pc, taken);
+    global_.learn(pc, taken);
+}
+
+void
+TournamentPredictor::reset()
+{
+    local_.reset();
+    global_.reset();
+    for (auto &c : chooser_)
+        c.reset(1);
+}
+
+} // namespace powerchop

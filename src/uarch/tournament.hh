@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tournament (local/global with chooser) direction predictor.
+ *
+ * This is the "large BPU" of Table I: a two-level local predictor and
+ * a gshare global predictor arbitrated by a chooser table of 2-bit
+ * counters trained toward whichever component was correct.
+ */
+
+#ifndef POWERCHOP_UARCH_TOURNAMENT_HH
+#define POWERCHOP_UARCH_TOURNAMENT_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "uarch/direction_predictor.hh"
+#include "uarch/gshare.hh"
+#include "uarch/local_predictor.hh"
+
+namespace powerchop
+{
+
+/** Configuration of a tournament predictor. */
+struct TournamentParams
+{
+    unsigned localHistoryEntries = 1024;
+    unsigned localHistoryBits = 10;
+    unsigned localPatternEntries = 1024;
+    unsigned globalEntries = 4096;
+    unsigned globalHistoryBits = 12;
+    unsigned chooserEntries = 4096;
+};
+
+/** Tournament predictor in the Alpha 21264 style. */
+class TournamentPredictor : public DirectionPredictor
+{
+  public:
+    explicit TournamentPredictor(const TournamentParams &params = {});
+
+    void reset() override;
+
+    const TournamentParams &params() const { return params_; }
+
+  protected:
+    bool lookup(Addr pc) override;
+    void train(Addr pc, bool taken) override;
+
+  private:
+    /** Thin subclasses exposing lookup/train to the container. */
+    class OpenLocal : public LocalPredictor
+    {
+      public:
+        using LocalPredictor::LocalPredictor;
+        bool peek(Addr pc) { return lookup(pc); }
+        void learn(Addr pc, bool t) { train(pc, t); }
+    };
+
+    class OpenGshare : public GsharePredictor
+    {
+      public:
+        using GsharePredictor::GsharePredictor;
+        bool peek(Addr pc) { return lookup(pc); }
+        void learn(Addr pc, bool t) { train(pc, t); }
+    };
+
+    std::size_t chooserIndex(Addr pc) const;
+
+    TournamentParams params_;
+    OpenLocal local_;
+    OpenGshare global_;
+    /** Chooser: high half selects the global component. */
+    std::vector<SatCounter> chooser_;
+    std::size_t chooserMask_;
+
+    // Component predictions latched between lookup() and train().
+    bool lastLocalPred_ = false;
+    bool lastGlobalPred_ = false;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_TOURNAMENT_HH

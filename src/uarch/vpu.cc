@@ -1,0 +1,21 @@
+#include "uarch/vpu.hh"
+
+namespace powerchop
+{
+
+Vpu::Vpu(const VpuParams &params) : params_(params)
+{
+}
+
+double
+Vpu::executeSimd()
+{
+    if (on_) {
+        ++nativeOps_;
+        return 1.0;
+    }
+    ++emulatedOps_;
+    return emulatedSlots();
+}
+
+} // namespace powerchop

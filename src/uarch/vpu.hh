@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Vector processing unit model.
+ *
+ * The VPU holds an architecturally visible register file that must be
+ * saved to memory when the unit is gated off and restored when it is
+ * gated on (Section IV-D: a 500-cycle penalty per transition). While
+ * the unit is off, SIMD instructions are emulated by scalar sequences
+ * the binary translator emits along alternate code paths.
+ */
+
+#ifndef POWERCHOP_UARCH_VPU_HH
+#define POWERCHOP_UARCH_VPU_HH
+
+#include <cstdint>
+
+namespace powerchop
+{
+
+/** Geometry of the VPU (Table I). */
+struct VpuParams
+{
+    /** SIMD lanes ("4-wide SIMD" server / "2-wide" mobile). */
+    unsigned width = 4;
+
+    /** Architectural vector registers (saved/restored on gating). */
+    unsigned numRegisters = 16;
+
+    /** Scalar operations needed to emulate one SIMD op when gated:
+     *  one per lane plus packing/unpacking overhead. */
+    double emulationExpansion = 1.25;
+};
+
+/**
+ * The gateable vector unit.
+ *
+ * Tracks its power state and the dynamic SIMD work routed to it or to
+ * scalar emulation.
+ */
+class Vpu
+{
+  public:
+    explicit Vpu(const VpuParams &params = {});
+
+    /**
+     * Execute one SIMD instruction.
+     *
+     * @return the number of issue slots consumed: 1 when the VPU is
+     *         on, width * expansion when it is emulated.
+     */
+    double executeSimd();
+
+    void gateOff() { on_ = false; }
+    void gateOn() { on_ = true; }
+    bool on() const { return on_; }
+
+    const VpuParams &params() const { return params_; }
+
+    /** Scalar issue slots that one emulated SIMD op costs. */
+    double
+    emulatedSlots() const
+    {
+        return params_.width * params_.emulationExpansion;
+    }
+
+    std::uint64_t nativeOps() const { return nativeOps_; }
+    std::uint64_t emulatedOps() const { return emulatedOps_; }
+
+  private:
+    VpuParams params_;
+    bool on_ = true;
+    std::uint64_t nativeOps_ = 0;
+    std::uint64_t emulatedOps_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_UARCH_VPU_HH

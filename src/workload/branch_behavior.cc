@@ -1,0 +1,65 @@
+#include "workload/branch_behavior.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+const char *
+branchKindName(BranchKind k)
+{
+    switch (k) {
+      case BranchKind::Biased:
+        return "Biased";
+      case BranchKind::Pattern:
+        return "Pattern";
+      case BranchKind::GlobalCorrelated:
+        return "GlobalCorrelated";
+      case BranchKind::Random:
+        return "Random";
+    }
+    panic("unknown BranchKind %d", static_cast<int>(k));
+}
+
+BranchOutcomeEngine::BranchOutcomeEngine(std::uint64_t seed)
+    : globalHist_(0), rng_(seed)
+{
+}
+
+void
+BranchOutcomeEngine::reset(std::uint64_t seed)
+{
+    globalHist_ = 0;
+    rng_.seed(seed);
+}
+
+bool
+BranchOutcomeEngine::nextOutcome(const BranchBehavior &b, BranchRuntime &rt)
+{
+    bool taken = false;
+    switch (b.kind) {
+      case BranchKind::Biased:
+        taken = rng_.bernoulli(b.biasTaken);
+        break;
+      case BranchKind::Pattern:
+        taken = (b.patternBits >> rt.patternPos) & 1u;
+        rt.patternPos = (rt.patternPos + 1) % b.patternLen;
+        break;
+      case BranchKind::GlobalCorrelated:
+        taken = std::popcount(globalHist_ & b.historyMask) & 1u;
+        break;
+      case BranchKind::Random:
+        taken = rng_.bernoulli(0.5);
+        break;
+    }
+
+    if (b.noise > 0.0 && rng_.bernoulli(b.noise))
+        taken = !taken;
+
+    globalHist_ = (globalHist_ << 1) | (taken ? 1u : 0u);
+    return taken;
+}
+
+} // namespace powerchop

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Conditional-branch outcome models for synthetic workloads.
+ *
+ * BPU criticality in the paper (Section IV-C2) is the accuracy gap
+ * between a small local predictor and a large tournament predictor.
+ * To reproduce that gap the synthetic branches must actually differ in
+ * how predictable they are *to different predictor organizations*, so
+ * each static branch is assigned one of four outcome processes:
+ *
+ *  - Biased:            taken with fixed probability; any predictor
+ *                       with a 2-bit counter captures it.
+ *  - Pattern:           a short repeating taken/not-taken pattern; a
+ *                       two-level local-history predictor captures it,
+ *                       a bimodal counter only gets the majority bias.
+ *  - GlobalCorrelated:  outcome is the parity of selected bits of the
+ *                       global outcome history; gshare-style global
+ *                       predictors capture it, local ones cannot.
+ *  - Random:            50/50; nothing captures it.
+ */
+
+#ifndef POWERCHOP_WORKLOAD_BRANCH_BEHAVIOR_HH
+#define POWERCHOP_WORKLOAD_BRANCH_BEHAVIOR_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace powerchop
+{
+
+/** Outcome-process kinds for synthetic conditional branches. */
+enum class BranchKind : std::uint8_t
+{
+    Biased,
+    Pattern,
+    GlobalCorrelated,
+    Random,
+};
+
+/** @return a short human-readable name for a branch kind. */
+const char *branchKindName(BranchKind k);
+
+/**
+ * Static description of one synthetic branch's outcome process.
+ * Assigned at program-build time and immutable afterwards.
+ */
+struct BranchBehavior
+{
+    BranchKind kind = BranchKind::Biased;
+
+    /** Biased: probability of taken. */
+    double biasTaken = 0.9;
+
+    /** Pattern: the repeating outcome bits (LSB first). */
+    std::uint32_t patternBits = 0b0111;
+
+    /** Pattern: pattern period in bits (1..32). */
+    unsigned patternLen = 4;
+
+    /** GlobalCorrelated: mask over the global history; the outcome is
+     *  the parity of the masked bits. */
+    std::uint64_t historyMask = 0b1011;
+
+    /** Noise probability: chance the modelled outcome is flipped,
+     *  bounding the best achievable prediction accuracy. */
+    double noise = 0.01;
+};
+
+/** Per-branch mutable runtime state (pattern position). */
+struct BranchRuntime
+{
+    unsigned patternPos = 0;
+};
+
+/**
+ * Generates dynamic outcomes for synthetic branches and maintains the
+ * global outcome history the GlobalCorrelated process reads.
+ */
+class BranchOutcomeEngine
+{
+  public:
+    explicit BranchOutcomeEngine(std::uint64_t seed = 1);
+
+    /**
+     * Produce the next outcome of a branch.
+     *
+     * Updates both the branch's runtime state and the global history.
+     *
+     * @param behavior The branch's static outcome process.
+     * @param rt       The branch's mutable runtime state.
+     * @return true if taken.
+     */
+    bool nextOutcome(const BranchBehavior &behavior, BranchRuntime &rt);
+
+    /** @return the global outcome history (most recent in bit 0). */
+    std::uint64_t globalHistory() const { return globalHist_; }
+
+    /** Reset global history and the RNG to a seed. */
+    void reset(std::uint64_t seed);
+
+  private:
+    std::uint64_t globalHist_;
+    Rng rng_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_WORKLOAD_BRANCH_BEHAVIOR_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The workload generator: materializes a WorkloadSpec into a guest
+ * Program and produces its dynamic instruction stream.
+ *
+ * Code layout: each phase gets its own cluster of basic blocks (hot
+ * blocks with geometrically decaying execution weights plus a cold
+ * tail). Block bodies are sampled from the phase's instruction mix;
+ * internal conditional branches get outcome processes from the phase's
+ * predictability mix. Block terminators are modelled as indirect
+ * region-chaining jumps: always taken, with the target sampled from
+ * the hot-weight distribution (occasionally escaping to a cold block).
+ * This decouples block hotness (what the HTB sees) from conditional
+ * branch predictability (what the BPU criticality score sees), while
+ * keeping both derived from one genuine instruction stream.
+ */
+
+#ifndef POWERCHOP_WORKLOAD_GENERATOR_HH
+#define POWERCHOP_WORKLOAD_GENERATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "isa/program.hh"
+#include "workload/branch_behavior.hh"
+#include "workload/workload.hh"
+
+namespace powerchop
+{
+
+/**
+ * Generates the dynamic instruction stream of a synthetic workload.
+ *
+ * Usage: construct from a validated WorkloadSpec, then repeatedly call
+ * next() to obtain dynamic instructions. The stream is infinite (the
+ * schedule loops); callers bound the run by instruction count.
+ */
+class WorkloadGenerator
+{
+  public:
+    explicit WorkloadGenerator(const WorkloadSpec &spec);
+
+    ~WorkloadGenerator();
+    WorkloadGenerator(const WorkloadGenerator &) = delete;
+    WorkloadGenerator &operator=(const WorkloadGenerator &) = delete;
+
+    /** @return the next dynamic instruction. The reference stays valid
+     *  until the following call. */
+    const DynInst &next();
+
+    /** @return the synthesized guest program. */
+    const Program &program() const { return *program_; }
+
+    /** @return the workload spec this generator was built from. */
+    const WorkloadSpec &spec() const { return spec_; }
+
+    /** @return the schedule phase index currently executing. */
+    unsigned currentPhase() const { return curPhaseIdx_; }
+
+    /** @return total dynamic instructions emitted so far. */
+    InsnCount instructionsEmitted() const { return emitted_; }
+
+    /** @return true if the instruction about to be emitted is the
+     *  first of a new basic block (a potential translation head). */
+    bool atBlockHead() const { return instPos_ == 0; }
+
+    /** @return the id of the block currently executing. */
+    BlockId currentBlock() const { return curBlock_; }
+
+  private:
+    /** Per-phase runtime state. */
+    struct PhaseState;
+
+    void buildProgram();
+    void buildCluster(unsigned phase_idx, Addr base);
+
+    /** Advance the schedule cursor if the current entry is spent. */
+    void advanceSchedule();
+
+    /** Pick the next block within the current phase's cluster. */
+    BlockId pickNextBlock();
+
+    WorkloadSpec spec_;
+    std::unique_ptr<Program> program_;
+    Rng rng_;
+    BranchOutcomeEngine branchEngine_;
+
+    /** Per-phase state: block lists, weights, address stream, branch
+     *  runtime state. */
+    std::vector<std::unique_ptr<PhaseState>> phaseStates_;
+
+    // Schedule cursor.
+    unsigned schedPos_ = 0;
+    InsnCount schedRemaining_ = 0;
+    unsigned curPhaseIdx_ = 0;
+
+    // Execution cursor.
+    BlockId curBlock_ = invalidBlockId;
+    std::size_t instPos_ = 0;
+    /** When a cold block finishes it returns to the hot set. */
+    DynInst out_;
+    InsnCount emitted_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,40 @@
+#include "workload/phase.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+void
+PhaseSpec::validate(const std::string &who) const
+{
+    auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+
+    if (!in01(simdFrac) || !in01(fpFrac) || !in01(memFrac) ||
+        !in01(storeFrac) || !in01(branchFrac)) {
+        fatal("%s/%s: instruction-mix fraction out of [0,1]",
+              who.c_str(), name.c_str());
+    }
+    if (simdFrac + fpFrac + memFrac + branchFrac > 1.0) {
+        fatal("%s/%s: instruction mix sums above 1",
+              who.c_str(), name.c_str());
+    }
+    if (!in01(fracBiased) || !in01(fracPattern) || !in01(fracCorrelated) ||
+        fracBiased + fracPattern + fracCorrelated > 1.0) {
+        fatal("%s/%s: branch-kind mix invalid", who.c_str(), name.c_str());
+    }
+    if (hotBlocks < 4) {
+        fatal("%s/%s: need at least 4 hot blocks (signature length)",
+              who.c_str(), name.c_str());
+    }
+    if (avgBlockLen < 4)
+        fatal("%s/%s: avgBlockLen too small", who.c_str(), name.c_str());
+    if (hotWeightDecay <= 0.0 || hotWeightDecay >= 1.0)
+        fatal("%s/%s: hotWeightDecay must be in (0,1)",
+              who.c_str(), name.c_str());
+    if (!in01(coldEscapeProb))
+        fatal("%s/%s: coldEscapeProb out of [0,1]",
+              who.c_str(), name.c_str());
+}
+
+} // namespace powerchop

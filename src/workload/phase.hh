@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Phase specifications for synthetic workloads.
+ *
+ * A phase is a period of execution with homogeneous unit-demand
+ * characteristics: which code cluster is hot, the instruction mix
+ * (including SIMD intensity for VPU criticality), the conditional
+ * branch predictability mix (BPU criticality), and the memory
+ * behaviour (MLC criticality). Workload schedules sequence phases over
+ * time; recurring phases execute the same code cluster and thus yield
+ * the same PowerChop phase signatures.
+ */
+
+#ifndef POWERCHOP_WORKLOAD_PHASE_HH
+#define POWERCHOP_WORKLOAD_PHASE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workload/address_stream.hh"
+
+namespace powerchop
+{
+
+/**
+ * Static description of one phase's behaviour.
+ *
+ * The instruction-mix fields are fractions of body instructions; they
+ * must not sum above 1 (the remainder is scalar IntAlu work).
+ */
+struct PhaseSpec
+{
+    /** Human-readable name, e.g. "vector-burst". */
+    std::string name = "phase";
+
+    // --- instruction mix -------------------------------------------------
+    /** Fraction of instructions that are SIMD ops (VPU demand). */
+    double simdFrac = 0.0;
+
+    /** Fraction of instructions that are scalar FP. */
+    double fpFrac = 0.05;
+
+    /** Fraction of instructions that are loads/stores. */
+    double memFrac = 0.30;
+
+    /** Of the memory references, fraction that are stores. */
+    double storeFrac = 0.30;
+
+    /** Fraction of instructions that are conditional branches. */
+    double branchFrac = 0.05;
+
+    // --- branch predictability mix ---------------------------------------
+    /** Fractions of static branches assigned each outcome process; the
+     *  remainder (1 - sum) is Random. A high correlated/pattern share
+     *  makes the large tournament BPU critical. */
+    double fracBiased = 0.85;
+    double fracPattern = 0.05;
+    double fracCorrelated = 0.05;
+
+    // --- memory behaviour -------------------------------------------------
+    AddressStreamSpec mem;
+
+    // --- code shape --------------------------------------------------------
+    /** Number of hot blocks in this phase's cluster. Their execution
+     *  weights decay geometrically so the top-4 hottest translations
+     *  are stable (the paper's signature length N = 4): the gap
+     *  between the 4th and 5th hottest must exceed the per-window
+     *  sampling noise, which bounds both the block count and the
+     *  decay from above. */
+    unsigned hotBlocks = 6;
+
+    /** Number of rarely executed cold blocks in the cluster. */
+    unsigned coldBlocks = 16;
+
+    /** Probability that a block transition escapes to a cold block. */
+    double coldEscapeProb = 0.02;
+
+    /** Geometric decay of hot-block execution weights. */
+    double hotWeightDecay = 0.55;
+
+    /** Mean body length (instructions) of this cluster's blocks. */
+    unsigned avgBlockLen = 14;
+
+    /**
+     * Validate field ranges; calls fatal() on violation.
+     *
+     * @param who Context string for the error message.
+     */
+    void validate(const std::string &who) const;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_WORKLOAD_PHASE_HH

@@ -1,0 +1,282 @@
+#include "workload/spec_io.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    std::size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+[[noreturn]] void
+parseError(const std::string &origin, int line, const std::string &msg)
+{
+    fatal("%s:%d: %s", origin.c_str(), line, msg.c_str());
+}
+
+double
+toDouble(const std::string &origin, int line, const std::string &v)
+{
+    char *end = nullptr;
+    double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        parseError(origin, line, "expected a number, got '" + v + "'");
+    return d;
+}
+
+std::uint64_t
+toU64(const std::string &origin, int line, const std::string &v)
+{
+    char *end = nullptr;
+    unsigned long long u = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0')
+        parseError(origin, line,
+                   "expected an integer, got '" + v + "'");
+    return u;
+}
+
+bool
+toBool(const std::string &origin, int line, const std::string &v)
+{
+    if (v == "true" || v == "1")
+        return true;
+    if (v == "false" || v == "0")
+        return false;
+    parseError(origin, line, "expected true/false, got '" + v + "'");
+}
+
+Suite
+toSuite(const std::string &origin, int line, const std::string &v)
+{
+    for (Suite s : {Suite::SpecInt, Suite::SpecFp, Suite::Parsec,
+                    Suite::MobileBench}) {
+        if (v == suiteName(s))
+            return s;
+    }
+    parseError(origin, line, "unknown suite '" + v + "'");
+}
+
+/** Apply one phase-section key. @return false if the key is unknown. */
+bool
+applyPhaseKey(PhaseSpec &p, const std::string &key, const std::string &v,
+              const std::string &origin, int line)
+{
+    auto d = [&] { return toDouble(origin, line, v); };
+    auto u = [&] { return toU64(origin, line, v); };
+    auto b = [&] { return toBool(origin, line, v); };
+
+    if (key == "simd_frac")
+        p.simdFrac = d();
+    else if (key == "fp_frac")
+        p.fpFrac = d();
+    else if (key == "mem_frac")
+        p.memFrac = d();
+    else if (key == "store_frac")
+        p.storeFrac = d();
+    else if (key == "branch_frac")
+        p.branchFrac = d();
+    else if (key == "frac_biased")
+        p.fracBiased = d();
+    else if (key == "frac_pattern")
+        p.fracPattern = d();
+    else if (key == "frac_correlated")
+        p.fracCorrelated = d();
+    else if (key == "working_set_kb")
+        p.mem.workingSetBytes = u() * 1024;
+    else if (key == "streaming")
+        p.mem.streaming = b();
+    else if (key == "random_frac")
+        p.mem.randomFrac = d();
+    else if (key == "hot_region_frac")
+        p.mem.hotRegionFrac = d();
+    else if (key == "hot_region_kb")
+        p.mem.hotRegionBytes = u() * 1024;
+    else if (key == "hot_blocks")
+        p.hotBlocks = static_cast<unsigned>(u());
+    else if (key == "cold_blocks")
+        p.coldBlocks = static_cast<unsigned>(u());
+    else if (key == "cold_escape_prob")
+        p.coldEscapeProb = d();
+    else if (key == "hot_weight_decay")
+        p.hotWeightDecay = d();
+    else if (key == "avg_block_len")
+        p.avgBlockLen = static_cast<unsigned>(u());
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+WorkloadSpec
+parseWorkloadSpec(const std::string &text, const std::string &origin)
+{
+    WorkloadSpec w;
+    w.phases.clear();
+    w.schedule.clear();
+
+    std::map<std::string, unsigned> phase_index;
+    enum class Section { Top, Phase, Schedule };
+    Section section = Section::Top;
+    PhaseSpec *cur_phase = nullptr;
+
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                parseError(origin, line_no, "unterminated section");
+            std::string head = trim(line.substr(1, line.size() - 2));
+            if (head == "schedule") {
+                section = Section::Schedule;
+                cur_phase = nullptr;
+                continue;
+            }
+            if (head.rfind("phase ", 0) == 0) {
+                std::string pname = trim(head.substr(6));
+                if (pname.empty())
+                    parseError(origin, line_no, "phase needs a name");
+                if (phase_index.count(pname))
+                    parseError(origin, line_no,
+                               "duplicate phase '" + pname + "'");
+                phase_index[pname] =
+                    static_cast<unsigned>(w.phases.size());
+                w.phases.emplace_back();
+                w.phases.back().name = pname;
+                cur_phase = &w.phases.back();
+                section = Section::Phase;
+                continue;
+            }
+            parseError(origin, line_no, "unknown section '" + head + "'");
+        }
+
+        if (section == Section::Schedule) {
+            // "<phase-name> <instructions>"
+            std::istringstream ls(line);
+            std::string pname;
+            std::string count;
+            ls >> pname >> count;
+            if (pname.empty() || count.empty())
+                parseError(origin, line_no,
+                           "schedule entries are '<phase> <insns>'");
+            auto it = phase_index.find(pname);
+            if (it == phase_index.end())
+                parseError(origin, line_no,
+                           "schedule references unknown phase '" +
+                               pname + "'");
+            w.schedule.push_back(
+                {it->second, toU64(origin, line_no, count)});
+            continue;
+        }
+
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            parseError(origin, line_no, "expected 'key = value'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty() || value.empty())
+            parseError(origin, line_no, "empty key or value");
+
+        if (section == Section::Top) {
+            if (key == "name")
+                w.name = value;
+            else if (key == "suite")
+                w.suite = toSuite(origin, line_no, value);
+            else if (key == "seed")
+                w.seed = toU64(origin, line_no, value);
+            else
+                parseError(origin, line_no,
+                           "unknown top-level key '" + key + "'");
+        } else {
+            if (!applyPhaseKey(*cur_phase, key, value, origin, line_no))
+                parseError(origin, line_no,
+                           "unknown phase key '" + key + "'");
+        }
+    }
+
+    w.validate();
+    return w;
+}
+
+WorkloadSpec
+loadWorkloadSpec(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open workload spec '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseWorkloadSpec(buf.str(), path);
+}
+
+std::string
+formatWorkloadSpec(const WorkloadSpec &w)
+{
+    std::ostringstream out;
+    out << "# PowerChop workload specification\n";
+    out << "name = " << w.name << "\n";
+    out << "suite = " << suiteName(w.suite) << "\n";
+    out << "seed = " << w.seed << "\n";
+
+    for (const auto &p : w.phases) {
+        out << "\n[phase " << p.name << "]\n";
+        out << "simd_frac = " << p.simdFrac << "\n";
+        out << "fp_frac = " << p.fpFrac << "\n";
+        out << "mem_frac = " << p.memFrac << "\n";
+        out << "store_frac = " << p.storeFrac << "\n";
+        out << "branch_frac = " << p.branchFrac << "\n";
+        out << "frac_biased = " << p.fracBiased << "\n";
+        out << "frac_pattern = " << p.fracPattern << "\n";
+        out << "frac_correlated = " << p.fracCorrelated << "\n";
+        out << "working_set_kb = " << p.mem.workingSetBytes / 1024
+            << "\n";
+        out << "streaming = " << (p.mem.streaming ? "true" : "false")
+            << "\n";
+        out << "random_frac = " << p.mem.randomFrac << "\n";
+        out << "hot_region_frac = " << p.mem.hotRegionFrac << "\n";
+        out << "hot_region_kb = " << p.mem.hotRegionBytes / 1024 << "\n";
+        out << "hot_blocks = " << p.hotBlocks << "\n";
+        out << "cold_blocks = " << p.coldBlocks << "\n";
+        out << "cold_escape_prob = " << p.coldEscapeProb << "\n";
+        out << "hot_weight_decay = " << p.hotWeightDecay << "\n";
+        out << "avg_block_len = " << p.avgBlockLen << "\n";
+    }
+
+    out << "\n[schedule]\n";
+    for (const auto &e : w.schedule)
+        out << w.phases[e.phase].name << " " << e.insns << "\n";
+    return out.str();
+}
+
+void
+saveWorkloadSpec(const WorkloadSpec &w, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write workload spec '%s'", path.c_str());
+    out << formatWorkloadSpec(w);
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+} // namespace powerchop

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Text serialization of workload specifications.
+ *
+ * Lets users define application models in a small INI-style format
+ * and run them without recompiling (see tools/powerchop_cli). The
+ * format is line-based:
+ *
+ * @code
+ *   # comment
+ *   name = mykernel
+ *   suite = SPEC-INT
+ *   seed = 42
+ *
+ *   [phase compute]
+ *   simd_frac = 0.05
+ *   mem_frac = 0.30
+ *   working_set_kb = 256
+ *   streaming = false
+ *
+ *   [schedule]
+ *   compute 500000
+ *   memory  300000
+ * @endcode
+ *
+ * Unknown keys are fatal (typos should not silently become defaults);
+ * omitted keys keep the PhaseSpec defaults. parse/format round-trip.
+ */
+
+#ifndef POWERCHOP_WORKLOAD_SPEC_IO_HH
+#define POWERCHOP_WORKLOAD_SPEC_IO_HH
+
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace powerchop
+{
+
+/**
+ * Parse a workload spec from its text form.
+ *
+ * @param text The spec document.
+ * @param origin Name used in error messages (e.g. the file path).
+ * @return the validated spec; calls fatal() on malformed input.
+ */
+WorkloadSpec parseWorkloadSpec(const std::string &text,
+                               const std::string &origin = "<string>");
+
+/**
+ * Load a workload spec from a file.
+ *
+ * @param path File to read.
+ * @return the validated spec; calls fatal() if unreadable/malformed.
+ */
+WorkloadSpec loadWorkloadSpec(const std::string &path);
+
+/** Render a spec to its text form (parseWorkloadSpec round-trips). */
+std::string formatWorkloadSpec(const WorkloadSpec &spec);
+
+/** Write a spec to a file; calls fatal() on I/O failure. */
+void saveWorkloadSpec(const WorkloadSpec &spec, const std::string &path);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_WORKLOAD_SPEC_IO_HH

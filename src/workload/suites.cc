@@ -1,0 +1,596 @@
+#include "workload/suites.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Phase builders. Each returns a PhaseSpec preset for one behavioural
+// archetype; the application models below compose and tweak them.
+//
+// Design rule: every phase's criticality scores sit far from the CDE
+// thresholds on the intended side, so classification is robust to
+// per-window sampling noise:
+//   - MLC-critical phases:   L2Hit/insn >= 0.02   (AllWays)
+//   - MLC-half phases:       L2Hit/insn ~  0.001,  WS << half ways
+//   - MLC-idle phases:       L2Hit/insn ~= 0       (OneWay)
+//   - BPU-critical phases:   MisPred diff >= 0.08  (on)
+//   - BPU-idle phases:       MisPred diff ~= 0     (off)
+//   - VPU phases:            SIMD frac >= 0.03 on, <= 0.006 off
+// MLC-critical phases also make several passes over their working
+// sets per occurrence, so re-warm after neighbouring gated phases is
+// amortized the way the paper's long phases amortize it.
+// ---------------------------------------------------------------------------
+
+/** A scalar integer compute phase: tiny working set, easy branches,
+ *  no SIMD. All three units are non-critical. */
+PhaseSpec
+scalarPhase(const std::string &name)
+{
+    PhaseSpec p;
+    p.name = name;
+    p.simdFrac = 0.0;
+    p.fpFrac = 0.02;
+    p.memFrac = 0.28;
+    p.branchFrac = 0.05;
+    p.fracBiased = 0.96;
+    p.fracPattern = 0.0;
+    p.fracCorrelated = 0.0;
+    p.mem.workingSetBytes = 12 * 1024;   // fits L1 with the hot region
+    p.mem.hotRegionFrac = 0.6;
+    p.mem.randomFrac = 0.1;
+    return p;
+}
+
+/** A scalar phase whose branches moderately favour the big predictor
+ *  (the common SPEC case: the large BPU stays on). */
+PhaseSpec
+mixedBranchPhase(const std::string &name)
+{
+    PhaseSpec p = scalarPhase(name);
+    p.fracBiased = 0.78;
+    p.fracPattern = 0.09;
+    p.fracCorrelated = 0.09;
+    return p;
+}
+
+/** A vector-burst phase: SIMD intensity well above Threshold_VPU. */
+PhaseSpec
+vectorPhase(const std::string &name, double simd_frac)
+{
+    PhaseSpec p = mixedBranchPhase(name);
+    p.simdFrac = simd_frac;
+    p.fpFrac = 0.10;
+    return p;
+}
+
+/** A sparse-vector phase: nonzero but sub-threshold SIMD, the regime
+ *  where PowerChop beats idle timeouts (namd, Figure 16). */
+PhaseSpec
+sparseVectorPhase(const std::string &name, double simd_frac = 0.003)
+{
+    PhaseSpec p = scalarPhase(name);
+    p.simdFrac = simd_frac;
+    p.fpFrac = 0.15;
+    return p;
+}
+
+/** A cache-resident phase: working set fits the full MLC but not L1,
+ *  with enough passes per occurrence that the MLC is unambiguously
+ *  critical (GemsFDTD's fitting regime, Figure 3). */
+PhaseSpec
+cacheFitPhase(const std::string &name, std::uint64_t ws_bytes)
+{
+    PhaseSpec p = mixedBranchPhase(name);
+    p.memFrac = 0.32;
+    p.mem.workingSetBytes = ws_bytes;
+    p.mem.hotRegionFrac = 0.80;
+    // Random-heavy within the set: the cache matters most for
+    // accesses prefetchers cannot cover.
+    p.mem.randomFrac = 0.5;
+    return p;
+}
+
+/** A streaming phase: one-pass traversal far larger than the MLC;
+ *  the MLC provides no benefit (lbm/libquantum regime). */
+PhaseSpec
+streamingPhase(const std::string &name)
+{
+    PhaseSpec p = scalarPhase(name);
+    p.memFrac = 0.34;
+    p.mem.workingSetBytes = 64ull * 1024 * 1024;
+    p.mem.streaming = true;
+    p.mem.hotRegionFrac = 0.85;
+    p.mem.randomFrac = 0.02;
+    return p;
+}
+
+/** A moderate-MLC phase: few but useful MLC hits over a set that
+ *  needs more than one way but far less than all; PowerChop keeps
+ *  half the ways. */
+PhaseSpec
+halfCachePhase(const std::string &name)
+{
+    PhaseSpec p = scalarPhase(name);
+    p.memFrac = 0.24;
+    p.mem.workingSetBytes = 160 * 1024;
+    p.mem.hotRegionFrac = 0.99;
+    p.mem.randomFrac = 0.25;
+    return p;
+}
+
+/** Give a phase a moderate MLC-resident working set (most compute
+ *  codes still keep live data beyond L1, so their MLC stays on). */
+PhaseSpec
+withResidentSet(PhaseSpec p, std::uint64_t ws_bytes = 192 * 1024,
+                double mem_frac = 0.30, double hot_frac = 0.88)
+{
+    p.memFrac = mem_frac;
+    p.mem.workingSetBytes = ws_bytes;
+    p.mem.hotRegionFrac = hot_frac;
+    p.mem.randomFrac = 0.4;
+    return p;
+}
+
+/** A hard-branch phase: global correlation and local patterns the
+ *  small predictor cannot capture; the large BPU is critical. */
+PhaseSpec
+hardBranchPhase(const std::string &name, double branch_frac = 0.08)
+{
+    PhaseSpec p = scalarPhase(name);
+    p.branchFrac = branch_frac;
+    p.fracBiased = 0.30;
+    p.fracPattern = 0.30;
+    p.fracCorrelated = 0.30;
+    return p;
+}
+
+/** An easy-branch phase: strongly biased branches both predictors
+ *  capture; the large BPU is non-critical. */
+PhaseSpec
+easyBranchPhase(const std::string &name, double branch_frac = 0.08)
+{
+    PhaseSpec p = scalarPhase(name);
+    p.branchFrac = branch_frac;
+    p.fracBiased = 0.97;
+    p.fracPattern = 0.0;
+    p.fracCorrelated = 0.0;
+    return p;
+}
+
+/** A mobile browsing phase: branch-dense (about 1 in 7 instructions,
+ *  Section III-B) with modest memory traffic and easy branches. */
+PhaseSpec
+mobilePhase(const std::string &name)
+{
+    PhaseSpec p = scalarPhase(name);
+    p.branchFrac = 0.14;
+    p.memFrac = 0.24;
+    p.fracBiased = 0.97;
+    p.fracPattern = 0.0;
+    p.fracCorrelated = 0.0;
+    p.mem.workingSetBytes = 40 * 1024;
+    p.mem.hotRegionFrac = 0.92;
+    return p;
+}
+
+using Sched = std::vector<WorkloadSpec::ScheduleEntry>;
+
+WorkloadSpec
+make(const std::string &name, Suite suite, std::uint64_t seed,
+     std::vector<PhaseSpec> phases, Sched schedule)
+{
+    WorkloadSpec w;
+    w.name = name;
+    w.suite = suite;
+    w.seed = seed;
+    w.phases = std::move(phases);
+    w.schedule = std::move(schedule);
+    w.validate();
+    return w;
+}
+
+constexpr InsnCount K = 1000;
+constexpr InsnCount M = 1000 * K;
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// SPEC CPU2006 integer
+// ---------------------------------------------------------------------------
+
+std::vector<WorkloadSpec>
+specIntSuite()
+{
+    std::vector<WorkloadSpec> out;
+
+    // perlbench: interpreter-style code, hard branches, occasional
+    // tiny vector bursts (Figure 16 shows PowerChop gating the VPU
+    // where timeouts cannot).
+    out.push_back(make(
+        "perlbench", Suite::SpecInt, 101,
+        {withResidentSet(hardBranchPhase("dispatch")),
+         sparseVectorPhase("regex", 0.004),
+         withResidentSet(mixedBranchPhase("gc"))},
+        {{0, 1200 * K}, {1, 900 * K}, {2, 600 * K}, {0, 1500 * K},
+         {1, 800 * K}}));
+
+    // bzip2: compression loops over an MLC-resident block, with
+    // pattern-heavy Huffman branches.
+    out.push_back(make(
+        "bzip2", Suite::SpecInt, 102,
+        {hardBranchPhase("huffman", 0.07),
+         cacheFitPhase("sort", 512 * 1024), streamingPhase("rle")},
+        {{1, 4000 * K}, {2, 1000 * K}, {0, 800 * K}}));
+
+    // gcc: large code footprint; phases swing between tiny working
+    // sets and streaming IR walks, so the MLC is 1-way much of the
+    // time (Figure 10).
+    out.push_back(make(
+        "gcc", Suite::SpecInt, 103,
+        {scalarPhase("parse"), streamingPhase("ir-walk"),
+         hardBranchPhase("regalloc", 0.07), scalarPhase("emit")},
+        {{0, 800 * K}, {1, 1500 * K}, {2, 900 * K}, {3, 700 * K},
+         {1, 1300 * K}}));
+
+    // mcf: pointer chasing over a huge graph; memory-bound with the
+    // MLC rarely useful.
+    {
+        PhaseSpec chase = streamingPhase("graph-chase");
+        chase.mem.randomFrac = 0.5;
+        chase.branchFrac = 0.06;
+        out.push_back(make(
+            "mcf", Suite::SpecInt, 104,
+            {chase, cacheFitPhase("reprice", 512 * 1024)},
+            {{0, 2400 * K}, {1, 1200 * K}, {0, 2000 * K}}));
+    }
+
+    // gobmk: Figure 1's variable vector-op intensity; branchy board
+    // evaluation over an MLC-resident cache of positions.
+    {
+        PhaseSpec eval = hardBranchPhase("eval", 0.08);
+        eval.memFrac = 0.30;
+        eval.mem.workingSetBytes = 256 * 1024;
+        eval.mem.hotRegionFrac = 0.80;
+        eval.mem.randomFrac = 0.3;
+        out.push_back(make(
+            "gobmk", Suite::SpecInt, 105,
+            {vectorPhase("pattern-match", 0.035),
+             withResidentSet(sparseVectorPhase("search", 0.002)), eval},
+            {{0, 600 * K}, {1, 1100 * K}, {2, 3600 * K}, {1, 900 * K},
+             {0, 500 * K}}));
+    }
+
+    // hmmer: profile HMM scoring: highly biased inner-loop branches,
+    // so the large BPU is gated a notable fraction (Figure 10).
+    out.push_back(make(
+        "hmmer", Suite::SpecInt, 106,
+        {easyBranchPhase("viterbi", 0.06), halfCachePhase("seqdb")},
+        {{0, 2100 * K}, {1, 900 * K}}));
+
+    // sjeng: chess search; hard global-correlated branches.
+    out.push_back(make(
+        "sjeng", Suite::SpecInt, 107,
+        {withResidentSet(hardBranchPhase("search", 0.09), 384 * 1024),
+         withResidentSet(mixedBranchPhase("movegen")),
+         withResidentSet(hardBranchPhase("qsearch", 0.08), 384 * 1024)},
+        {{0, 1500 * K}, {1, 600 * K}, {2, 1200 * K}}));
+
+    // libquantum: streaming over the quantum register array; MLC
+    // 1-way for much of execution (Figure 10).
+    out.push_back(make(
+        "libquantum", Suite::SpecInt, 108,
+        {streamingPhase("gate-apply"), easyBranchPhase("control", 0.05)},
+        {{0, 2700 * K}, {1, 450 * K}}));
+
+    // h264ref: motion estimation with vector bursts separated by
+    // long scalar stretches (Figure 16 benefit case), an MLC-resident
+    // reference frame, and a streaming CAVLC bitstream pass.
+    PhaseSpec cavlc = streamingPhase("cavlc");
+    cavlc.simdFrac = 0.003;
+    cavlc.memFrac = 0.26;
+    out.push_back(make(
+        "h264", Suite::SpecInt, 109,
+        {vectorPhase("sad", 0.06), cavlc,
+         cacheFitPhase("refframe", 640 * 1024)},
+        {{2, 4000 * K}, {1, 1200 * K}, {0, 700 * K}}));
+
+    // astar: pathfinding; the open-list is MLC-resident while node
+    // expansion streams through the map arrays.
+    PhaseSpec astar_expand = streamingPhase("expand");
+    astar_expand.branchFrac = 0.07;
+    astar_expand.fracBiased = 0.4;
+    astar_expand.fracPattern = 0.25;
+    astar_expand.fracCorrelated = 0.25;
+    out.push_back(make(
+        "astar", Suite::SpecInt, 110,
+        {astar_expand, cacheFitPhase("openlist", 512 * 1024),
+         scalarPhase("heuristic")},
+        {{1, 3600 * K}, {0, 1400 * K}, {2, 600 * K}}));
+
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// SPEC CPU2006 floating point
+// ---------------------------------------------------------------------------
+
+std::vector<WorkloadSpec>
+specFpSuite()
+{
+    std::vector<WorkloadSpec> out;
+
+    // milc: lattice QCD; vector-heavy streaming through large fields
+    // with biased loop branches. One of the paper's biggest power
+    // winners (MLC and BPU gated; VPU stays on).
+    {
+        PhaseSpec su3 = streamingPhase("su3-mult");
+        su3.simdFrac = 0.15;
+        su3.fpFrac = 0.2;
+        su3.branchFrac = 0.03;
+        su3.fracBiased = 0.97;
+        out.push_back(make(
+            "milc", Suite::SpecFp, 201,
+            {su3, easyBranchPhase("gauge", 0.04)},
+            {{0, 2400 * K}, {1, 600 * K}}));
+    }
+
+    // namd: molecular dynamics with sparse, uniformly scattered
+    // vector ops; the headline PowerChop-vs-timeout case (Figure 16).
+    out.push_back(make(
+        "namd", Suite::SpecFp, 202,
+        {withResidentSet(sparseVectorPhase("pairlist", 0.004),
+                          160 * 1024, 0.24, 0.99),
+         withResidentSet(sparseVectorPhase("forces", 0.006),
+                          160 * 1024, 0.24, 0.99)},
+        {{0, 1800 * K}, {1, 1800 * K}}));
+
+    // GemsFDTD: Figure 3's alternation between an MLC-resident field
+    // region and streaming sweeps that defeat any cache; the FDTD
+    // update kernels are vector FP, so the VPU stays on.
+    PhaseSpec gems_field = cacheFitPhase("field-update", 768 * 1024);
+    gems_field.simdFrac = 0.03;
+    gems_field.fpFrac = 0.15;
+    PhaseSpec gems_sweep = streamingPhase("sweep");
+    gems_sweep.simdFrac = 0.03;
+    gems_sweep.fpFrac = 0.15;
+    out.push_back(make(
+        "gems", Suite::SpecFp, 203,
+        {gems_field, gems_sweep, scalarPhase("boundary")},
+        {{0, 2400 * K}, {1, 1600 * K}, {2, 400 * K}, {0, 2200 * K},
+         {1, 1800 * K}}));
+
+    // lbm: lattice Boltzmann; pure streaming with very biased
+    // branches -> BPU and MLC both gated heavily (Figure 10).
+    {
+        PhaseSpec stream = streamingPhase("collide-stream");
+        stream.branchFrac = 0.03;
+        stream.fracBiased = 0.97;
+        stream.fpFrac = 0.22;
+        stream.simdFrac = 0.04;
+        out.push_back(make(
+            "lbm", Suite::SpecFp, 204,
+            {stream},
+            {{0, 3000 * K}}));
+    }
+
+    // soplex: simplex LP; one vector phase and one vector-lean
+    // column-streaming phase (about 20% VPU gating overall, Section
+    // V-C), over an MLC-resident basis matrix.
+    PhaseSpec soplex_pivot = streamingPhase("pivot");
+    soplex_pivot.simdFrac = 0.004;
+    soplex_pivot.fpFrac = 0.15;
+    PhaseSpec soplex_basis = cacheFitPhase("basis", 512 * 1024);
+    soplex_basis.simdFrac = 0.04;
+    soplex_basis.fpFrac = 0.12;
+    out.push_back(make(
+        "soplex", Suite::SpecFp, 205,
+        {vectorPhase("pricing", 0.08), soplex_pivot, soplex_basis},
+        {{2, 3200 * K}, {1, 900 * K}, {0, 1500 * K}}));
+
+    // sphinx3: speech decoding; vector-heavy GMM scoring keeps the
+    // VPU mostly on; search phases are branchy.
+    out.push_back(make(
+        "sphinx", Suite::SpecFp, 206,
+        {vectorPhase("gmm-score", 0.12), hardBranchPhase("search", 0.07)},
+        {{0, 1900 * K}, {1, 800 * K}, {0, 1700 * K}, {1, 600 * K}}));
+
+    // povray: ray tracing; scalar FP with data-dependent branches.
+    out.push_back(make(
+        "povray", Suite::SpecFp, 207,
+        {withResidentSet(hardBranchPhase("trace", 0.08), 256 * 1024),
+         withResidentSet(mixedBranchPhase("shade")),
+         halfCachePhase("scene")},
+        {{0, 1400 * K}, {1, 900 * K}, {2, 700 * K}}));
+
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// PARSEC
+// ---------------------------------------------------------------------------
+
+std::vector<WorkloadSpec>
+parsecSuite()
+{
+    std::vector<WorkloadSpec> out;
+
+    // blackscholes: small kernels, heavy SIMD, tiny working set.
+    out.push_back(make(
+        "blackscholes", Suite::Parsec, 301,
+        {vectorPhase("bs-kernel", 0.14), scalarPhase("portfolio")},
+        {{0, 2100 * K}, {1, 900 * K}}));
+
+    // bodytrack: vision pipeline alternating vectorizable filters and
+    // branchy particle weighting over an MLC-resident frame.
+    PhaseSpec particle = streamingPhase("particle");
+    particle.branchFrac = 0.07;
+    particle.fracBiased = 0.35;
+    particle.fracPattern = 0.3;
+    particle.fracCorrelated = 0.25;
+    out.push_back(make(
+        "bodytrack", Suite::Parsec, 302,
+        {vectorPhase("filter", 0.06), particle,
+         cacheFitPhase("frame", 512 * 1024)},
+        {{2, 3400 * K}, {1, 1200 * K}, {0, 900 * K}}));
+
+    // canneal: random pointer chasing over a netlist; cache-hostile.
+    {
+        PhaseSpec swap = streamingPhase("swap");
+        swap.mem.randomFrac = 0.6;
+        out.push_back(make(
+            "canneal", Suite::Parsec, 303,
+            {swap, scalarPhase("anneal-ctl")},
+            {{0, 2400 * K}, {1, 600 * K}}));
+    }
+
+    // dedup: chunk hashing with rare SIMD; the VPU is gated over 90%
+    // of the time (Section V-C).
+    out.push_back(make(
+        "dedup", Suite::Parsec, 304,
+        {sparseVectorPhase("hash", 0.003), halfCachePhase("dictionary"),
+         easyBranchPhase("pipeline", 0.06)},
+        {{0, 1200 * K}, {1, 1100 * K}, {2, 700 * K}}));
+
+    // streamcluster: vector distance computations streaming through
+    // points; the MLC is 1-way for much of execution (Figure 10).
+    {
+        PhaseSpec dist = streamingPhase("distances");
+        dist.simdFrac = 0.12;
+        dist.fpFrac = 0.2;
+        out.push_back(make(
+            "streamcluster", Suite::Parsec, 305,
+            {dist, scalarPhase("centers")},
+            {{0, 2600 * K}, {1, 400 * K}}));
+    }
+
+    // fluidanimate: particle grid; mixed vector and cache phases.
+    PhaseSpec rebuild = streamingPhase("rebuild");
+    rebuild.simdFrac = 0.002;
+    PhaseSpec fluid_grid = cacheFitPhase("grid", 512 * 1024);
+    fluid_grid.simdFrac = 0.025;
+    out.push_back(make(
+        "fluidanimate", Suite::Parsec, 306,
+        {vectorPhase("density", 0.04), fluid_grid, rebuild},
+        {{1, 3200 * K}, {2, 1000 * K}, {0, 1000 * K}}));
+
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// MobileBench R-GWB (browsing on the mobile design point)
+// ---------------------------------------------------------------------------
+
+std::vector<WorkloadSpec>
+mobileBenchSuite()
+{
+    std::vector<WorkloadSpec> out;
+
+    // Browsing models share an archetype: branch-dense layout/scroll
+    // phases where the small predictor suffices, interleaved with
+    // harder DOM/JS phases (Figure 2), light SIMD except during image
+    // decode, and decode bursts through the MLC.
+    auto browse = [](const std::string &app, std::uint64_t seed,
+                     double hard_share, double img_ws_kb,
+                     double simd = 0.001) {
+        PhaseSpec layout = mobilePhase("layout");
+        layout.simdFrac = simd;
+        layout.memFrac = 0.26;
+        layout.mem.workingSetBytes = 320 * 1024;
+        layout.mem.hotRegionFrac = 0.93;
+        layout.mem.randomFrac = 0.5;
+
+        PhaseSpec script = mobilePhase("script");
+        script.memFrac = 0.26;
+        script.mem.workingSetBytes = 320 * 1024;
+        script.mem.hotRegionFrac = 0.93;
+        script.mem.randomFrac = 0.5;
+        script.fracBiased = 0.35;
+        script.fracPattern = 0.30;
+        script.fracCorrelated = 0.25;
+
+        PhaseSpec decode = mobilePhase("img-decode");
+        decode.simdFrac = 0.05;
+        decode.memFrac = 0.30;
+        decode.branchFrac = 0.06;
+        decode.mem.workingSetBytes =
+            static_cast<std::uint64_t>(img_ws_kb) * 1024;
+        decode.mem.hotRegionFrac = 0.82;
+
+        PhaseSpec idle = mobilePhase("cached-scroll");
+        idle.memFrac = 0.18;
+        idle.mem.workingSetBytes = 80 * 1024;
+        idle.mem.hotRegionFrac = 0.93;
+
+        InsnCount total = 2700 * K;
+        InsnCount hard = static_cast<InsnCount>(total * hard_share);
+        InsnCount easy = total - hard;
+
+        return make(app, Suite::MobileBench, seed,
+                    {layout, script, decode, idle},
+                    {{0, easy / 2}, {1, hard}, {2, 400 * K},
+                     {3, easy / 2}});
+    };
+
+    // Image working sets fit half the mobile MLC (1MB), matching the
+    // paper's observation that mobile MLC gating is mostly partial.
+    out.push_back(browse("amazon", 401, 0.25, 700));
+    out.push_back(browse("bbc", 402, 0.40, 900));
+    out.push_back(browse("cnn", 403, 0.45, 800));
+    out.push_back(browse("ebay", 404, 0.30, 600));
+    out.push_back(browse("google", 405, 0.20, 300));
+    out.push_back(browse("msn", 406, 0.50, 850));
+
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregations
+// ---------------------------------------------------------------------------
+
+std::vector<WorkloadSpec>
+allWorkloads()
+{
+    std::vector<WorkloadSpec> out = specIntSuite();
+    auto append = [&out](std::vector<WorkloadSpec> v) {
+        for (auto &w : v)
+            out.push_back(std::move(w));
+    };
+    append(specFpSuite());
+    append(parsecSuite());
+    append(mobileBenchSuite());
+    return out;
+}
+
+std::vector<WorkloadSpec>
+serverWorkloads()
+{
+    std::vector<WorkloadSpec> out = specIntSuite();
+    for (auto &w : specFpSuite())
+        out.push_back(std::move(w));
+    for (auto &w : parsecSuite())
+        out.push_back(std::move(w));
+    return out;
+}
+
+std::vector<WorkloadSpec>
+mobileWorkloads()
+{
+    return mobileBenchSuite();
+}
+
+WorkloadSpec
+findWorkload(const std::string &name)
+{
+    for (auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace powerchop

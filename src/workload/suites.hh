@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The benchmark suite models: 29 named applications across SPEC
+ * CPU2006 (INT and FP), PARSEC and MobileBench, matching the paper's
+ * evaluation set (Section V-A).
+ *
+ * Each model is a synthetic reconstruction of the unit-demand
+ * behaviour the paper reports for that application: per-phase SIMD
+ * intensity (Figures 1, 15, 16), branch predictability (Figure 2),
+ * and working-set behaviour (Figure 3). See DESIGN.md for the
+ * substitution rationale.
+ */
+
+#ifndef POWERCHOP_WORKLOAD_SUITES_HH
+#define POWERCHOP_WORKLOAD_SUITES_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace powerchop
+{
+
+/** The ten SPEC CPU2006 integer models. */
+std::vector<WorkloadSpec> specIntSuite();
+
+/** The seven SPEC CPU2006 floating-point models. */
+std::vector<WorkloadSpec> specFpSuite();
+
+/** The six PARSEC models. */
+std::vector<WorkloadSpec> parsecSuite();
+
+/** The six MobileBench R-GWB browsing models. */
+std::vector<WorkloadSpec> mobileBenchSuite();
+
+/** All 29 models: SPEC-INT + SPEC-FP + PARSEC + MobileBench. */
+std::vector<WorkloadSpec> allWorkloads();
+
+/** The 23 server-side models (SPEC + PARSEC, Section V-A). */
+std::vector<WorkloadSpec> serverWorkloads();
+
+/** The 6 mobile models (MobileBench). */
+std::vector<WorkloadSpec> mobileWorkloads();
+
+/**
+ * Find a model by name.
+ *
+ * @param name e.g. "gobmk", "namd", "msn".
+ * @return the spec; calls fatal() if unknown.
+ */
+WorkloadSpec findWorkload(const std::string &name);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_WORKLOAD_SUITES_HH

@@ -1,0 +1,51 @@
+#include "workload/workload.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+const char *
+suiteName(Suite s)
+{
+    switch (s) {
+      case Suite::SpecInt:
+        return "SPEC-INT";
+      case Suite::SpecFp:
+        return "SPEC-FP";
+      case Suite::Parsec:
+        return "PARSEC";
+      case Suite::MobileBench:
+        return "MobileBench";
+    }
+    panic("unknown Suite %d", static_cast<int>(s));
+}
+
+void
+WorkloadSpec::validate() const
+{
+    if (phases.empty())
+        fatal("%s: workload has no phases", name.c_str());
+    if (schedule.empty())
+        fatal("%s: workload has no schedule", name.c_str());
+    for (const auto &p : phases)
+        p.validate(name);
+    for (const auto &e : schedule) {
+        if (e.phase >= phases.size())
+            fatal("%s: schedule references phase %u of %zu",
+                  name.c_str(), e.phase, phases.size());
+        if (e.insns == 0)
+            fatal("%s: zero-length schedule entry", name.c_str());
+    }
+}
+
+InsnCount
+WorkloadSpec::scheduleLength() const
+{
+    InsnCount n = 0;
+    for (const auto &e : schedule)
+        n += e.insns;
+    return n;
+}
+
+} // namespace powerchop

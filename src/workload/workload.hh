@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload specifications: a named application model made of phases
+ * and a schedule sequencing them over time.
+ */
+
+#ifndef POWERCHOP_WORKLOAD_WORKLOAD_HH
+#define POWERCHOP_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/phase.hh"
+
+namespace powerchop
+{
+
+/** Benchmark suite an application model belongs to. */
+enum class Suite : std::uint8_t
+{
+    SpecInt,
+    SpecFp,
+    Parsec,
+    MobileBench,
+};
+
+/** @return the display name of a suite ("SPEC-INT" etc.). */
+const char *suiteName(Suite s);
+
+/**
+ * A complete synthetic application model.
+ *
+ * The schedule is a sequence of (phase index, instruction count)
+ * entries; when the schedule is exhausted it loops, so arbitrarily
+ * long simulations recur through the same phases (as SimPoint-selected
+ * regions do in the paper's methodology).
+ */
+struct WorkloadSpec
+{
+    std::string name = "workload";
+    Suite suite = Suite::SpecInt;
+
+    /** Seed for all workload randomness; fixed per application so
+     *  every run of the same model is identical. */
+    std::uint64_t seed = 1;
+
+    /** The distinct phases (code clusters) of the application. */
+    std::vector<PhaseSpec> phases;
+
+    /** One schedule step: run phase `phase` for `insns` instructions. */
+    struct ScheduleEntry
+    {
+        unsigned phase;
+        InsnCount insns;
+    };
+
+    /** The phase schedule; loops when exhausted. */
+    std::vector<ScheduleEntry> schedule;
+
+    /** Validate the spec (phases, schedule indices). */
+    void validate() const;
+
+    /** Total instructions in one pass of the schedule. */
+    InsnCount scheduleLength() const;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_WORKLOAD_WORKLOAD_HH

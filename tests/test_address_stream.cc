@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the per-phase address stream generator.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/address_stream.hh"
+
+using namespace powerchop;
+
+TEST(AddressStream, LoopingStaysInWorkingSet)
+{
+    AddressStreamSpec spec;
+    spec.base = 0x100000;
+    spec.workingSetBytes = 4096;
+    spec.streaming = false;
+    spec.randomFrac = 0.5;
+    spec.hotRegionFrac = 0.0;
+    AddressStream s(spec);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = s.next(rng);
+        ASSERT_GE(a, spec.base);
+        ASSERT_LT(a, spec.base + spec.workingSetBytes);
+    }
+}
+
+TEST(AddressStream, HotRegionBelowBase)
+{
+    AddressStreamSpec spec;
+    spec.base = 0x100000;
+    spec.hotRegionFrac = 1.0;
+    spec.hotRegionBytes = 4096;
+    AddressStream s(spec);
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+        Addr a = s.next(rng);
+        ASSERT_GE(a, spec.base - spec.hotRegionBytes);
+        ASSERT_LT(a, spec.base);
+    }
+}
+
+TEST(AddressStream, StreamingAdvancesWithoutReuse)
+{
+    AddressStreamSpec spec;
+    spec.base = 0x200000;
+    spec.workingSetBytes = 1 << 20;
+    spec.streaming = true;
+    spec.randomFrac = 0.0;
+    spec.hotRegionFrac = 0.0;
+    AddressStream s(spec);
+    Rng rng(3);
+    Addr prev = s.next(rng);
+    for (int i = 0; i < 5000; ++i) {
+        Addr a = s.next(rng);
+        ASSERT_EQ(a, prev + spec.strideBytes);
+        prev = a;
+    }
+}
+
+TEST(AddressStream, SequentialWalkWrapsInLoopingMode)
+{
+    AddressStreamSpec spec;
+    spec.base = 0x300000;
+    spec.workingSetBytes = 256;   // four 64B lines
+    spec.streaming = false;
+    spec.randomFrac = 0.0;
+    spec.hotRegionFrac = 0.0;
+    AddressStream s(spec);
+    Rng rng(4);
+    std::set<Addr> seen;
+    for (int i = 0; i < 16; ++i)
+        seen.insert(s.next(rng));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(AddressStream, ResetRestartsCursor)
+{
+    AddressStreamSpec spec;
+    spec.base = 0x400000;
+    spec.randomFrac = 0.0;
+    spec.hotRegionFrac = 0.0;
+    AddressStream s(spec);
+    Rng rng(5);
+    Addr first = s.next(rng);
+    s.next(rng);
+    s.reset();
+    EXPECT_EQ(s.next(rng), first);
+}
+
+TEST(AddressStream, ValidatesSpec)
+{
+    AddressStreamSpec bad;
+    bad.workingSetBytes = 16;
+    bad.strideBytes = 64;
+    EXPECT_THROW(AddressStream{bad}, FatalError);
+
+    AddressStreamSpec bad2;
+    bad2.hotRegionFrac = 1.5;
+    EXPECT_THROW(AddressStream{bad2}, FatalError);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the synthetic branch outcome processes.
+ */
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "workload/branch_behavior.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+BranchBehavior
+noiseless(BranchKind kind)
+{
+    BranchBehavior b;
+    b.kind = kind;
+    b.noise = 0.0;
+    return b;
+}
+
+} // namespace
+
+TEST(BranchBehavior, KindNames)
+{
+    EXPECT_STREQ(branchKindName(BranchKind::Biased), "Biased");
+    EXPECT_STREQ(branchKindName(BranchKind::Random), "Random");
+}
+
+TEST(BranchBehavior, BiasedMatchesBias)
+{
+    BranchOutcomeEngine eng(1);
+    BranchBehavior b = noiseless(BranchKind::Biased);
+    b.biasTaken = 0.8;
+    BranchRuntime rt;
+    int taken = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        taken += eng.nextOutcome(b, rt);
+    EXPECT_NEAR(taken / double(n), 0.8, 0.02);
+}
+
+TEST(BranchBehavior, PatternRepeatsExactly)
+{
+    BranchOutcomeEngine eng(2);
+    BranchBehavior b = noiseless(BranchKind::Pattern);
+    b.patternBits = 0b0110;
+    b.patternLen = 4;
+    BranchRuntime rt;
+    for (int rep = 0; rep < 10; ++rep) {
+        EXPECT_FALSE(eng.nextOutcome(b, rt));
+        EXPECT_TRUE(eng.nextOutcome(b, rt));
+        EXPECT_TRUE(eng.nextOutcome(b, rt));
+        EXPECT_FALSE(eng.nextOutcome(b, rt));
+    }
+}
+
+TEST(BranchBehavior, GlobalCorrelatedIsHistoryParity)
+{
+    BranchOutcomeEngine eng(3);
+    BranchBehavior corr = noiseless(BranchKind::GlobalCorrelated);
+    corr.historyMask = 0b101;
+    BranchBehavior rnd = noiseless(BranchKind::Random);
+    BranchRuntime rt_corr, rt_rnd;
+
+    for (int i = 0; i < 500; ++i) {
+        // Random branches churn the history...
+        eng.nextOutcome(rnd, rt_rnd);
+        // ...and the correlated branch must equal the parity of the
+        // masked history bits at prediction time.
+        std::uint64_t hist = eng.globalHistory();
+        bool expect = std::popcount(hist & corr.historyMask) & 1;
+        EXPECT_EQ(eng.nextOutcome(corr, rt_corr), expect);
+    }
+}
+
+TEST(BranchBehavior, RandomIsBalanced)
+{
+    BranchOutcomeEngine eng(4);
+    BranchBehavior b = noiseless(BranchKind::Random);
+    BranchRuntime rt;
+    int taken = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        taken += eng.nextOutcome(b, rt);
+    EXPECT_NEAR(taken / double(n), 0.5, 0.02);
+}
+
+TEST(BranchBehavior, NoiseFlipsOutcomes)
+{
+    BranchOutcomeEngine eng(5);
+    BranchBehavior b;
+    b.kind = BranchKind::Biased;
+    b.biasTaken = 1.0;
+    b.noise = 0.25;
+    BranchRuntime rt;
+    int not_taken = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        not_taken += !eng.nextOutcome(b, rt);
+    EXPECT_NEAR(not_taken / double(n), 0.25, 0.02);
+}
+
+TEST(BranchBehavior, HistoryTracksOutcomes)
+{
+    BranchOutcomeEngine eng(6);
+    BranchBehavior b = noiseless(BranchKind::Biased);
+    b.biasTaken = 1.0;
+    BranchRuntime rt;
+    eng.nextOutcome(b, rt);
+    eng.nextOutcome(b, rt);
+    EXPECT_EQ(eng.globalHistory() & 0b11, 0b11u);
+}
+
+TEST(BranchBehavior, ResetRestoresDeterminism)
+{
+    BranchOutcomeEngine eng(7);
+    BranchBehavior b = noiseless(BranchKind::Random);
+    BranchRuntime rt;
+    std::vector<bool> first;
+    for (int i = 0; i < 50; ++i)
+        first.push_back(eng.nextOutcome(b, rt));
+    eng.reset(7);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(eng.nextOutcome(b, rt), first[i]);
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the binary-translation subsystem: interpreter,
+ * translator, region cache, nucleus and the BtSystem facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bt/bt_system.hh"
+#include "common/logging.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+/** Three-block loop program; block 1 contains SIMD. */
+Program
+loopProgram()
+{
+    Program p;
+    BlockId a = p.addBlock(0x1000, {OpClass::IntAlu, OpClass::Load});
+    BlockId b = p.addBlock(0x2000, {OpClass::SimdOp, OpClass::IntAlu});
+    BlockId c = p.addBlock(0x3000, {OpClass::Store});
+    p.setSuccessors(a, b, a);
+    p.setSuccessors(b, c, a);
+    p.setSuccessors(c, a, a);
+    return p;
+}
+
+} // namespace
+
+// --- interpreter -----------------------------------------------------------------
+
+TEST(Interpreter, FiresAtThresholdExactlyOnce)
+{
+    Interpreter in(3);
+    EXPECT_FALSE(in.recordExecution(0x1000));
+    EXPECT_FALSE(in.recordExecution(0x1000));
+    EXPECT_TRUE(in.recordExecution(0x1000));
+    EXPECT_FALSE(in.recordExecution(0x1000));  // only on the crossing
+    EXPECT_EQ(in.hotness(0x1000), 4u);
+}
+
+TEST(Interpreter, TracksPerRegion)
+{
+    Interpreter in(2);
+    in.recordExecution(0x1000);
+    in.recordExecution(0x2000);
+    EXPECT_EQ(in.hotness(0x1000), 1u);
+    EXPECT_EQ(in.hotness(0x2000), 1u);
+    EXPECT_EQ(in.hotness(0x3000), 0u);
+    EXPECT_EQ(in.interpretedRegions(), 2u);
+}
+
+TEST(Interpreter, ForgetResetsCount)
+{
+    Interpreter in(2);
+    in.recordExecution(0x1000);
+    in.forget(0x1000);
+    EXPECT_EQ(in.hotness(0x1000), 0u);
+}
+
+TEST(Interpreter, RejectsZeroThreshold)
+{
+    EXPECT_THROW(Interpreter(0), FatalError);
+}
+
+// --- translator -------------------------------------------------------------------
+
+TEST(Translator, SingleBlockTrace)
+{
+    Program p = loopProgram();
+    Translator tr(p, TranslatorParams{1});
+    auto t = tr.translate(0);
+    EXPECT_EQ(t->headPc, 0x1000u);
+    EXPECT_EQ(t->id, Translation::idFor(0x1000));
+    EXPECT_EQ(t->blocks.size(), 1u);
+    EXPECT_EQ(t->staticInsts, 3u);  // body 2 + terminator
+    EXPECT_FALSE(t->hasSimd);
+}
+
+TEST(Translator, MultiBlockTraceFollowsTakenChain)
+{
+    Program p = loopProgram();
+    Translator tr(p, TranslatorParams{3});
+    auto t = tr.translate(0);
+    // a -> b -> c; c's taken successor is a (the head), so stop.
+    EXPECT_EQ(t->blocks.size(), 3u);
+    EXPECT_TRUE(t->hasSimd);  // block b has SIMD
+}
+
+TEST(Translator, TraceStopsAtLoopBack)
+{
+    Program p = loopProgram();
+    Translator tr(p, TranslatorParams{10});
+    auto t = tr.translate(1);  // b -> c -> a -> (b == head) stop
+    EXPECT_EQ(t->blocks.size(), 3u);
+}
+
+TEST(Translator, IdIsLow32BitsOfHead)
+{
+    EXPECT_EQ(Translation::idFor(0x1234'5678'9abc'def0ull), 0x9abcdef0u);
+}
+
+TEST(Translator, RejectsZeroTraceLength)
+{
+    Program p = loopProgram();
+    EXPECT_THROW(Translator(p, TranslatorParams{0}), FatalError);
+}
+
+// --- region cache ------------------------------------------------------------------
+
+TEST(RegionCache, InsertThenLookup)
+{
+    RegionCache rc;
+    auto t = std::make_unique<Translation>();
+    t->headPc = 0x1000;
+    t->id = Translation::idFor(0x1000);
+    Translation *resident = rc.insert(std::move(t));
+    EXPECT_EQ(rc.lookup(0x1000), resident);
+    EXPECT_EQ(rc.lookup(0x2000), nullptr);
+    EXPECT_EQ(rc.lookups(), 2u);
+    EXPECT_EQ(rc.hits(), 1u);
+}
+
+TEST(RegionCache, CapacityFlush)
+{
+    RegionCache rc(2);
+    for (Addr head : {0x1000u, 0x2000u, 0x3000u}) {
+        auto t = std::make_unique<Translation>();
+        t->headPc = head;
+        rc.insert(std::move(t));
+    }
+    EXPECT_EQ(rc.flushes(), 1u);
+    EXPECT_EQ(rc.size(), 1u);  // only the post-flush insert remains
+    EXPECT_EQ(rc.lookup(0x1000), nullptr);
+}
+
+TEST(RegionCache, RejectsDuplicates)
+{
+    RegionCache rc;
+    auto mk = [] {
+        auto t = std::make_unique<Translation>();
+        t->headPc = 0x1000;
+        return t;
+    };
+    rc.insert(mk());
+    EXPECT_THROW(rc.insert(mk()), PanicError);
+    EXPECT_THROW(rc.insert(nullptr), PanicError);
+}
+
+// --- nucleus ------------------------------------------------------------------------
+
+TEST(Nucleus, ChargesPerInterruptKind)
+{
+    NucleusParams p;
+    p.pvtMissTrapCycles = 100;
+    p.translationTrapCycles = 50;
+    Nucleus n(p);
+    EXPECT_DOUBLE_EQ(n.takeInterrupt(InterruptKind::PvtMiss), 100);
+    EXPECT_DOUBLE_EQ(n.takeInterrupt(InterruptKind::Translation), 50);
+    n.takeInterrupt(InterruptKind::PvtMiss);
+    EXPECT_EQ(n.count(InterruptKind::PvtMiss), 2u);
+    EXPECT_EQ(n.count(InterruptKind::Translation), 1u);
+    EXPECT_DOUBLE_EQ(n.totalCycles(), 250);
+}
+
+// --- bt system -----------------------------------------------------------------------
+
+TEST(BtSystem, InterpretsUntilHotThenTranslates)
+{
+    Program p = loopProgram();
+    BtParams params;
+    params.hotThreshold = 3;
+    params.translationCost = 1000;
+    BtSystem bt(p, params);
+
+    for (int i = 0; i < 2; ++i) {
+        RegionEntry e = bt.enterRegion(0);
+        EXPECT_EQ(e.mode, ExecMode::Interpreted);
+        EXPECT_DOUBLE_EQ(e.extraCycles, 0);
+    }
+    // Third entry crosses the threshold: still interpreted, but the
+    // translator runs (trap + translation cost charged).
+    RegionEntry hot = bt.enterRegion(0);
+    EXPECT_EQ(hot.mode, ExecMode::Interpreted);
+    EXPECT_GT(hot.extraCycles, params.translationCost - 1);
+
+    RegionEntry fast = bt.enterRegion(0);
+    EXPECT_EQ(fast.mode, ExecMode::Translated);
+    ASSERT_NE(fast.translation, nullptr);
+    EXPECT_EQ(fast.translation->headPc, 0x1000u);
+    EXPECT_EQ(fast.translation->execCount, 1u);
+    EXPECT_DOUBLE_EQ(fast.extraCycles, 0);
+}
+
+TEST(BtSystem, RegionsTrackedIndependently)
+{
+    Program p = loopProgram();
+    BtParams params;
+    params.hotThreshold = 2;
+    BtSystem bt(p, params);
+    bt.enterRegion(0);
+    bt.enterRegion(1);
+    bt.enterRegion(0);  // region 0 hot now
+    bt.enterRegion(1);  // region 1 hot now
+    EXPECT_EQ(bt.enterRegion(0).mode, ExecMode::Translated);
+    EXPECT_EQ(bt.enterRegion(1).mode, ExecMode::Translated);
+    EXPECT_EQ(bt.regionCache().size(), 2u);
+}

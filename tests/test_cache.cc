@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the way-gateable set-associative cache and the
+ * memory hierarchy with its shadow tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "uarch/cache.hh"
+#include "uarch/mem_hierarchy.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+CacheParams
+smallCache()
+{
+    return CacheParams{8 * 1024, 4, 64};  // 32 sets x 4 ways
+}
+
+} // namespace
+
+TEST(Cache, GeometryValidation)
+{
+    EXPECT_THROW(SetAssocCache(CacheParams{1024, 4, 60}), FatalError);
+    EXPECT_THROW(SetAssocCache(CacheParams{1024, 0, 64}), FatalError);
+    EXPECT_THROW(SetAssocCache(CacheParams{1024, 3, 64}), FatalError);
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x103f, false).hit);   // same line
+    EXPECT_FALSE(c.access(0x1040, false).hit);  // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    SetAssocCache c(smallCache());
+    const Addr set_stride = 32 * 64;  // same set
+    for (Addr i = 0; i < 4; ++i)
+        c.access(0x10000 + i * set_stride, false);
+    // Touch line 0 so line 1 is LRU.
+    c.access(0x10000, false);
+    c.access(0x10000 + 4 * set_stride, false);  // evicts line 1
+    EXPECT_TRUE(c.access(0x10000, false).hit);
+    EXPECT_FALSE(c.access(0x10000 + 1 * set_stride, false).hit);
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    SetAssocCache c(smallCache());
+    const Addr set_stride = 32 * 64;
+    c.access(0x10000, true);  // dirty line
+    for (Addr i = 1; i <= 4; ++i)
+        c.access(0x10000 + i * set_stride, false);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    SetAssocCache c(smallCache());
+    const Addr set_stride = 32 * 64;
+    for (Addr i = 0; i <= 4; ++i)
+        c.access(0x10000 + i * set_stride, false);
+    EXPECT_EQ(c.writebacks(), 0u);
+}
+
+TEST(Cache, WayGatingDropsLinesAndWritesBackDirty)
+{
+    SetAssocCache c(smallCache());
+    const Addr set_stride = 32 * 64;
+    // Fill all four ways of one set; two dirty.
+    c.access(0x10000 + 0 * set_stride, true);
+    c.access(0x10000 + 1 * set_stride, true);
+    c.access(0x10000 + 2 * set_stride, false);
+    c.access(0x10000 + 3 * set_stride, false);
+    EXPECT_EQ(c.validLineCount(), 4u);
+
+    std::uint64_t wb = c.setActiveWays(1);
+    // Lines in ways 1-3 were dropped; dirty ones written back. LRU
+    // fill order means way 0 holds the first access.
+    EXPECT_EQ(c.activeWays(), 1u);
+    EXPECT_EQ(c.validLineCount(), 1u);
+    EXPECT_EQ(wb, 1u);  // the dirty line in way 1
+    EXPECT_TRUE(c.access(0x10000, false).hit);
+}
+
+TEST(Cache, WayUpgradeStartsEmpty)
+{
+    SetAssocCache c(smallCache());
+    c.setActiveWays(1);
+    c.access(0x1000, false);
+    c.setActiveWays(4);
+    EXPECT_EQ(c.activeWays(), 4u);
+    // The way-0 line survives the upgrade.
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    // Upgrading adds capacity: four distinct same-set lines now fit.
+    const Addr set_stride = 32 * 64;
+    for (Addr i = 0; i < 4; ++i)
+        c.access(0x40000 + i * set_stride, false);
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.access(0x40000 + i * set_stride, false).hit);
+}
+
+TEST(Cache, ReducedWaysReduceCapacity)
+{
+    SetAssocCache c(smallCache());
+    c.setActiveWays(1);
+    const Addr set_stride = 32 * 64;
+    c.access(0x10000, false);
+    c.access(0x10000 + set_stride, false);  // evicts previous
+    EXPECT_FALSE(c.access(0x10000, false).hit);
+}
+
+TEST(Cache, SetActiveWaysValidation)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_THROW(c.setActiveWays(0), FatalError);
+    EXPECT_THROW(c.setActiveWays(5), FatalError);
+}
+
+TEST(Cache, InvalidateAllCountsDirty)
+{
+    SetAssocCache c(smallCache());
+    c.access(0x1000, true);
+    c.access(0x2000, false);
+    EXPECT_EQ(c.invalidateAll(), 1u);
+    EXPECT_EQ(c.validLineCount(), 0u);
+}
+
+TEST(Cache, WindowStats)
+{
+    SetAssocCache c(smallCache());
+    c.access(0x1000, false);
+    c.access(0x1000, false);
+    EXPECT_EQ(c.windowAccesses(), 2u);
+    EXPECT_EQ(c.windowHits(), 1u);
+    c.resetWindowStats();
+    EXPECT_EQ(c.windowAccesses(), 0u);
+    EXPECT_EQ(c.hits(), 1u);  // lifetime survives
+}
+
+TEST(Cache, HitRate)
+{
+    SetAssocCache c(smallCache());
+    c.access(0x1000, false);
+    c.access(0x1000, false);
+    c.access(0x1000, false);
+    c.access(0x2000, false);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+}
+
+// --- memory hierarchy ----------------------------------------------------------
+
+TEST(MemHierarchy, L1FiltersMlc)
+{
+    MemHierarchy mem(CacheParams{1024, 2, 64}, CacheParams{8192, 4, 64});
+    EXPECT_EQ(mem.access(0x1000, false).level, MemLevel::Memory);
+    EXPECT_EQ(mem.access(0x1000, false).level, MemLevel::L1);
+    EXPECT_EQ(mem.mlc().accesses(), 1u);
+}
+
+TEST(MemHierarchy, MlcCatchesL1Evictions)
+{
+    MemHierarchy mem(CacheParams{512, 1, 64}, CacheParams{8192, 4, 64});
+    // Two addresses conflicting in the tiny 1-way L1 but coexisting
+    // in the MLC.
+    const Addr a = 0x10000, b = 0x10000 + 512;
+    mem.access(a, false);
+    mem.access(b, false);  // evicts a from L1
+    EXPECT_EQ(mem.access(a, false).level, MemLevel::Mlc);
+}
+
+TEST(MemHierarchy, ShadowTracksFullConfigWhenGated)
+{
+    MemHierarchy mem(CacheParams{512, 1, 64}, CacheParams{8192, 4, 64});
+    mem.setMlcActiveWays(1);
+
+    // Four same-set MLC lines: the 1-way MLC thrashes, the shadow (4
+    // ways) holds them all.
+    const Addr set_stride = (8192 / 4 / 64) * 64;
+    auto touch_all = [&](int reps) {
+        for (int r = 0; r < reps; ++r) {
+            for (Addr i = 0; i < 4; ++i) {
+                mem.access(0x20000 + i * set_stride, false);
+                // Flush the L1 in between so every access reaches the
+                // MLC level.
+                mem.access(0x20000 + i * set_stride + 512, false);
+            }
+        }
+    };
+    touch_all(4);
+    mem.resetWindowStats();
+    touch_all(4);
+    EXPECT_GT(mem.mlcWindowHits(), mem.mlc().windowHits());
+}
+
+TEST(MemHierarchy, SetMlcActiveWaysReturnsDirtyCount)
+{
+    MemHierarchy mem(CacheParams{512, 1, 64}, CacheParams{8192, 4, 64});
+    const Addr set_stride = (8192 / 4 / 64) * 64;
+    for (Addr i = 0; i < 4; ++i)
+        mem.access(0x20000 + i * set_stride, true);
+    std::uint64_t wb = mem.setMlcActiveWays(1);
+    EXPECT_GE(wb, 2u);  // at least the dropped dirty lines
+}

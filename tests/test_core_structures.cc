@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for PowerChop's core structures: phase signatures, the
+ * HTB, the PVT and policy vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/htb.hh"
+#include "core/policy.hh"
+#include "core/pvt.hh"
+#include "core/signature.hh"
+
+using namespace powerchop;
+
+// --- signatures ------------------------------------------------------------------
+
+TEST(Signature, CanonicalOrder)
+{
+    TranslationId a[] = {40, 10, 30, 20};
+    TranslationId b[] = {10, 20, 30, 40};
+    EXPECT_EQ(PhaseSignature(a, 4), PhaseSignature(b, 4));
+}
+
+TEST(Signature, DistinctSetsDiffer)
+{
+    TranslationId a[] = {1, 2, 3, 4};
+    TranslationId b[] = {1, 2, 3, 5};
+    EXPECT_NE(PhaseSignature(a, 4), PhaseSignature(b, 4));
+}
+
+TEST(Signature, PartialSignaturesPadded)
+{
+    TranslationId a[] = {7, 3};
+    PhaseSignature s(a, 2);
+    EXPECT_EQ(s.ids()[0], 3u);
+    EXPECT_EQ(s.ids()[1], 7u);
+    EXPECT_EQ(s.ids()[2], invalidTranslationId);
+    EXPECT_FALSE(s.empty());
+}
+
+TEST(Signature, EmptyDefault)
+{
+    EXPECT_TRUE(PhaseSignature().empty());
+}
+
+TEST(Signature, HashConsistentWithEquality)
+{
+    TranslationId a[] = {40, 10, 30, 20};
+    TranslationId b[] = {10, 20, 30, 40};
+    EXPECT_EQ(PhaseSignature(a, 4).hash(), PhaseSignature(b, 4).hash());
+}
+
+TEST(Signature, TooManyIdsPanics)
+{
+    TranslationId a[] = {1, 2, 3, 4, 5};
+    EXPECT_THROW(PhaseSignature(a, 5), PanicError);
+}
+
+TEST(Signature, ToStringShowsIds)
+{
+    TranslationId a[] = {0xab, 0xcd, 0xef, 0x12};
+    std::string s = PhaseSignature(a, 4).toString();
+    EXPECT_NE(s.find("000000ab"), std::string::npos);
+}
+
+// --- HTB ----------------------------------------------------------------------------
+
+TEST(Htb, EmitsReportAtWindowBoundary)
+{
+    Htb htb(HtbParams{8, 5});
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(htb.recordTranslation(100 + i, 10).has_value());
+    auto rep = htb.recordTranslation(104, 10);
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->translations, 5u);
+    EXPECT_EQ(rep->instructions, 50u);
+    EXPECT_EQ(htb.windowsCompleted(), 1u);
+}
+
+TEST(Htb, SignatureIsHottestFour)
+{
+    Htb htb(HtbParams{16, 10});
+    // Translation 1 is hottest by instruction volume, then 2, 3, 4.
+    std::optional<WindowReport> rep;
+    rep = htb.recordTranslation(1, 100);
+    rep = htb.recordTranslation(2, 80);
+    rep = htb.recordTranslation(3, 60);
+    rep = htb.recordTranslation(4, 40);
+    rep = htb.recordTranslation(5, 20);
+    for (int i = 0; i < 5; ++i)
+        rep = htb.recordTranslation(1, 10);  // more heat on 1
+    ASSERT_TRUE(rep.has_value());
+    auto ids = rep->signature.ids();
+    EXPECT_EQ(ids[0], 1u);
+    EXPECT_EQ(ids[1], 2u);
+    EXPECT_EQ(ids[2], 3u);
+    EXPECT_EQ(ids[3], 4u);
+}
+
+TEST(Htb, AccumulatesPerTranslation)
+{
+    Htb htb(HtbParams{8, 3});
+    htb.recordTranslation(7, 10);
+    htb.recordTranslation(7, 15);
+    auto rep = htb.recordTranslation(9, 5);
+    ASSERT_TRUE(rep.has_value());
+    ASSERT_EQ(rep->profile.size(), 2u);
+    EXPECT_EQ(rep->profile[0].first, 7u);
+    EXPECT_EQ(rep->profile[0].second, 25u);
+    EXPECT_EQ(rep->profile[1].second, 5u);
+}
+
+TEST(Htb, FlushesBetweenWindows)
+{
+    Htb htb(HtbParams{8, 2});
+    htb.recordTranslation(1, 10);
+    htb.recordTranslation(2, 10);
+    EXPECT_EQ(htb.occupancy(), 0u);
+    htb.recordTranslation(3, 10);
+    auto rep = htb.recordTranslation(4, 10);
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->profile.size(), 2u);
+    EXPECT_EQ(rep->profile[0].first, 3u);
+}
+
+TEST(Htb, OverflowDropsExcessTranslations)
+{
+    Htb htb(HtbParams{4, 100});
+    for (TranslationId id = 1; id <= 10; ++id)
+        htb.recordTranslation(id, 5);
+    EXPECT_EQ(htb.overflowDrops(), 6u);
+    EXPECT_EQ(htb.occupancy(), 4u);
+}
+
+TEST(Htb, FlushWindowEmitsPartial)
+{
+    Htb htb(HtbParams{8, 100});
+    EXPECT_FALSE(htb.flushWindow().has_value());
+    htb.recordTranslation(1, 10);
+    auto rep = htb.flushWindow();
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_EQ(rep->translations, 1u);
+}
+
+TEST(Htb, RejectsInvalidId)
+{
+    Htb htb;
+    EXPECT_THROW(htb.recordTranslation(invalidTranslationId, 1),
+                 PanicError);
+}
+
+TEST(Htb, ValidatesParams)
+{
+    EXPECT_THROW(Htb(HtbParams{2, 100}), FatalError);
+    EXPECT_THROW(Htb(HtbParams{128, 0}), FatalError);
+}
+
+// --- policies -----------------------------------------------------------------------
+
+TEST(Policy, EncodeDecodeRoundTrip)
+{
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        GatingPolicy p = GatingPolicy::decode(bits);
+        GatingPolicy q = GatingPolicy::decode(p.encode());
+        EXPECT_EQ(p, q);
+    }
+}
+
+TEST(Policy, EncodingLayout)
+{
+    GatingPolicy p;
+    p.vpuOn = true;
+    p.bpuOn = false;
+    p.mlc = MlcPolicy::HalfWays;
+    EXPECT_EQ(p.encode(), 0b1001);
+}
+
+TEST(Policy, MlcActiveWays)
+{
+    EXPECT_EQ(mlcActiveWays(MlcPolicy::AllWays, 8), 8u);
+    EXPECT_EQ(mlcActiveWays(MlcPolicy::HalfWays, 8), 4u);
+    EXPECT_EQ(mlcActiveWays(MlcPolicy::QuarterWays, 8), 2u);
+    EXPECT_EQ(mlcActiveWays(MlcPolicy::OneWay, 8), 1u);
+    EXPECT_EQ(mlcActiveWays(MlcPolicy::HalfWays, 1), 1u);
+    EXPECT_EQ(mlcActiveWays(MlcPolicy::QuarterWays, 2), 1u);
+}
+
+TEST(Policy, Extremes)
+{
+    EXPECT_EQ(GatingPolicy::fullPower().encode(), 0b1111);
+    EXPECT_EQ(GatingPolicy::minPower().encode(), 0b0000);
+}
+
+TEST(Policy, ToStringReadable)
+{
+    EXPECT_EQ(GatingPolicy::minPower().toString(), "V=0,B=0,M=1-way");
+}
+
+// --- PVT -----------------------------------------------------------------------------
+
+namespace
+{
+
+PhaseSignature
+sig(TranslationId base)
+{
+    TranslationId ids[] = {base, base + 1, base + 2, base + 3};
+    return PhaseSignature(ids, 4);
+}
+
+} // namespace
+
+TEST(Pvt, MissThenHitAfterRegistration)
+{
+    Pvt pvt;
+    EXPECT_FALSE(pvt.lookup(sig(10)).has_value());
+    pvt.registerPolicy(sig(10), GatingPolicy::minPower());
+    auto hit = pvt.lookup(sig(10));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, GatingPolicy::minPower());
+    EXPECT_EQ(pvt.lookups(), 2u);
+    EXPECT_EQ(pvt.hits(), 1u);
+    EXPECT_EQ(pvt.misses(), 1u);
+}
+
+TEST(Pvt, UpdateInPlace)
+{
+    Pvt pvt;
+    pvt.registerPolicy(sig(10), GatingPolicy::minPower());
+    pvt.registerPolicy(sig(10), GatingPolicy::fullPower());
+    EXPECT_EQ(pvt.occupancy(), 1u);
+    EXPECT_EQ(*pvt.lookup(sig(10)), GatingPolicy::fullPower());
+}
+
+TEST(Pvt, EvictsApproximateLru)
+{
+    Pvt pvt(PvtParams{4, 3});
+    for (TranslationId i = 0; i < 4; ++i)
+        pvt.registerPolicy(sig(i * 10), GatingPolicy::fullPower());
+    // Touch all but sig(10) so it ages.
+    pvt.lookup(sig(0));
+    pvt.lookup(sig(20));
+    pvt.lookup(sig(30));
+    auto evicted = pvt.registerPolicy(sig(40), GatingPolicy::minPower());
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->signature, sig(10));
+    EXPECT_FALSE(pvt.contains(sig(10)));
+    EXPECT_TRUE(pvt.contains(sig(40)));
+    EXPECT_EQ(pvt.evictions(), 1u);
+}
+
+TEST(Pvt, NoEvictionWhileFree)
+{
+    Pvt pvt(PvtParams{4, 3});
+    for (TranslationId i = 0; i < 4; ++i) {
+        EXPECT_FALSE(pvt.registerPolicy(sig(i * 10),
+                                        GatingPolicy::fullPower())
+                         .has_value());
+    }
+}
+
+TEST(Pvt, StorageNearPaperFigure)
+{
+    // Paper: 16 entries, 4 x 32-bit PCs + 4 policy bits = 264 bytes
+    // (we also count the approximate-LRU age bits).
+    Pvt pvt;
+    EXPECT_GE(pvt.storageBytes(), 264u);
+    EXPECT_LE(pvt.storageBytes(), 280u);
+}
+
+TEST(Pvt, ValidatesParams)
+{
+    EXPECT_THROW(Pvt(PvtParams{0, 3}), FatalError);
+    EXPECT_THROW(Pvt(PvtParams{16, 0}), FatalError);
+    EXPECT_THROW(Pvt(PvtParams{16, 9}), FatalError);
+}

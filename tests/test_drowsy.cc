@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the drowsy-MLC baseline: cache drowsy states, the
+ * periodic controller, and the end-to-end mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/drowsy_mlc.hh"
+#include "sim/simulator.hh"
+#include "uarch/cache.hh"
+#include "workload/suites.hh"
+
+using namespace powerchop;
+
+TEST(DrowsyCache, DrowseAllPutsValidLinesToSleep)
+{
+    SetAssocCache c(CacheParams{8 * 1024, 4, 64});
+    c.access(0x1000, false);
+    c.access(0x2000, false);
+    EXPECT_EQ(c.awakeLineCount(), 2u);
+    EXPECT_EQ(c.drowseAll(), 2u);
+    EXPECT_EQ(c.awakeLineCount(), 0u);
+    // Idempotent: already-drowsy lines are not re-slept.
+    EXPECT_EQ(c.drowseAll(), 0u);
+}
+
+TEST(DrowsyCache, AccessWakesAndStillHits)
+{
+    SetAssocCache c(CacheParams{8 * 1024, 4, 64});
+    c.access(0x1000, true);
+    c.drowseAll();
+    CacheAccessResult r = c.access(0x1000, false);
+    EXPECT_TRUE(r.hit);            // drowsy lines retain contents
+    EXPECT_TRUE(r.wokeDrowsy);
+    EXPECT_EQ(c.drowsyWakes(), 1u);
+    // Second access: already awake.
+    EXPECT_FALSE(c.access(0x1000, false).wokeDrowsy);
+    EXPECT_EQ(c.awakeLineCount(), 1u);
+}
+
+TEST(DrowsyCache, NewLinesStartAwake)
+{
+    SetAssocCache c(CacheParams{8 * 1024, 4, 64});
+    c.drowseAll();
+    c.access(0x3000, false);
+    EXPECT_EQ(c.awakeLineCount(), 1u);
+}
+
+TEST(DrowsyMlcController, SweepsAtInterval)
+{
+    MemHierarchy mem(CacheParams{1024, 2, 64}, CacheParams{8192, 4, 64});
+    DrowsyParams params;
+    params.intervalCycles = 1000;
+    DrowsyMlc d(mem, params);
+
+    mem.access(0x10000, false);   // one MLC line
+    d.tick(999);
+    EXPECT_EQ(d.sweeps(), 0u);
+    EXPECT_EQ(mem.mlc().awakeLineCount(), 1u);
+    d.tick(1001);
+    EXPECT_EQ(d.sweeps(), 1u);
+    EXPECT_EQ(mem.mlc().awakeLineCount(), 0u);
+    // Multiple missed intervals catch up.
+    d.tick(4100);
+    EXPECT_EQ(d.sweeps(), 4u);
+}
+
+TEST(DrowsyMlcController, AveragesDrowsyFraction)
+{
+    MemHierarchy mem(CacheParams{1024, 2, 64}, CacheParams{8192, 4, 64});
+    DrowsyParams params;
+    params.intervalCycles = 100;
+    DrowsyMlc d(mem, params);
+    // Never touch the MLC: everything is invalid (counted drowsy-
+    // equivalent), so the average is ~1.
+    d.tick(1000);
+    d.finish(1000);
+    EXPECT_NEAR(d.avgDrowsyFraction(), 1.0, 1e-9);
+}
+
+TEST(DrowsyMlcController, Validation)
+{
+    MemHierarchy mem(CacheParams{1024, 2, 64}, CacheParams{8192, 4, 64});
+    DrowsyParams bad;
+    bad.intervalCycles = 0;
+    EXPECT_THROW(DrowsyMlc(mem, bad), FatalError);
+    DrowsyParams bad2;
+    bad2.drowsyLeakageFraction = 2;
+    EXPECT_THROW(DrowsyMlc(mem, bad2), FatalError);
+}
+
+TEST(DrowsyMode, EndToEndSavesMlcLeakageAtSmallSlowdown)
+{
+    // gems re-touches MLC-resident lines constantly, so drowsy lines
+    // get woken; most of the big array still averages drowsy.
+    WorkloadSpec w = findWorkload("gems");
+    MachineConfig m = serverConfig();
+    SimOptions opts;
+    opts.maxInstructions = 2'000'000;
+
+    opts.mode = SimMode::FullPower;
+    SimResult full = simulate(m, w, opts);
+
+    opts.mode = SimMode::DrowsyMlc;
+    SimResult dr = simulate(m, w, opts);
+
+    EXPECT_GT(dr.mlcDrowsyFraction, 0.3);
+    EXPECT_GT(dr.drowsyWakes, 1000u);
+    EXPECT_LT(dr.energy.averageLeakagePower(),
+              full.energy.averageLeakagePower());
+    EXPECT_LT(dr.slowdownVs(full), 0.04);
+    // Drowsy never gates the ways or other units.
+    EXPECT_DOUBLE_EQ(dr.vpuGatedFraction, 0.0);
+    EXPECT_DOUBLE_EQ(dr.mlcOneWayFraction, 0.0);
+}
+
+TEST(DrowsyMode, NameIsReported)
+{
+    EXPECT_STREQ(simModeName(SimMode::DrowsyMlc), "drowsy-mlc");
+}

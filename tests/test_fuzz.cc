@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Randomized model-based tests: long random operation sequences
+ * checked against invariants and reference models. Seeds are fixed,
+ * so failures reproduce deterministically.
+ */
+
+#include <map>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/pvt.hh"
+#include "powerchop/powerchop.hh"
+
+using namespace powerchop;
+
+// --- cache fuzz: random accesses + way changes + drowses --------------------
+
+class CacheFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheFuzz, InvariantsHoldUnderRandomOperations)
+{
+    Rng rng(GetParam() * 7919 + 13);
+    CacheParams params{32 * 1024, 8, 64};
+    SetAssocCache cache(params);
+    const std::uint64_t capacity = params.sizeBytes / params.lineBytes;
+
+    std::uint64_t expected_accesses = 0;
+    for (int step = 0; step < 30'000; ++step) {
+        double u = rng.uniform();
+        if (u < 0.90) {
+            Addr addr = 0x100000 + rng.below(2048) * 64;
+            cache.access(addr, rng.bernoulli(0.3));
+            ++expected_accesses;
+        } else if (u < 0.95) {
+            unsigned ways = 1u << rng.below(4);  // 1,2,4,8
+            cache.setActiveWays(ways);
+        } else if (u < 0.98) {
+            cache.drowseAll();
+        } else {
+            cache.invalidateAll();
+        }
+
+        // Invariants after every operation.
+        ASSERT_EQ(cache.hits() + cache.misses(), cache.accesses());
+        ASSERT_EQ(cache.accesses(), expected_accesses);
+        ASSERT_LE(cache.validLineCount(), capacity);
+        ASSERT_LE(cache.awakeLineCount(), cache.validLineCount());
+        ASSERT_GE(cache.activeWays(), 1u);
+        ASSERT_LE(cache.activeWays(), params.assoc);
+        // Valid lines never exceed the *active* capacity.
+        ASSERT_LE(cache.validLineCount(),
+                  static_cast<std::uint64_t>(cache.numSets()) *
+                      cache.activeWays());
+    }
+    // Under a 2048-line hot set in a 512-line cache, both hits and
+    // misses must have occurred.
+    EXPECT_GT(cache.hits(), 0u);
+    EXPECT_GT(cache.misses(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz, ::testing::Range(1u, 9u));
+
+// --- PVT fuzz against a reference model ---------------------------------------
+
+class PvtFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PvtFuzz, BehavesLikeABoundedMapWithEviction)
+{
+    Rng rng(GetParam() * 104729 + 7);
+    Pvt pvt(PvtParams{8, 3});
+
+    // Reference model: the authoritative signature -> policy mapping
+    // of everything ever registered (PVT entries must never disagree,
+    // only disappear).
+    std::map<PhaseSignature, GatingPolicy, std::less<PhaseSignature>>
+        truth;
+
+    auto make_sig = [&](unsigned i) {
+        TranslationId ids[] = {i * 16 + 1, i * 16 + 2, i * 16 + 3,
+                               i * 16 + 4};
+        return PhaseSignature(ids, 4);
+    };
+
+    std::uint64_t resident_hits = 0;
+    for (int step = 0; step < 20'000; ++step) {
+        unsigned which = static_cast<unsigned>(rng.below(24));
+        PhaseSignature sig = make_sig(which);
+
+        if (rng.bernoulli(0.4)) {
+            GatingPolicy pol = GatingPolicy::decode(
+                static_cast<std::uint8_t>(rng.below(16)));
+            auto evicted = pvt.registerPolicy(sig, pol);
+            truth[sig] = pol;
+            if (evicted) {
+                // Evicted entries must carry the policy they held.
+                auto it = truth.find(evicted->signature);
+                ASSERT_NE(it, truth.end());
+                ASSERT_EQ(it->second, evicted->policy);
+                ASSERT_NE(evicted->signature, sig);
+            }
+            ASSERT_TRUE(pvt.contains(sig));
+        } else {
+            auto hit = pvt.lookup(sig);
+            if (hit) {
+                ++resident_hits;
+                auto it = truth.find(sig);
+                ASSERT_NE(it, truth.end());
+                ASSERT_EQ(*hit, it->second);
+            }
+        }
+        ASSERT_LE(pvt.occupancy(), 8u);
+        ASSERT_EQ(pvt.hits() + pvt.misses(), pvt.lookups());
+    }
+    EXPECT_GT(resident_hits, 100u);
+    EXPECT_GT(pvt.evictions(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PvtFuzz, ::testing::Range(1u, 7u));
+
+// --- generator mix conformance over all suite models ---------------------------
+
+class MixConformance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MixConformance, RealizedDynamicMixTracksSpec)
+{
+    auto all = allWorkloads();
+    const WorkloadSpec &spec = all[GetParam()];
+
+    // Schedule-weighted target fractions over one full loop.
+    double target_simd = 0, target_branch = 0, target_mem = 0;
+    InsnCount total = 0;
+    for (const auto &e : spec.schedule) {
+        const PhaseSpec &p = spec.phases[e.phase];
+        target_simd += p.simdFrac * e.insns;
+        target_branch += p.branchFrac * e.insns;
+        target_mem += p.memFrac * e.insns;
+        total += e.insns;
+    }
+    target_simd /= total;
+    target_branch /= total;
+    target_mem /= total;
+
+    WorkloadGenerator gen(spec);
+    InsnCount n = spec.scheduleLength();
+    std::uint64_t simd = 0, branch = 0, mem = 0;
+    for (InsnCount i = 0; i < n; ++i) {
+        const DynInst &di = gen.next();
+        switch (di.op()) {
+          case OpClass::SimdOp:
+            ++simd;
+            break;
+          case OpClass::Branch:
+            if (!di.isTerminator)
+                ++branch;
+            break;
+          case OpClass::Load:
+          case OpClass::Store:
+            ++mem;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // The weighted-quota placement should land within a modest
+    // relative tolerance of the spec (plus a small absolute floor for
+    // the near-zero rates).
+    auto close = [&](double realized, double target, const char *what) {
+        double tol = std::max(0.25 * target, 0.002);
+        EXPECT_NEAR(realized, target, tol)
+            << spec.name << " " << what;
+    };
+    close(double(simd) / n, target_simd, "simd");
+    close(double(branch) / n, target_branch, "branch");
+    close(double(mem) / n, target_mem, "mem");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, MixConformance,
+                         ::testing::Range(0, 29));
+
+// --- end-to-end mode sweep over all apps ----------------------------------------
+
+class ModeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ModeSweep, RunsCleanlyWithCoherentStats)
+{
+    auto [app_idx, mode_idx] = GetParam();
+    auto all = allWorkloads();
+    const WorkloadSpec &w = all[app_idx];
+    const SimMode mode = static_cast<SimMode>(mode_idx);
+
+    MachineConfig m = w.suite == Suite::MobileBench ? mobileConfig()
+                                                    : serverConfig();
+    SimOptions opts;
+    opts.mode = mode;
+    opts.maxInstructions = 300'000;
+    SimResult r = simulate(m, w, opts);
+
+    ASSERT_EQ(r.instructions, 300'000u);
+    ASSERT_GT(r.ipc(), 0.0);
+    ASSERT_LE(r.ipc(), m.core.issueWidth);
+    ASSERT_GE(r.vpuGatedFraction, 0.0);
+    ASSERT_LE(r.vpuGatedFraction, 1.0);
+    ASSERT_LE(r.mlcHalfFraction + r.mlcQuarterFraction +
+                  r.mlcOneWayFraction,
+              1.0 + 1e-9);
+    ASSERT_GT(r.energy.totalEnergy(), 0.0);
+    ASSERT_GE(r.energy.leakageEnergy(), 0.0);
+    ASSERT_EQ(r.pvtHits + (r.pvtLookups - r.pvtHits), r.pvtLookups);
+    if (mode != SimMode::PowerChop) {
+        ASSERT_EQ(r.pvtLookups, 0u);
+        ASSERT_EQ(r.translationsExecuted, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsByMode, ModeSweep,
+    ::testing::Combine(
+        ::testing::Values(0, 4, 9, 11, 12, 17, 20, 23, 28),
+        ::testing::Range(0, 4)));

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Integration tests: end-to-end runs on the real suite models,
+ * asserting the qualitative shapes the paper reports. These use
+ * reduced instruction budgets so the whole file stays fast; the full
+ * evaluation lives in bench/.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "powerchop/powerchop.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+constexpr InsnCount testInsns = 4'000'000;
+
+SimResult
+runApp(const std::string &name, SimMode mode,
+       InsnCount insns = testInsns)
+{
+    WorkloadSpec w = findWorkload(name);
+    MachineConfig m = w.suite == Suite::MobileBench ? mobileConfig()
+                                                    : serverConfig();
+    SimOptions opts;
+    opts.mode = mode;
+    opts.maxInstructions = insns;
+    return simulate(m, w, opts);
+}
+
+} // namespace
+
+TEST(Integration, PowerChopSlowdownIsSmall)
+{
+    // The paper's headline: about 2% average slowdown. Allow headroom
+    // per app at the reduced budget.
+    for (const char *app : {"gems", "lbm", "namd", "hmmer", "msn"}) {
+        SimResult full = runApp(app, SimMode::FullPower);
+        SimResult pc = runApp(app, SimMode::PowerChop);
+        EXPECT_LT(pc.slowdownVs(full), 0.06) << app;
+    }
+}
+
+TEST(Integration, MinPowerLosesSubstantially)
+{
+    // Memory-bound apps crater without the MLC (Figure 12).
+    for (const char *app : {"gems", "h264", "gobmk"}) {
+        SimResult full = runApp(app, SimMode::FullPower);
+        SimResult min = runApp(app, SimMode::MinPower);
+        EXPECT_GT(min.slowdownVs(full), 0.40) << app;
+    }
+}
+
+TEST(Integration, PowerChopReducesPowerAndLeakage)
+{
+    for (const char *app : {"lbm", "libquantum", "msn"}) {
+        SimResult full = runApp(app, SimMode::FullPower);
+        SimResult pc = runApp(app, SimMode::PowerChop);
+        EXPECT_GT(pc.powerReductionVs(full), 0.03) << app;
+        EXPECT_GT(pc.leakageReductionVs(full), 0.08) << app;
+        EXPECT_GT(pc.energyReductionVs(full), 0.0) << app;
+    }
+}
+
+TEST(Integration, VpuGatedHeavilyOnIntegerCode)
+{
+    // Figure 10: the VPU is gated ~90% on most SPEC-INT apps.
+    SimResult pc = runApp("hmmer", SimMode::PowerChop);
+    EXPECT_GT(pc.vpuGatedFraction, 0.8);
+}
+
+TEST(Integration, VpuStaysOnForVectorHeavyCode)
+{
+    // milc's SU(3) kernels keep the VPU critical.
+    SimResult pc = runApp("milc", SimMode::PowerChop);
+    EXPECT_LT(pc.vpuGatedFraction, 0.4);
+}
+
+TEST(Integration, BpuStaysOnForHardBranches)
+{
+    // sjeng's search is the BPU-critical archetype.
+    SimResult pc = runApp("sjeng", SimMode::PowerChop);
+    EXPECT_LT(pc.bpuGatedFraction, 0.3);
+}
+
+TEST(Integration, BpuGatedOnEasyBranches)
+{
+    SimResult pc = runApp("lbm", SimMode::PowerChop);
+    EXPECT_GT(pc.bpuGatedFraction, 0.7);
+}
+
+TEST(Integration, MlcWayGatedOnStreaming)
+{
+    // Figure 10: streaming apps sit at one way much of the time.
+    SimResult pc = runApp("libquantum", SimMode::PowerChop);
+    EXPECT_GT(pc.mlcOneWayFraction, 0.5);
+}
+
+TEST(Integration, MlcKeptForCacheResidentPhases)
+{
+    SimResult pc = runApp("gems", SimMode::PowerChop);
+    double full_frac =
+        1.0 - pc.mlcHalfFraction - pc.mlcOneWayFraction;
+    // The field-update phase (more than half the schedule) needs all
+    // ways.
+    EXPECT_GT(full_frac, 0.35);
+}
+
+TEST(Integration, PolicyChangeFrequenciesMatchFigure11)
+{
+    // Figure 11: BPU < 50, VPU < 10, MLC < 5 switches per Mcycle.
+    for (const char *app : {"gobmk", "gems", "msn"}) {
+        SimResult pc = runApp(app, SimMode::PowerChop);
+        EXPECT_LT(pc.bpuSwitchesPerMcycle, 50.0) << app;
+        EXPECT_LT(pc.vpuSwitchesPerMcycle, 10.0) << app;
+        EXPECT_LT(pc.mlcSwitchesPerMcycle, 5.0) << app;
+    }
+}
+
+TEST(Integration, PvtMissesAreRare)
+{
+    // Section IV-C3: ~0.017% of translations miss the PVT.
+    SimResult pc = runApp("perlbench", SimMode::PowerChop);
+    EXPECT_LT(pc.pvtMissPerTranslation, 0.002);
+    EXPECT_GT(pc.pvtLookups, 100u);
+}
+
+TEST(Integration, PowerChopGatesVpuWhereTimeoutCannot)
+{
+    // Figure 16's namd case: sparse uniform vector ops starve the
+    // timeout but PowerChop's phase criticality sees through them.
+    // Needs a longer run than the other tests so per-signature
+    // profiling amortizes.
+    SimResult pc = runApp("namd", SimMode::PowerChop, 8'000'000);
+    SimResult to = runApp("namd", SimMode::TimeoutVpu, 8'000'000);
+    EXPECT_GT(pc.vpuGatedFraction, 0.75);
+    EXPECT_LT(to.vpuGatedFraction, 0.25);
+}
+
+TEST(Integration, TimeoutCompetitiveWhenVectorsAreBursty)
+{
+    // Apps with long vector-free stretches let the timeout catch up.
+    SimResult to = runApp("hmmer", SimMode::TimeoutVpu);
+    EXPECT_GT(to.vpuGatedFraction, 0.8);
+}
+
+TEST(Integration, PhaseSignaturesAreStable)
+{
+    // Figure 8's quality metric: windows sharing a signature execute
+    // nearly identical translation sets (avg Manhattan distance 2.8%,
+    // never above 6.8%).
+    WorkloadSpec w = findWorkload("gobmk");
+    MachineConfig m = serverConfig();
+
+    std::map<PhaseSignature,
+             std::vector<std::map<TranslationId, double>>,
+             std::less<PhaseSignature>>
+        windows;
+
+    SimOptions opts;
+    opts.mode = SimMode::PowerChop;
+    opts.maxInstructions = testInsns;
+    opts.windowObserver = [&](const WindowReport &rep) {
+        auto &list = windows[rep.signature];
+        if (list.size() >= 6)
+            return;
+        std::map<TranslationId, double> counts;
+        for (const auto &[id, insns] : rep.profile)
+            counts[id] = static_cast<double>(insns);
+        list.push_back(std::move(counts));
+    };
+    simulate(m, w, opts);
+
+    double total_dist = 0;
+    int pairs = 0;
+    for (const auto &[sig, list] : windows) {
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            for (std::size_t j = i + 1; j < list.size(); ++j) {
+                // Normalized Manhattan distance over instruction
+                // profiles.
+                double dist = 0, mass = 0;
+                auto it_a = list[i].begin();
+                auto it_b = list[j].begin();
+                std::map<TranslationId, double> merged = list[i];
+                for (const auto &[id, c] : list[j]) {
+                    auto f = merged.find(id);
+                    if (f == merged.end())
+                        merged[id] = -c;
+                    else
+                        f->second -= c;
+                }
+                for (const auto &[id, c] : merged)
+                    dist += std::abs(c);
+                for (const auto &[id, c] : list[i])
+                    mass += c;
+                for (const auto &[id, c] : list[j])
+                    mass += c;
+                (void)it_a;
+                (void)it_b;
+                total_dist += dist / mass;
+                ++pairs;
+            }
+        }
+    }
+    ASSERT_GT(pairs, 0);
+    EXPECT_LT(total_dist / pairs, 0.15);
+}
+
+TEST(Integration, MobileSavesMoreLeakageThanServer)
+{
+    // Table I: the mobile MLC is 60% of core area vs 35%, so mobile
+    // leakage reductions are larger (Figure 14) for comparable
+    // workloads that keep their MLC-critical phases powered.
+    SimResult mfull = runApp("google", SimMode::FullPower);
+    SimResult mpc = runApp("google", SimMode::PowerChop);
+    SimResult sfull = runApp("gobmk", SimMode::FullPower);
+    SimResult spc = runApp("gobmk", SimMode::PowerChop);
+    EXPECT_GT(mpc.leakageReductionVs(mfull),
+              spc.leakageReductionVs(sfull));
+}
+
+TEST(Integration, EnergyReductionTracksPowerReductionMinusSlowdown)
+{
+    SimResult full = runApp("lbm", SimMode::FullPower);
+    SimResult pc = runApp("lbm", SimMode::PowerChop);
+    // Energy reduction is slightly below power reduction because of
+    // the (small) slowdown (Section V-D).
+    EXPECT_LE(pc.energyReductionVs(full),
+              pc.powerReductionVs(full) + 0.01);
+}

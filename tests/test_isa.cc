@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the guest ISA: instructions, basic blocks, programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/program.hh"
+
+using namespace powerchop;
+
+TEST(Instruction, OpClassNames)
+{
+    EXPECT_STREQ(opClassName(OpClass::IntAlu), "IntAlu");
+    EXPECT_STREQ(opClassName(OpClass::SimdOp), "SimdOp");
+    EXPECT_STREQ(opClassName(OpClass::Branch), "Branch");
+}
+
+TEST(Instruction, Predicates)
+{
+    StaticInst ld{0x1000, OpClass::Load};
+    StaticInst st{0x1004, OpClass::Store};
+    StaticInst br{0x1008, OpClass::Branch};
+    StaticInst v{0x100c, OpClass::SimdOp};
+    EXPECT_TRUE(ld.isMemRef());
+    EXPECT_TRUE(st.isMemRef());
+    EXPECT_FALSE(br.isMemRef());
+    EXPECT_TRUE(br.isBranch());
+    EXPECT_TRUE(v.isSimd());
+    EXPECT_FALSE(v.isBranch());
+}
+
+TEST(Instruction, ToStringMentionsClassAndPc)
+{
+    StaticInst si{0xdead0, OpClass::Load};
+    std::string s = toString(si);
+    EXPECT_NE(s.find("Load"), std::string::npos);
+    EXPECT_NE(s.find("dead0"), std::string::npos);
+}
+
+TEST(Program, AddBlockAppendsTerminator)
+{
+    Program p;
+    BlockId b = p.addBlock(0x1000, {OpClass::IntAlu, OpClass::Load});
+    const BasicBlock &bb = p.block(b);
+    EXPECT_EQ(bb.size(), 3u);
+    EXPECT_TRUE(bb.terminator().isBranch());
+    EXPECT_EQ(bb.insts[0].pc, 0x1000u);
+    EXPECT_EQ(bb.insts[1].pc, 0x1004u);
+    EXPECT_EQ(bb.fallthroughAddr(), 0x1000u + 3 * guestInsnBytes);
+}
+
+TEST(Program, CachesInstructionClassCounts)
+{
+    Program p;
+    BlockId b = p.addBlock(
+        0x2000, {OpClass::SimdOp, OpClass::Load, OpClass::Store,
+                 OpClass::SimdOp});
+    EXPECT_EQ(p.block(b).simdCount, 2u);
+    EXPECT_EQ(p.block(b).memCount, 2u);
+}
+
+TEST(Program, RejectsBadHeads)
+{
+    Program p;
+    EXPECT_THROW(p.addBlock(0, {OpClass::IntAlu}), PanicError);
+    EXPECT_THROW(p.addBlock(0x1001, {OpClass::IntAlu}), PanicError);
+    p.addBlock(0x1000, {OpClass::IntAlu});
+    EXPECT_THROW(p.addBlock(0x1000, {OpClass::IntAlu}), PanicError);
+}
+
+TEST(Program, RejectsExplicitBranchInBody)
+{
+    Program p;
+    EXPECT_THROW(p.addBlock(0x1000, {OpClass::Branch}), PanicError);
+}
+
+TEST(Program, SuccessorsAndEntry)
+{
+    Program p;
+    BlockId a = p.addBlock(0x1000, {OpClass::IntAlu});
+    BlockId b = p.addBlock(0x2000, {OpClass::IntAlu});
+    p.setSuccessors(a, b, a);
+    EXPECT_EQ(p.block(a).takenSucc, b);
+    EXPECT_EQ(p.block(a).fallthroughSucc, a);
+    EXPECT_EQ(p.entry(), a);
+    p.setEntry(b);
+    EXPECT_EQ(p.entry(), b);
+    EXPECT_THROW(p.setEntry(99), PanicError);
+    EXPECT_THROW(p.setSuccessors(a, 99, b), PanicError);
+}
+
+TEST(Program, FindByHead)
+{
+    Program p;
+    BlockId a = p.addBlock(0x1000, {OpClass::IntAlu});
+    EXPECT_EQ(p.findByHead(0x1000), a);
+    EXPECT_EQ(p.findByHead(0x9999000), invalidBlockId);
+}
+
+TEST(Program, NumStaticInsts)
+{
+    Program p;
+    p.addBlock(0x1000, {OpClass::IntAlu, OpClass::IntAlu});
+    p.addBlock(0x2000, {OpClass::Load});
+    // 2+1 bodies plus 2 terminators.
+    EXPECT_EQ(p.numStaticInsts(), 5u);
+}
+
+TEST(Program, BlockIndexOutOfRangePanics)
+{
+    Program p;
+    p.addBlock(0x1000, {OpClass::IntAlu});
+    EXPECT_THROW(p.block(5), PanicError);
+}

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the power models: gating-overhead energy (Eq. 1),
+ * per-unit specs, CACTI-lite and the energy accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "power/accumulator.hh"
+#include "power/cacti_lite.hh"
+#include "power/core_power_model.hh"
+#include "power/gating_energy.hh"
+#include "uarch/vpu.hh"
+
+using namespace powerchop;
+
+// --- gating energy (Hu et al., Eq. 1) ------------------------------------------
+
+TEST(GatingEnergy, MatchesEquationOne)
+{
+    GatingEnergyParams p;
+    p.sleepTransistorRatio = 0.2;
+    p.switchingFactor = 0.5;
+    // E = 2 * 0.2 * (P/f) * 0.5 = 0.2 * P/f
+    double e = gatingOverheadEnergy(3.0, 3.0e9, p);
+    EXPECT_NEAR(e, 0.2 * 3.0 / 3.0e9, 1e-15);
+}
+
+TEST(GatingEnergy, ScalesWithParameters)
+{
+    GatingEnergyParams p;
+    double base = gatingOverheadEnergy(1.0, 1e9, p);
+    p.sleepTransistorRatio *= 2;
+    EXPECT_NEAR(gatingOverheadEnergy(1.0, 1e9, p), 2 * base, 1e-15);
+    p.sleepTransistorRatio /= 2;
+    p.switchingFactor *= 3;
+    EXPECT_NEAR(gatingOverheadEnergy(1.0, 1e9, p), 3 * base, 1e-15);
+}
+
+TEST(GatingEnergy, Validation)
+{
+    EXPECT_THROW(gatingOverheadEnergy(1.0, 0.0), FatalError);
+    EXPECT_THROW(gatingOverheadEnergy(-1.0, 1e9), FatalError);
+}
+
+// --- unit specs and core params --------------------------------------------------
+
+TEST(CorePowerParams, ServerAreaFractionsMatchTableOne)
+{
+    CorePowerParams p = serverPowerParams();
+    EXPECT_NEAR(p.areaFraction(Unit::Mlc), 0.35, 1e-9);
+    EXPECT_NEAR(p.areaFraction(Unit::Vpu), 0.20, 1e-9);
+    EXPECT_NEAR(p.areaFraction(Unit::Bpu), 0.04, 1e-9);
+}
+
+TEST(CorePowerParams, MobileAreaFractionsMatchTableOne)
+{
+    CorePowerParams p = mobilePowerParams();
+    EXPECT_NEAR(p.areaFraction(Unit::Mlc), 0.60, 1e-9);
+    EXPECT_NEAR(p.areaFraction(Unit::Vpu), 0.18, 1e-9);
+    EXPECT_NEAR(p.areaFraction(Unit::Bpu), 0.03, 1e-9);
+}
+
+TEST(CorePowerParams, LeakageProportionalToArea)
+{
+    CorePowerParams p = serverPowerParams();
+    double mlc_density =
+        p.unit(Unit::Mlc).leakage / p.unit(Unit::Mlc).areaMm2;
+    double vpu_density =
+        p.unit(Unit::Vpu).leakage / p.unit(Unit::Vpu).areaMm2;
+    EXPECT_NEAR(mlc_density, vpu_density, 1e-9);
+}
+
+TEST(CorePowerParams, ValidationCatchesBadValues)
+{
+    CorePowerParams p = serverPowerParams();
+    p.unit(Unit::Vpu).leakage = -1;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(UnitPower, Names)
+{
+    EXPECT_STREQ(unitName(Unit::Vpu), "VPU");
+    EXPECT_STREQ(unitName(Unit::Rest), "Rest");
+}
+
+// --- model arithmetic --------------------------------------------------------------
+
+TEST(CorePowerModel, GatedLeakageAtFivePercent)
+{
+    CorePowerModel m(serverPowerParams());
+    const auto &spec = m.params().unit(Unit::Vpu);
+    Joules on = m.leakageEnergy(Unit::Vpu, 1.0, 0.0);
+    Joules off = m.leakageEnergy(Unit::Vpu, 0.0, 1.0);
+    EXPECT_NEAR(on, spec.leakage, 1e-12);
+    EXPECT_NEAR(off, 0.05 * spec.leakage, 1e-12);
+}
+
+TEST(CorePowerModel, MlcWayLeakageInterpolates)
+{
+    CorePowerModel m(serverPowerParams());
+    const auto &spec = m.params().unit(Unit::Mlc);
+    // One second at 1/8 ways: active eighth leaks fully, the rest at
+    // the gated fraction.
+    Joules e = m.mlcLeakageEnergy(0, 0, 0, 1.0, 0.125, 0.5, 0.25);
+    EXPECT_NEAR(e, spec.leakage * (0.125 + 0.05 * 0.875), 1e-12);
+    // A quarter-ways second interpolates the same way.
+    Joules q = m.mlcLeakageEnergy(0, 0, 1.0, 0, 0.125, 0.5, 0.25);
+    EXPECT_NEAR(q, spec.leakage * (0.25 + 0.05 * 0.75), 1e-12);
+}
+
+TEST(CorePowerModel, MlcAccessEnergyFloor)
+{
+    CorePowerModel m(serverPowerParams());
+    double full = m.mlcAccessEnergy(1.0);
+    double one = m.mlcAccessEnergy(0.125);
+    EXPECT_LT(one, full);
+    EXPECT_GT(one, m.params().mlcEnergyFloor * full - 1e-15);
+}
+
+TEST(CorePowerModel, SwitchOverheadUsesEqOne)
+{
+    CorePowerParams p = serverPowerParams();
+    Joules direct = gatingOverheadEnergy(p.unit(Unit::Mlc).peakDynamic,
+                                         p.frequencyHz, p.gating);
+    EXPECT_NEAR(p.switchOverhead(Unit::Mlc), direct, 1e-18);
+}
+
+// --- cacti-lite ----------------------------------------------------------------------
+
+TEST(CactiLite, HtbCostNearPaperFigures)
+{
+    // The paper's HTB: 128 entries x 64 bits, fully associative,
+    // costing about 0.027 W and 0.008 mm^2 at 32nm (Section IV-B4).
+    ArraySpec spec;
+    spec.entries = 128;
+    spec.bitsPerEntry = 64;
+    spec.style = ArrayStyle::Cam;
+    // One head per ~15 instructions at ~3e9 insns/s.
+    spec.accessesPerSecond = 2.0e8;
+    ArrayEstimate est = estimateArray(spec);
+    EXPECT_NEAR(est.areaMm2, 0.008, 0.004);
+    EXPECT_GT(est.totalPower, 0.005);
+    EXPECT_LT(est.totalPower, 0.08);
+}
+
+TEST(CactiLite, CamCostsMoreThanRam)
+{
+    ArraySpec cam{128, 64, ArrayStyle::Cam, 1e8};
+    ArraySpec ram{128, 64, ArrayStyle::Ram, 1e8};
+    EXPECT_GT(estimateArray(cam).areaMm2, estimateArray(ram).areaMm2);
+    EXPECT_GT(estimateArray(cam).energyPerAccess,
+              estimateArray(ram).energyPerAccess);
+}
+
+TEST(CactiLite, ScalesWithSize)
+{
+    ArraySpec small{64, 32, ArrayStyle::Ram, 0};
+    ArraySpec big{256, 32, ArrayStyle::Ram, 0};
+    EXPECT_NEAR(estimateArray(big).areaMm2,
+                4 * estimateArray(small).areaMm2, 1e-9);
+}
+
+TEST(CactiLite, RejectsEmptyArray)
+{
+    EXPECT_THROW(estimateArray(ArraySpec{0, 64}), FatalError);
+}
+
+// --- accumulator -----------------------------------------------------------------------
+
+TEST(Accumulator, EnergyPartsSumToTotal)
+{
+    CorePowerModel m(serverPowerParams());
+    ActivityRecord a;
+    a.cycles = 3e9;  // one second
+    a.instructions = 4e9;
+    a.vpuOps = 1e8;
+    a.bpuLargeLookups = 2e8;
+    a.mlcAccessesFull = 3e7;
+    a.vpuGatedCycles = 1e9;
+    a.mlcFullCycles = 3e9;
+    a.vpuSwitches = 100;
+    EnergyBreakdown e = accumulateEnergy(m, a, 8);
+
+    Joules sum = 0;
+    for (unsigned i = 0; i < numUnits; ++i)
+        sum += e.units[i].total();
+    EXPECT_NEAR(sum, e.totalEnergy(), 1e-9);
+    EXPECT_NEAR(e.totalEnergy(), e.leakageEnergy() + e.dynamicEnergy(),
+                1e-9);
+    EXPECT_NEAR(e.seconds, 1.0, 1e-12);
+    EXPECT_GT(e.averagePower(), 0.0);
+    EXPECT_GT(e.averageLeakagePower(), 0.0);
+}
+
+TEST(Accumulator, GatingReducesLeakage)
+{
+    CorePowerModel m(serverPowerParams());
+    ActivityRecord on;
+    on.cycles = 3e9;
+    on.instructions = 4e9;
+    on.mlcFullCycles = 3e9;
+
+    ActivityRecord off = on;
+    off.vpuGatedCycles = 3e9;
+    off.bpuGatedCycles = 3e9;
+    off.mlcFullCycles = 0;
+    off.mlcOneWayCycles = 3e9;
+
+    EnergyBreakdown e_on = accumulateEnergy(m, on, 8);
+    EnergyBreakdown e_off = accumulateEnergy(m, off, 8);
+    EXPECT_LT(e_off.leakageEnergy(), 0.7 * e_on.leakageEnergy());
+}
+
+TEST(Accumulator, SwitchesAddOverheadEnergy)
+{
+    CorePowerModel m(serverPowerParams());
+    ActivityRecord a;
+    a.cycles = 1e9;
+    a.vpuSwitches = 1000;
+    EnergyBreakdown e = accumulateEnergy(m, a, 8);
+    EXPECT_NEAR(e.unit(Unit::Vpu).gatingOverhead,
+                1000 * m.params().switchOverhead(Unit::Vpu), 1e-12);
+}
+
+TEST(Accumulator, MlcAccessEnergyScalesWithWays)
+{
+    CorePowerModel m(serverPowerParams());
+    ActivityRecord full;
+    full.cycles = 1e9;
+    full.mlcAccessesFull = 1e8;
+    ActivityRecord one;
+    one.cycles = 1e9;
+    one.mlcAccessesOne = 1e8;
+    EXPECT_GT(accumulateEnergy(m, full, 8).unit(Unit::Mlc).dynamic,
+              accumulateEnergy(m, one, 8).unit(Unit::Mlc).dynamic);
+}
+
+TEST(Accumulator, RejectsZeroAssoc)
+{
+    CorePowerModel m(serverPowerParams());
+    EXPECT_THROW(accumulateEnergy(m, ActivityRecord{}, 0), FatalError);
+}
+
+TEST(Accumulator, ToStringMentionsUnits)
+{
+    CorePowerModel m(serverPowerParams());
+    ActivityRecord a;
+    a.cycles = 1e9;
+    std::string s = accumulateEnergy(m, a, 8).toString();
+    EXPECT_NE(s.find("VPU"), std::string::npos);
+    EXPECT_NE(s.find("MLC"), std::string::npos);
+}
+
+// --- vpu ------------------------------------------------------------------------------
+
+TEST(Vpu, NativeVsEmulatedSlots)
+{
+    Vpu v(VpuParams{4, 16, 1.25});
+    EXPECT_DOUBLE_EQ(v.executeSimd(), 1.0);
+    v.gateOff();
+    EXPECT_DOUBLE_EQ(v.executeSimd(), 5.0);
+    EXPECT_EQ(v.nativeOps(), 1u);
+    EXPECT_EQ(v.emulatedOps(), 1u);
+    v.gateOn();
+    EXPECT_DOUBLE_EQ(v.executeSimd(), 1.0);
+}

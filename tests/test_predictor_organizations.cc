@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for the alternative large-BPU organizations: the agree
+ * predictor and the perceptron predictor, plus their integration into
+ * the BPU complex.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "uarch/agree.hh"
+#include "uarch/bpu_complex.hh"
+#include "uarch/perceptron.hh"
+#include "workload/branch_behavior.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+double
+accuracyOn(DirectionPredictor &pred, const BranchBehavior &beh,
+           int n = 20000, Addr pc = 0x4000)
+{
+    BranchOutcomeEngine eng(42);
+    BranchRuntime rt;
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+        bool taken = eng.nextOutcome(beh, rt);
+        bool p = pred.predictAndTrain(pc, taken);
+        if (i >= n / 4)
+            correct += (p == taken);
+    }
+    return correct / (n * 0.75);
+}
+
+BranchBehavior
+makeBehavior(BranchKind kind)
+{
+    BranchBehavior b;
+    b.kind = kind;
+    b.noise = 0.0;
+    return b;
+}
+
+} // namespace
+
+// --- agree ---------------------------------------------------------------------
+
+TEST(Agree, LearnsBiasedBranches)
+{
+    AgreePredictor p;
+    BranchBehavior b = makeBehavior(BranchKind::Biased);
+    b.biasTaken = 0.95;
+    EXPECT_GT(accuracyOn(p, b), 0.90);
+}
+
+TEST(Agree, LearnsNotTakenBias)
+{
+    AgreePredictor p;
+    BranchBehavior b = makeBehavior(BranchKind::Biased);
+    b.biasTaken = 0.05;
+    EXPECT_GT(accuracyOn(p, b), 0.90);
+}
+
+TEST(Agree, CapturesGlobalCorrelation)
+{
+    AgreePredictor p(4096, 2048, 8);
+    BranchOutcomeEngine eng(5);
+    BranchBehavior churn = makeBehavior(BranchKind::Biased);
+    churn.biasTaken = 0.5;
+    BranchBehavior corr = makeBehavior(BranchKind::GlobalCorrelated);
+    corr.historyMask = 0b11;
+    BranchRuntime rt_churn, rt_corr;
+    int correct = 0, counted = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        p.predictAndTrain(0x100, eng.nextOutcome(churn, rt_churn));
+        bool taken = eng.nextOutcome(corr, rt_corr);
+        bool pred = p.predictAndTrain(0x200, taken);
+        if (i > n / 2) {
+            correct += (pred == taken);
+            ++counted;
+        }
+    }
+    EXPECT_GT(correct / double(counted), 0.85);
+}
+
+TEST(Agree, ResetClearsBiasAndHistory)
+{
+    AgreePredictor p;
+    BranchBehavior b = makeBehavior(BranchKind::Biased);
+    b.biasTaken = 0.0;
+    accuracyOn(p, b, 2000);
+    p.reset();
+    // After reset the first lookup falls back to predict-taken.
+    EXPECT_TRUE(p.predictAndTrain(0x4000, true));
+}
+
+TEST(Agree, ValidatesGeometry)
+{
+    EXPECT_THROW(AgreePredictor(1000, 2048, 8), FatalError);
+    EXPECT_THROW(AgreePredictor(4096, 2048, 0), FatalError);
+}
+
+// --- perceptron -----------------------------------------------------------------
+
+TEST(Perceptron, LearnsBiasedBranches)
+{
+    PerceptronPredictor p;
+    BranchBehavior b = makeBehavior(BranchKind::Biased);
+    b.biasTaken = 0.95;
+    EXPECT_GT(accuracyOn(p, b), 0.90);
+}
+
+TEST(Perceptron, LearnsSingleHistoryBitCorrelation)
+{
+    // outcome == previous outcome: linearly separable, the perceptron
+    // should nail it.
+    PerceptronPredictor p(512, 16);
+    BranchOutcomeEngine eng(9);
+    BranchBehavior corr = makeBehavior(BranchKind::GlobalCorrelated);
+    corr.historyMask = 0b1;
+    BranchBehavior churn = makeBehavior(BranchKind::Random);
+    BranchRuntime rt_corr, rt_churn;
+    int correct = 0, counted = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        p.predictAndTrain(0x300, eng.nextOutcome(churn, rt_churn));
+        bool taken = eng.nextOutcome(corr, rt_corr);
+        bool pred = p.predictAndTrain(0x700, taken);
+        if (i > n / 2) {
+            correct += (pred == taken);
+            ++counted;
+        }
+    }
+    EXPECT_GT(correct / double(counted), 0.90);
+}
+
+TEST(Perceptron, LearnsLongPatterns)
+{
+    // A period-7 repeating pattern is a linear function of a 16-deep
+    // history window.
+    PerceptronPredictor p(512, 16);
+    BranchBehavior b = makeBehavior(BranchKind::Pattern);
+    b.patternBits = 0b0110101;
+    b.patternLen = 7;
+    EXPECT_GT(accuracyOn(p, b), 0.9);
+}
+
+TEST(Perceptron, CannotLearnParity)
+{
+    // XOR of two (random) history bits is the classic single-layer-
+    // perceptron counterexample. Interleave random churn so the
+    // correlated branch's inputs are genuinely random bits.
+    PerceptronPredictor p(512, 16);
+    BranchOutcomeEngine eng(33);
+    BranchBehavior churn = makeBehavior(BranchKind::Random);
+    BranchBehavior parity = makeBehavior(BranchKind::GlobalCorrelated);
+    parity.historyMask = 0b11;
+    BranchRuntime rt_churn, rt_parity;
+    int correct = 0, counted = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        p.predictAndTrain(0x300, eng.nextOutcome(churn, rt_churn));
+        p.predictAndTrain(0x304, eng.nextOutcome(churn, rt_churn));
+        bool taken = eng.nextOutcome(parity, rt_parity);
+        bool pred = p.predictAndTrain(0x700, taken);
+        if (i > n / 2) {
+            correct += (pred == taken);
+            ++counted;
+        }
+    }
+    EXPECT_LT(correct / double(counted), 0.75);
+}
+
+TEST(Perceptron, ResetZeroesWeights)
+{
+    PerceptronPredictor p;
+    BranchBehavior b = makeBehavior(BranchKind::Biased);
+    b.biasTaken = 0.0;
+    accuracyOn(p, b, 2000);
+    p.reset();
+    // Zero weights -> output 0 -> predict taken by convention.
+    EXPECT_TRUE(p.predictAndTrain(0x4000, true));
+}
+
+TEST(Perceptron, ValidatesGeometry)
+{
+    EXPECT_THROW(PerceptronPredictor(100, 16), FatalError);
+    EXPECT_THROW(PerceptronPredictor(512, 0), FatalError);
+}
+
+// --- BPU complex integration -------------------------------------------------------
+
+TEST(BpuOrganizations, KindNames)
+{
+    EXPECT_STREQ(largePredictorKindName(LargePredictorKind::Tournament),
+                 "tournament");
+    EXPECT_STREQ(largePredictorKindName(LargePredictorKind::Agree),
+                 "agree");
+    EXPECT_STREQ(largePredictorKindName(LargePredictorKind::Perceptron),
+                 "perceptron");
+}
+
+TEST(BpuOrganizations, AllKindsBeatSmallOnCorrelatedStreams)
+{
+    for (LargePredictorKind kind :
+         {LargePredictorKind::Tournament, LargePredictorKind::Agree,
+          LargePredictorKind::Perceptron}) {
+        BpuParams params;
+        params.largeKind = kind;
+        BpuComplex bpu(params);
+
+        BranchOutcomeEngine eng(21);
+        BranchBehavior churn = makeBehavior(BranchKind::Random);
+        BranchBehavior corr =
+            makeBehavior(BranchKind::GlobalCorrelated);
+        corr.historyMask = 0b1;  // linearly separable for all kinds
+        BranchRuntime rt, rt_churn;
+        auto step = [&]() {
+            // Churn makes the correlated branch's input genuinely
+            // random: the small bimodal predictor cannot track it.
+            bpu.predict(0x800, eng.nextOutcome(churn, rt_churn),
+                        0x1000);
+            bpu.predict(0x900, eng.nextOutcome(corr, rt), 0x1000);
+        };
+        int n = 20000;
+        for (int i = 0; i < n; ++i)
+            step();
+        bpu.resetWindowStats();
+        for (int i = 0; i < 5000; ++i)
+            step();
+
+        // The window rates mix the easy churn branch with the hard
+        // correlated one; the large side must still clearly win.
+        EXPECT_LT(bpu.largeWindowMispredictRate(),
+                  bpu.smallWindowMispredictRate() - 0.10)
+            << largePredictorKindName(kind);
+    }
+}
+
+TEST(BpuOrganizations, GatingWorksForAllKinds)
+{
+    for (LargePredictorKind kind :
+         {LargePredictorKind::Agree, LargePredictorKind::Perceptron}) {
+        BpuParams params;
+        params.largeKind = kind;
+        BpuComplex bpu(params);
+        bpu.predict(0x100, true, 0x200);
+        bpu.gateLargeOff();
+        EXPECT_FALSE(bpu.largeOn());
+        bpu.predict(0x100, true, 0x200);  // runs on the small side
+        bpu.gateLargeOn();
+        EXPECT_TRUE(bpu.largeOn());
+    }
+}

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Parameterized property tests: invariants swept across geometries,
+ * policies, seeds and parameter ranges (TEST_P).
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hh"
+#include "core/signature.hh"
+#include "common/random.hh"
+#include "power/gating_energy.hh"
+#include "uarch/bimodal.hh"
+#include "uarch/btb.hh"
+#include "uarch/cache.hh"
+#include "workload/generator.hh"
+#include "workload/suites.hh"
+
+using namespace powerchop;
+
+// --- cache invariants over geometries -------------------------------------------
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometry, HitsNeverExceedAccessesAndGatingConserves)
+{
+    auto [size_kb, assoc] = GetParam();
+    CacheParams params{size_kb * 1024ull, assoc, 64};
+    SetAssocCache c(params);
+    Rng rng(size_kb * 31 + assoc);
+
+    for (int i = 0; i < 5000; ++i)
+        c.access(0x100000 + rng.below(256) * 64, rng.bernoulli(0.3));
+
+    EXPECT_EQ(c.hits() + c.misses(), c.accesses());
+    EXPECT_LE(c.validLineCount(), params.sizeBytes / params.lineBytes);
+
+    // Way-gating to one way keeps at most numSets lines and never
+    // invents lines.
+    std::uint64_t before = c.validLineCount();
+    c.setActiveWays(1);
+    EXPECT_LE(c.validLineCount(), before);
+    EXPECT_LE(c.validLineCount(), c.numSets());
+
+    // Re-enabling all ways must not resurrect lines.
+    std::uint64_t at_one = c.validLineCount();
+    c.setActiveWays(assoc);
+    EXPECT_EQ(c.validLineCount(), at_one);
+}
+
+TEST_P(CacheGeometry, WaySweepMonotoneCapacity)
+{
+    auto [size_kb, assoc] = GetParam();
+    CacheParams params{size_kb * 1024ull, assoc, 64};
+
+    // Hit rate over a fixed working set never decreases with more
+    // ways (warmed, LRU, no gating churn).
+    double prev_rate = -1.0;
+    for (unsigned ways = 1; ways <= assoc; ways *= 2) {
+        SetAssocCache c(params);
+        c.setActiveWays(ways);
+        Rng rng(7);
+        const std::uint64_t lines = (size_kb * 1024ull / 64) / 2;
+        for (int i = 0; i < 20000; ++i)
+            c.access(0x1000000 + rng.below(lines) * 64, false);
+        EXPECT_GE(c.hitRate() + 0.02, prev_rate);
+        prev_rate = c.hitRate();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(8u, 2u), std::make_tuple(32u, 4u),
+                      std::make_tuple(64u, 8u), std::make_tuple(256u, 8u),
+                      std::make_tuple(1024u, 8u),
+                      std::make_tuple(16u, 16u)));
+
+// --- policy encoding over the full 4-bit space -----------------------------------
+
+class PolicyBits : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PolicyBits, DecodeEncodeStable)
+{
+    unsigned bits = GetParam();
+    GatingPolicy p = GatingPolicy::decode(bits);
+    // Idempotent under a decode/encode round trip.
+    EXPECT_EQ(GatingPolicy::decode(p.encode()), p);
+    // MLC field always one of the four legal states.
+    EXPECT_TRUE(p.mlc == MlcPolicy::AllWays ||
+                p.mlc == MlcPolicy::HalfWays ||
+                p.mlc == MlcPolicy::QuarterWays ||
+                p.mlc == MlcPolicy::OneWay);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitPatterns, PolicyBits,
+                         ::testing::Range(0u, 16u));
+
+// --- signature canonicalization across permutations --------------------------------
+
+class SignaturePermutation : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SignaturePermutation, OrderIndependent)
+{
+    Rng rng(GetParam());
+    TranslationId ids[4];
+    for (auto &id : ids)
+        id = static_cast<TranslationId>(rng.below(1u << 30)) + 1;
+    PhaseSignature ref(ids, 4);
+    for (int shuffle = 0; shuffle < 8; ++shuffle) {
+        TranslationId perm[4] = {ids[0], ids[1], ids[2], ids[3]};
+        for (int k = 3; k > 0; --k)
+            std::swap(perm[k], perm[rng.below(k + 1)]);
+        EXPECT_EQ(PhaseSignature(perm, 4), ref);
+        EXPECT_EQ(PhaseSignature(perm, 4).hash(), ref.hash());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignaturePermutation,
+                         ::testing::Range(1u, 17u));
+
+// --- gating energy monotonicity ------------------------------------------------------
+
+class GatingEnergySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GatingEnergySweep, MonotoneInPeakPower)
+{
+    double peak = GetParam();
+    GatingEnergyParams p;
+    double e1 = gatingOverheadEnergy(peak, 2e9, p);
+    double e2 = gatingOverheadEnergy(peak * 2, 2e9, p);
+    EXPECT_GT(e2, e1);
+    EXPECT_GE(e1, 0.0);
+    // Doubling frequency halves per-cycle energy.
+    EXPECT_NEAR(gatingOverheadEnergy(peak, 4e9, p), e1 / 2, 1e-18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Peaks, GatingEnergySweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 8.0));
+
+// --- RNG bound sweep -------------------------------------------------------------------
+
+class RngBounds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBounds, BelowAlwaysInBound)
+{
+    std::uint64_t bound = GetParam();
+    Rng rng(bound * 2654435761u + 1);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_LT(rng.below(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBounds,
+                         ::testing::Values(1ull, 2ull, 3ull, 10ull,
+                                           255ull, 256ull, 65536ull,
+                                           1ull << 40));
+
+// --- predictor table-size sweep ----------------------------------------------------------
+
+class BimodalSizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BimodalSizes, LearnsStronglyBiasedStream)
+{
+    BimodalPredictor p(GetParam());
+    Rng rng(3);
+    int correct = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        bool taken = rng.bernoulli(0.97);
+        correct += (p.predictAndTrain(0x100, taken) == taken);
+    }
+    EXPECT_GT(correct / double(n), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BimodalSizes,
+                         ::testing::Values(16u, 64u, 256u, 1024u, 4096u));
+
+// --- BTB geometry sweep --------------------------------------------------------------------
+
+class BtbGeometry
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(BtbGeometry, StableTargetsAlwaysHitAfterWarmup)
+{
+    auto [entries, assoc] = GetParam();
+    Btb btb(entries, assoc);
+    // Up to `entries` distinct branches with stable targets.
+    unsigned branches = entries / 2;
+    for (unsigned round = 0; round < 3; ++round) {
+        for (unsigned b = 0; b < branches; ++b) {
+            bool hit = btb.predictAndUpdate(0x1000 + b * 4,
+                                            0x90000 + b * 64);
+            if (round > 0) {
+                ASSERT_TRUE(hit) << "entries=" << entries;
+            }
+        }
+    }
+    EXPECT_EQ(btb.lookups(), 3u * branches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BtbGeometry,
+    ::testing::Values(std::make_tuple(64u, 2u), std::make_tuple(256u, 4u),
+                      std::make_tuple(1024u, 4u),
+                      std::make_tuple(4096u, 8u)));
+
+// --- workload generator determinism across all 29 apps --------------------------------------
+
+class SuiteApps : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SuiteApps, GeneratorDeterministicAndWellFormed)
+{
+    auto all = allWorkloads();
+    const WorkloadSpec &spec = all[GetParam()];
+    WorkloadGenerator g1(spec), g2(spec);
+    for (int i = 0; i < 3000; ++i) {
+        const DynInst &a = g1.next();
+        const DynInst &b = g2.next();
+        ASSERT_EQ(a.pc(), b.pc()) << spec.name;
+        ASSERT_EQ(a.effAddr, b.effAddr) << spec.name;
+        ASSERT_NE(a.si, nullptr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SuiteApps, ::testing::Range(0, 29));

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for the simulator layer: machine configs, results and
+ * short end-to-end runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/machine_config.hh"
+#include "sim/simulator.hh"
+#include "workload/suites.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+WorkloadSpec
+smallWorkload()
+{
+    WorkloadSpec w;
+    w.name = "small";
+    w.seed = 5;
+    PhaseSpec compute;
+    compute.name = "compute";
+    compute.simdFrac = 0.05;
+    PhaseSpec memory;
+    memory.name = "memory";
+    memory.memFrac = 0.32;
+    memory.mem.workingSetBytes = 256 * 1024;
+    memory.mem.hotRegionFrac = 0.8;
+    memory.mem.randomFrac = 0.5;
+    w.phases = {compute, memory};
+    w.schedule = {{0, 150'000}, {1, 250'000}};
+    return w;
+}
+
+SimResult
+run(SimMode mode, InsnCount insns = 400'000)
+{
+    SimOptions opts;
+    opts.mode = mode;
+    opts.maxInstructions = insns;
+    return simulate(serverConfig(), smallWorkload(), opts);
+}
+
+} // namespace
+
+// --- machine configs ---------------------------------------------------------------
+
+TEST(MachineConfig, TableOneGeometries)
+{
+    MachineConfig s = serverConfig();
+    EXPECT_EQ(s.mlc.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(s.mlc.assoc, 8u);
+    EXPECT_EQ(s.vpu.width, 4u);
+    EXPECT_EQ(s.bpu.largeBtbEntries, 4096u);
+    EXPECT_EQ(s.bpu.smallBtbEntries, 1024u);
+    EXPECT_NO_THROW(s.validate());
+
+    MachineConfig m = mobileConfig();
+    EXPECT_EQ(m.mlc.sizeBytes, 2048u * 1024);
+    EXPECT_EQ(m.vpu.width, 2u);
+    EXPECT_EQ(m.bpu.largeBtbEntries, 2048u);
+    EXPECT_EQ(m.bpu.smallBtbEntries, 512u);
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(MachineConfig, ValidationCatchesBadGeometry)
+{
+    MachineConfig s = serverConfig();
+    s.mlc.assoc = 1;
+    s.mlc.sizeBytes = 128 * 1024;
+    EXPECT_THROW(s.validate(), FatalError);
+}
+
+TEST(MachineConfig, GatingPenaltiesMatchPaper)
+{
+    MachineConfig s = serverConfig();
+    EXPECT_DOUBLE_EQ(s.penalties.mlcSwitchCycles, 50.0);
+    EXPECT_DOUBLE_EQ(s.penalties.vpuSwitchCycles, 30.0);
+    EXPECT_DOUBLE_EQ(s.penalties.bpuSwitchCycles, 20.0);
+    EXPECT_DOUBLE_EQ(s.penalties.vpuSaveRestoreCycles, 500.0);
+    EXPECT_DOUBLE_EQ(s.timeout.timeoutCycles, 20000.0);
+}
+
+// --- results arithmetic ---------------------------------------------------------------
+
+TEST(SimResult, ModeNames)
+{
+    EXPECT_STREQ(simModeName(SimMode::PowerChop), "powerchop");
+    EXPECT_STREQ(simModeName(SimMode::TimeoutVpu), "timeout-vpu");
+}
+
+TEST(SimResult, ComparisonArithmetic)
+{
+    SimResult base;
+    base.instructions = 1000;
+    base.cycles = 1000;
+    base.energy.seconds = 1.0;
+    base.energy.unit(Unit::Rest).leakage = 2.0;
+    base.energy.unit(Unit::Rest).dynamic = 2.0;
+
+    SimResult other = base;
+    other.cycles = 1100;
+    other.energy.unit(Unit::Rest).dynamic = 1.0;
+
+    EXPECT_NEAR(other.slowdownVs(base), 0.10, 1e-12);
+    EXPECT_NEAR(other.energyReductionVs(base), 0.25, 1e-12);
+    EXPECT_NEAR(other.powerReductionVs(base), 0.25, 1e-12);
+    EXPECT_NEAR(other.leakageReductionVs(base), 0.0, 1e-12);
+}
+
+// --- simulation runs --------------------------------------------------------------------
+
+TEST(Simulator, Deterministic)
+{
+    SimResult a = run(SimMode::PowerChop);
+    SimResult b = run(SimMode::PowerChop);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.pvtLookups, b.pvtLookups);
+    EXPECT_EQ(a.energy.totalEnergy(), b.energy.totalEnergy());
+}
+
+TEST(Simulator, BasicInvariants)
+{
+    for (SimMode mode : {SimMode::FullPower, SimMode::PowerChop,
+                         SimMode::MinPower, SimMode::TimeoutVpu}) {
+        SimResult r = run(mode);
+        EXPECT_EQ(r.instructions, 400'000u);
+        // Cycles at least issue-limited.
+        EXPECT_GE(r.cycles, r.instructions / 4.0);
+        EXPECT_GT(r.ipc(), 0.0);
+        EXPECT_LE(r.ipc(), 4.0);
+        EXPECT_GE(r.vpuGatedFraction, 0.0);
+        EXPECT_LE(r.vpuGatedFraction, 1.0);
+        EXPECT_LE(r.mlcHalfFraction + r.mlcOneWayFraction, 1.0 + 1e-9);
+        EXPECT_GT(r.energy.totalEnergy(), 0.0);
+        EXPECT_GT(r.seconds, 0.0);
+    }
+}
+
+TEST(Simulator, FullPowerNeverGates)
+{
+    SimResult r = run(SimMode::FullPower);
+    EXPECT_DOUBLE_EQ(r.vpuGatedFraction, 0.0);
+    EXPECT_DOUBLE_EQ(r.bpuGatedFraction, 0.0);
+    EXPECT_DOUBLE_EQ(r.mlcOneWayFraction, 0.0);
+    EXPECT_EQ(r.gating.vpuSwitches, 0u);
+}
+
+TEST(Simulator, MinPowerGatesEverythingAlways)
+{
+    SimResult r = run(SimMode::MinPower);
+    EXPECT_GT(r.vpuGatedFraction, 0.999);
+    EXPECT_GT(r.bpuGatedFraction, 0.999);
+    EXPECT_GT(r.mlcOneWayFraction, 0.999);
+    EXPECT_GT(r.simdEmulated, 0u);
+}
+
+TEST(Simulator, MinPowerUsesLessLeakagePowerAndMoreTime)
+{
+    SimResult full = run(SimMode::FullPower);
+    SimResult min = run(SimMode::MinPower);
+    EXPECT_LT(min.energy.averageLeakagePower(),
+              full.energy.averageLeakagePower());
+    EXPECT_GE(min.cycles, full.cycles * 0.99);
+}
+
+TEST(Simulator, PowerChopBetweenExtremes)
+{
+    SimResult full = run(SimMode::FullPower);
+    SimResult pc = run(SimMode::PowerChop);
+    // PowerChop saves leakage power relative to full power...
+    EXPECT_LT(pc.energy.averageLeakagePower(),
+              full.energy.averageLeakagePower());
+    // ...at a small slowdown.
+    EXPECT_LT(pc.slowdownVs(full), 0.10);
+}
+
+TEST(Simulator, PowerChopMaintainsPvtHitRate)
+{
+    SimResult pc = run(SimMode::PowerChop, 1'000'000);
+    EXPECT_GT(pc.pvtLookups, 50u);
+    EXPECT_LT(pc.pvtMissPerTranslation, 0.01);
+    EXPECT_GT(pc.translationsExecuted, 10'000u);
+}
+
+TEST(Simulator, ManagedUnitMasksRestrictGating)
+{
+    SimOptions opts;
+    opts.mode = SimMode::PowerChop;
+    opts.maxInstructions = 400'000;
+    opts.manageVpu = true;
+    opts.manageBpu = false;
+    opts.manageMlc = false;
+    SimResult r = simulate(serverConfig(), smallWorkload(), opts);
+    EXPECT_GT(r.vpuGatedFraction, 0.0);
+    EXPECT_DOUBLE_EQ(r.bpuGatedFraction, 0.0);
+    EXPECT_DOUBLE_EQ(r.mlcOneWayFraction, 0.0);
+    EXPECT_DOUBLE_EQ(r.mlcHalfFraction, 0.0);
+}
+
+TEST(Simulator, TimeoutGatesVpuOnly)
+{
+    SimResult r = run(SimMode::TimeoutVpu, 600'000);
+    // The compute phase uses SIMD every ~20 insns, so the VPU stays
+    // on there; the memory phase has none, so the timeout fires.
+    EXPECT_GT(r.vpuGatedFraction, 0.1);
+    EXPECT_DOUBLE_EQ(r.bpuGatedFraction, 0.0);
+    EXPECT_DOUBLE_EQ(r.mlcOneWayFraction, 0.0);
+}
+
+TEST(Simulator, SamplerFires)
+{
+    SimOptions opts;
+    opts.mode = SimMode::FullPower;
+    opts.maxInstructions = 100'000;
+    opts.sampleInterval = 10'000;
+    int samples = 0;
+    Cycles last = 0;
+    opts.sampler = [&](InsnCount n, Cycles c) {
+        ++samples;
+        EXPECT_GT(c, last);
+        last = c;
+        EXPECT_EQ(n % 10'000, 0u);
+    };
+    simulate(serverConfig(), smallWorkload(), opts);
+    EXPECT_EQ(samples, 10);
+}
+
+TEST(Simulator, WindowObserverFires)
+{
+    SimOptions opts;
+    opts.mode = SimMode::PowerChop;
+    opts.maxInstructions = 500'000;
+    int windows = 0;
+    opts.windowObserver = [&](const WindowReport &rep) {
+        ++windows;
+        EXPECT_GT(rep.translations, 0u);
+        EXPECT_FALSE(rep.signature.empty());
+    };
+    simulate(serverConfig(), smallWorkload(), opts);
+    EXPECT_GT(windows, 10);
+}
+
+TEST(Simulator, RejectsZeroBudget)
+{
+    SimOptions opts;
+    opts.maxInstructions = 0;
+    EXPECT_THROW(simulate(serverConfig(), smallWorkload(), opts),
+                 FatalError);
+}
+
+TEST(SimResult, JsonIsWellFormedAndComplete)
+{
+    SimResult r = run(SimMode::PowerChop, 200'000);
+    std::string j = r.toJson();
+    // Structural sanity without a JSON library: balanced braces,
+    // quoted keys, and the load-bearing fields present.
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+    for (const char *key :
+         {"\"workload\"", "\"mode\"", "\"ipc\"", "\"avg_power_w\"",
+          "\"vpu_gated\"", "\"pvt_lookups\"", "\"cycles\""}) {
+        EXPECT_NE(j.find(key), std::string::npos) << key;
+    }
+    EXPECT_NE(j.find("\"mode\":\"powerchop\""), std::string::npos);
+    // No trailing comma before the closing brace.
+    EXPECT_EQ(j.find(",}"), std::string::npos);
+}
+
+// --- experiment helpers --------------------------------------------------------------------
+
+TEST(Experiment, MeanAndMax)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxOf({1, 5, 3}), 5.0);
+    EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+}
+
+TEST(Experiment, PctFormats)
+{
+    EXPECT_EQ(pct(0.123456), " 12.35%");
+}
+
+TEST(Experiment, InsnBudgetDefault)
+{
+    unsetenv("POWERCHOP_INSNS");
+    EXPECT_EQ(insnBudget(123), 123u);
+    setenv("POWERCHOP_INSNS", "5000", 1);
+    EXPECT_EQ(insnBudget(123), 5000u);
+    setenv("POWERCHOP_INSNS", "garbage", 1);
+    setQuiet(true);
+    EXPECT_EQ(insnBudget(123), 123u);
+    setQuiet(false);
+    unsetenv("POWERCHOP_INSNS");
+}
+
+TEST(Experiment, RunPairProducesComparableRuns)
+{
+    ComparisonRuns runs =
+        runPair(serverConfig(), smallWorkload(), 200'000);
+    EXPECT_EQ(runs.fullPower.instructions, runs.powerChop.instructions);
+    EXPECT_EQ(runs.fullPower.mode, SimMode::FullPower);
+    EXPECT_EQ(runs.powerChop.mode, SimMode::PowerChop);
+}

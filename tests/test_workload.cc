@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for workload specs, the suite presets and the generator.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/generator.hh"
+#include "workload/suites.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+WorkloadSpec
+tinySpec()
+{
+    WorkloadSpec w;
+    w.name = "tiny";
+    w.seed = 42;
+    PhaseSpec a;
+    a.name = "a";
+    a.simdFrac = 0.1;
+    PhaseSpec b;
+    b.name = "b";
+    b.simdFrac = 0.0;
+    b.branchFrac = 0.1;
+    w.phases = {a, b};
+    w.schedule = {{0, 50'000}, {1, 50'000}};
+    return w;
+}
+
+} // namespace
+
+// --- spec validation ---------------------------------------------------------
+
+TEST(WorkloadSpec, ValidatesPhaseIndices)
+{
+    WorkloadSpec w = tinySpec();
+    w.schedule.push_back({7, 1000});
+    EXPECT_THROW(w.validate(), FatalError);
+}
+
+TEST(WorkloadSpec, RejectsEmptyScheduleOrPhases)
+{
+    WorkloadSpec w = tinySpec();
+    w.schedule.clear();
+    EXPECT_THROW(w.validate(), FatalError);
+
+    WorkloadSpec w2 = tinySpec();
+    w2.phases.clear();
+    EXPECT_THROW(w2.validate(), FatalError);
+}
+
+TEST(WorkloadSpec, RejectsZeroLengthEntry)
+{
+    WorkloadSpec w = tinySpec();
+    w.schedule.push_back({0, 0});
+    EXPECT_THROW(w.validate(), FatalError);
+}
+
+TEST(WorkloadSpec, ScheduleLength)
+{
+    EXPECT_EQ(tinySpec().scheduleLength(), 100'000u);
+}
+
+TEST(PhaseSpec, RejectsBadMixes)
+{
+    PhaseSpec p;
+    p.simdFrac = 0.9;
+    p.memFrac = 0.5;
+    EXPECT_THROW(p.validate("t"), FatalError);
+
+    PhaseSpec p2;
+    p2.fracBiased = 0.9;
+    p2.fracPattern = 0.3;
+    EXPECT_THROW(p2.validate("t"), FatalError);
+
+    PhaseSpec p3;
+    p3.hotBlocks = 2;
+    EXPECT_THROW(p3.validate("t"), FatalError);
+
+    PhaseSpec p4;
+    p4.hotWeightDecay = 1.0;
+    EXPECT_THROW(p4.validate("t"), FatalError);
+}
+
+// --- suites -------------------------------------------------------------------
+
+TEST(Suites, TwentyNineApplications)
+{
+    EXPECT_EQ(allWorkloads().size(), 29u);
+    EXPECT_EQ(specIntSuite().size(), 10u);
+    EXPECT_EQ(specFpSuite().size(), 7u);
+    EXPECT_EQ(parsecSuite().size(), 6u);
+    EXPECT_EQ(mobileBenchSuite().size(), 6u);
+    EXPECT_EQ(serverWorkloads().size(), 23u);
+    EXPECT_EQ(mobileWorkloads().size(), 6u);
+}
+
+TEST(Suites, UniqueNamesAndSeeds)
+{
+    std::set<std::string> names;
+    std::set<std::uint64_t> seeds;
+    for (const auto &w : allWorkloads()) {
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+        EXPECT_TRUE(seeds.insert(w.seed).second) << w.name;
+    }
+}
+
+TEST(Suites, AllSpecsValidate)
+{
+    for (const auto &w : allWorkloads())
+        EXPECT_NO_THROW(w.validate()) << w.name;
+}
+
+TEST(Suites, FindWorkload)
+{
+    EXPECT_EQ(findWorkload("gobmk").name, "gobmk");
+    EXPECT_EQ(findWorkload("msn").suite, Suite::MobileBench);
+    EXPECT_THROW(findWorkload("doom"), FatalError);
+}
+
+TEST(Suites, SuiteNames)
+{
+    EXPECT_STREQ(suiteName(Suite::SpecInt), "SPEC-INT");
+    EXPECT_STREQ(suiteName(Suite::MobileBench), "MobileBench");
+}
+
+// --- generator -----------------------------------------------------------------
+
+TEST(Generator, Deterministic)
+{
+    WorkloadGenerator g1(tinySpec()), g2(tinySpec());
+    for (int i = 0; i < 5000; ++i) {
+        const DynInst &a = g1.next();
+        const DynInst &b = g2.next();
+        ASSERT_EQ(a.pc(), b.pc());
+        ASSERT_EQ(a.op(), b.op());
+        ASSERT_EQ(a.effAddr, b.effAddr);
+        ASSERT_EQ(a.taken, b.taken);
+    }
+}
+
+TEST(Generator, ProgramHasAllClusters)
+{
+    WorkloadGenerator g(tinySpec());
+    const auto &spec = g.spec();
+    std::size_t expect = 0;
+    for (const auto &p : spec.phases)
+        expect += p.hotBlocks + p.coldBlocks;
+    EXPECT_EQ(g.program().numBlocks(), expect);
+}
+
+TEST(Generator, InstructionStreamShape)
+{
+    WorkloadGenerator g(tinySpec());
+    InsnCount n = 0;
+    std::map<OpClass, InsnCount> mix;
+    while (n < 100'000) {
+        const DynInst &di = g.next();
+        ++n;
+        ++mix[di.op()];
+        if (di.si->isMemRef()) {
+            EXPECT_NE(di.effAddr, 0u);
+        }
+        if (di.isTerminator) {
+            EXPECT_TRUE(di.si->isBranch());
+            EXPECT_TRUE(di.taken);
+            EXPECT_NE(di.target, 0u);
+        }
+    }
+    EXPECT_EQ(g.instructionsEmitted(), n);
+    // Phase a contributes ~10% SIMD over its half of the schedule.
+    double simd_frac = double(mix[OpClass::SimdOp]) / n;
+    EXPECT_NEAR(simd_frac, 0.05, 0.02);
+}
+
+TEST(Generator, RealizedMixTracksSpec)
+{
+    WorkloadSpec w = tinySpec();
+    w.schedule = {{0, 200'000}};
+    WorkloadGenerator g(w);
+    std::map<OpClass, InsnCount> mix;
+    for (int i = 0; i < 200'000; ++i)
+        ++mix[g.next().op()];
+    double total = 200'000;
+    EXPECT_NEAR(mix[OpClass::SimdOp] / total, 0.1, 0.03);
+    EXPECT_NEAR((mix[OpClass::Load] + mix[OpClass::Store]) / total,
+                0.30, 0.05);
+}
+
+TEST(Generator, PhaseFollowsSchedule)
+{
+    WorkloadGenerator g(tinySpec());
+    EXPECT_EQ(g.currentPhase(), 0u);
+    for (int i = 0; i < 60'000; ++i)
+        g.next();
+    EXPECT_EQ(g.currentPhase(), 1u);
+    // Schedule loops.
+    for (int i = 0; i < 45'000; ++i)
+        g.next();
+    EXPECT_EQ(g.currentPhase(), 0u);
+}
+
+TEST(Generator, TargetsAreBlockHeads)
+{
+    WorkloadGenerator g(tinySpec());
+    const Program &prog = g.program();
+    for (int i = 0; i < 20'000; ++i) {
+        const DynInst &di = g.next();
+        if (di.isTerminator) {
+            ASSERT_NE(prog.findByHead(di.target), invalidBlockId);
+        }
+    }
+}
+
+TEST(Generator, BlockHeadFlagConsistent)
+{
+    WorkloadGenerator g(tinySpec());
+    // First instruction is at a block head.
+    EXPECT_TRUE(g.atBlockHead());
+    bool expect_head = true;
+    for (int i = 0; i < 20'000; ++i) {
+        EXPECT_EQ(g.atBlockHead(), expect_head);
+        const DynInst &di = g.next();
+        expect_head = di.isTerminator;
+    }
+}
+
+TEST(Generator, ColdBlocksExecuteOccasionally)
+{
+    WorkloadSpec w = tinySpec();
+    w.phases[0].coldEscapeProb = 0.05;
+    w.schedule = {{0, 100'000}};
+    WorkloadGenerator g(w);
+    const unsigned hot = w.phases[0].hotBlocks;
+    bool saw_cold = false;
+    for (int i = 0; i < 100'000; ++i) {
+        g.next();
+        if (g.currentBlock() >= hot &&
+            g.currentBlock() < hot + w.phases[0].coldBlocks) {
+            saw_cold = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_cold);
+}
+
+TEST(Generator, HotnessIsSkewedTowardFirstBlocks)
+{
+    WorkloadSpec w = tinySpec();
+    w.schedule = {{0, 150'000}};
+    WorkloadGenerator g(w);
+    std::map<BlockId, int> counts;
+    for (int i = 0; i < 150'000; ++i) {
+        const DynInst &di = g.next();
+        if (di.isTerminator)
+            ++counts[g.currentBlock()];
+    }
+    // Block 0 is the hottest and clearly ahead of block 3.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[3]);
+}

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * powerchop — the command-line driver.
+ *
+ * Subcommands:
+ *   list                         List the 29 built-in workload models.
+ *   show <workload>              Print a model's spec (spec_io text
+ *                                form, usable as a template).
+ *   run <workload> [options]     Simulate one workload.
+ *   compare <workload> [options] Full-power vs PowerChop vs min-power.
+ *
+ * `<workload>` is either a built-in model name or a path to a spec
+ * file (containing '/' or ending in .wl).
+ *
+ * Options:
+ *   --machine server|mobile   Design point (default: by suite).
+ *   --mode MODE               full-power | powerchop | min-power |
+ *                             timeout-vpu | drowsy-mlc (run only).
+ *   --insns N                 Instruction budget (default 10000000).
+ *   --timeout N               Timeout period in cycles (timeout-vpu).
+ *   --save PATH               Write the workload spec to PATH.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "powerchop/powerchop.hh"
+#include "workload/spec_io.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: powerchop <command> [args]\n"
+        "  list\n"
+        "  show <workload>\n"
+        "  run <workload> [--machine server|mobile] [--mode MODE]\n"
+        "      [--insns N] [--timeout N] [--save PATH] [--json]\n"
+        "  compare <workload> [--machine server|mobile] [--insns N]\n"
+        "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n");
+    return 2;
+}
+
+WorkloadSpec
+resolveWorkload(const std::string &arg)
+{
+    if (arg.find('/') != std::string::npos ||
+        (arg.size() > 3 && arg.substr(arg.size() - 3) == ".wl")) {
+        return loadWorkloadSpec(arg);
+    }
+    return findWorkload(arg);
+}
+
+SimMode
+parseMode(const std::string &m)
+{
+    for (SimMode mode : {SimMode::FullPower, SimMode::PowerChop,
+                         SimMode::MinPower, SimMode::TimeoutVpu,
+                         SimMode::DrowsyMlc}) {
+        if (m == simModeName(mode))
+            return mode;
+    }
+    fatal("unknown mode '%s'", m.c_str());
+}
+
+struct Args
+{
+    std::string machine;
+    SimMode mode = SimMode::PowerChop;
+    InsnCount insns = 10'000'000;
+    double timeout = 0;
+    std::string save;
+    bool json = false;
+};
+
+Args
+parseOptions(const std::vector<std::string> &rest)
+{
+    Args a;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+        auto need = [&](const char *what) -> const std::string & {
+            if (i + 1 >= rest.size())
+                fatal("%s requires a value", what);
+            return rest[++i];
+        };
+        if (rest[i] == "--machine")
+            a.machine = need("--machine");
+        else if (rest[i] == "--mode")
+            a.mode = parseMode(need("--mode"));
+        else if (rest[i] == "--insns")
+            a.insns = std::strtoull(need("--insns").c_str(), nullptr, 10);
+        else if (rest[i] == "--timeout")
+            a.timeout = std::strtod(need("--timeout").c_str(), nullptr);
+        else if (rest[i] == "--save")
+            a.save = need("--save");
+        else if (rest[i] == "--json")
+            a.json = true;
+        else
+            fatal("unknown option '%s'", rest[i].c_str());
+    }
+    if (a.insns == 0)
+        fatal("--insns must be positive");
+    return a;
+}
+
+MachineConfig
+resolveMachine(const Args &a, const WorkloadSpec &w)
+{
+    if (a.machine == "server")
+        return serverConfig();
+    if (a.machine == "mobile")
+        return mobileConfig();
+    if (!a.machine.empty())
+        fatal("unknown machine '%s'", a.machine.c_str());
+    return w.suite == Suite::MobileBench ? mobileConfig()
+                                         : serverConfig();
+}
+
+void
+printResult(const SimResult &r)
+{
+    std::printf("%s on %s [%s]\n", r.workload.c_str(),
+                r.machine.c_str(), simModeName(r.mode));
+    std::printf("  instructions  %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("  cycles        %.0f\n", static_cast<double>(r.cycles));
+    std::printf("  IPC           %.3f\n", r.ipc());
+    std::printf("  avg power     %.3f W (leakage %.3f W)\n",
+                r.energy.averagePower(),
+                r.energy.averageLeakagePower());
+    std::printf("  energy        %.4g J\n", r.energy.totalEnergy());
+    std::printf("  gated: VPU %s  BPU %s  MLC half %s / quarter %s / "
+                "1-way %s\n",
+                pct(r.vpuGatedFraction).c_str(),
+                pct(r.bpuGatedFraction).c_str(),
+                pct(r.mlcHalfFraction).c_str(),
+                pct(r.mlcQuarterFraction).c_str(),
+                pct(r.mlcOneWayFraction).c_str());
+    if (r.mode == SimMode::PowerChop) {
+        std::printf("  PVT: %llu lookups, %llu hits (%.4f%% misses "
+                    "per translation)\n",
+                    static_cast<unsigned long long>(r.pvtLookups),
+                    static_cast<unsigned long long>(r.pvtHits),
+                    100 * r.pvtMissPerTranslation);
+    }
+    if (r.mode == SimMode::DrowsyMlc) {
+        std::printf("  drowsy: avg %.1f%% of lines drowsy, %llu "
+                    "wakeups\n",
+                    100 * r.mlcDrowsyFraction,
+                    static_cast<unsigned long long>(r.drowsyWakes));
+    }
+}
+
+int
+cmdList()
+{
+    std::printf("%-15s %-12s %7s %9s\n", "name", "suite", "phases",
+                "schedule");
+    for (const auto &w : allWorkloads()) {
+        std::printf("%-15s %-12s %7zu %8lluK\n", w.name.c_str(),
+                    suiteName(w.suite), w.phases.size(),
+                    static_cast<unsigned long long>(
+                        w.scheduleLength() / 1000));
+    }
+    return 0;
+}
+
+int
+cmdShow(const std::string &name)
+{
+    std::fputs(formatWorkloadSpec(resolveWorkload(name)).c_str(),
+               stdout);
+    return 0;
+}
+
+int
+cmdRun(const std::string &name, const Args &a)
+{
+    WorkloadSpec w = resolveWorkload(name);
+    if (!a.save.empty()) {
+        saveWorkloadSpec(w, a.save);
+        std::printf("wrote %s\n", a.save.c_str());
+    }
+    MachineConfig m = resolveMachine(a, w);
+    SimOptions opts;
+    opts.mode = a.mode;
+    opts.maxInstructions = a.insns;
+    opts.timeoutCycles = a.timeout;
+    SimResult r = simulate(m, w, opts);
+    if (a.json)
+        std::printf("%s\n", r.toJson().c_str());
+    else
+        printResult(r);
+    return 0;
+}
+
+int
+cmdCompare(const std::string &name, const Args &a)
+{
+    WorkloadSpec w = resolveWorkload(name);
+    MachineConfig m = resolveMachine(a, w);
+    ComparisonRuns runs = runComparison(m, w, a.insns);
+    printResult(runs.fullPower);
+    std::printf("\n");
+    printResult(runs.powerChop);
+    std::printf("\n");
+    printResult(runs.minPower);
+    std::printf("\nPowerChop vs full power: slowdown %s, power %s, "
+                "energy %s, leakage %s\n",
+                pct(runs.powerChop.slowdownVs(runs.fullPower)).c_str(),
+                pct(runs.powerChop.powerReductionVs(runs.fullPower))
+                    .c_str(),
+                pct(runs.powerChop.energyReductionVs(runs.fullPower))
+                    .c_str(),
+                pct(runs.powerChop.leakageReductionVs(runs.fullPower))
+                    .c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    std::vector<std::string> rest;
+    for (int i = 3; i < argc; ++i)
+        rest.emplace_back(argv[i]);
+
+    try {
+        std::string cmd = argv[1];
+        if (cmd == "list" && argc == 2)
+            return cmdList();
+        if (cmd == "show" && argc == 3)
+            return cmdShow(argv[2]);
+        if (cmd == "run" && argc >= 3)
+            return cmdRun(argv[2], parseOptions(rest));
+        if (cmd == "compare" && argc >= 3)
+            return cmdCompare(argv[2], parseOptions(rest));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
