@@ -26,41 +26,52 @@ main()
                 "drowsy_power_red  pchop_slow  pchop_leak_red  "
                 "pchop_power_red\n");
 
+    struct Row
+    {
+        SimResult full, dr, pc;
+    };
     std::vector<double> d_slow, d_leak, d_pow, p_slow, p_leak, p_pow;
     auto apps = serverWorkloads();
-    forEachApp(apps, [&](const WorkloadSpec &w) {
-        MachineConfig m = serverConfig();
-        SimOptions opts;
-        opts.maxInstructions = insns;
+    forEachApp(
+        apps,
+        [&](const WorkloadSpec &w) {
+            MachineConfig m = serverConfig();
+            SimOptions opts;
+            opts.maxInstructions = insns;
 
-        opts.mode = SimMode::FullPower;
-        SimResult full = simulate(m, w, opts);
+            Row r;
+            opts.mode = SimMode::FullPower;
+            r.full = simulate(m, w, opts);
 
-        opts.mode = SimMode::DrowsyMlc;
-        SimResult dr = simulate(m, w, opts);
+            opts.mode = SimMode::DrowsyMlc;
+            r.dr = simulate(m, w, opts);
 
-        // MLC-only PowerChop for an apples-to-apples comparison.
-        opts.mode = SimMode::PowerChop;
-        opts.manageVpu = false;
-        opts.manageBpu = false;
-        SimResult pc = simulate(m, w, opts);
-
-        double ds = dr.slowdownVs(full);
-        double dl = dr.leakageReductionVs(full);
-        double dp = dr.powerReductionVs(full);
-        double ps = pc.slowdownVs(full);
-        double pl = pc.leakageReductionVs(full);
-        double pp = pc.powerReductionVs(full);
-        std::printf("%-14s  %s  %s  %s  %s  %s  %s\n", w.name.c_str(),
-                    pct(ds).c_str(), pct(dl).c_str(), pct(dp).c_str(),
-                    pct(ps).c_str(), pct(pl).c_str(), pct(pp).c_str());
-        d_slow.push_back(ds);
-        d_leak.push_back(dl);
-        d_pow.push_back(dp);
-        p_slow.push_back(ps);
-        p_leak.push_back(pl);
-        p_pow.push_back(pp);
-    });
+            // MLC-only PowerChop for an apples-to-apples comparison.
+            opts.mode = SimMode::PowerChop;
+            opts.manageVpu = false;
+            opts.manageBpu = false;
+            r.pc = simulate(m, w, opts);
+            return r;
+        },
+        [&](const WorkloadSpec &w, const Row &r) {
+            double ds = r.dr.slowdownVs(r.full);
+            double dl = r.dr.leakageReductionVs(r.full);
+            double dp = r.dr.powerReductionVs(r.full);
+            double ps = r.pc.slowdownVs(r.full);
+            double pl = r.pc.leakageReductionVs(r.full);
+            double pp = r.pc.powerReductionVs(r.full);
+            std::printf("%-14s  %s  %s  %s  %s  %s  %s\n",
+                        w.name.c_str(), pct(ds).c_str(),
+                        pct(dl).c_str(), pct(dp).c_str(),
+                        pct(ps).c_str(), pct(pl).c_str(),
+                        pct(pp).c_str());
+            d_slow.push_back(ds);
+            d_leak.push_back(dl);
+            d_pow.push_back(dp);
+            p_slow.push_back(ps);
+            p_leak.push_back(pl);
+            p_pow.push_back(pp);
+        });
 
     std::printf("\naverages: drowsy %s leakage / %s power at %s "
                 "slowdown;\n          PowerChop (MLC only) %s leakage "
@@ -77,5 +88,6 @@ main()
         "truly idle — but also shrinks per-access energy and composes "
         "with\nthe VPU/BPU policies the drowsy scheme cannot manage. "
         "The two are\ncomplementary in principle.\n");
+    reportRunner("drowsy_baseline");
     return 0;
 }

@@ -22,40 +22,46 @@ main()
                 "mlc_1way\n");
 
     SuiteAverages vpu, bpu, mlc_any;
-    forEachApp(mobileWorkloads(), [&](const WorkloadSpec &w) {
-        // Section V-C methodology: each unit is managed in
-        // isolation while the others stay gated on.
-        SimOptions opts;
-        opts.mode = SimMode::PowerChop;
-        opts.maxInstructions = insns;
+    forEachApp(
+        mobileWorkloads(),
+        [&](const WorkloadSpec &w) {
+            // Section V-C methodology: each unit is managed in
+            // isolation while the others stay gated on.
+            SimOptions opts;
+            opts.mode = SimMode::PowerChop;
+            opts.maxInstructions = insns;
 
-        opts.manageVpu = true;
-        opts.manageBpu = false;
-        opts.manageMlc = false;
-        SimResult rv = simulate(mobileConfig(), w, opts);
+            opts.manageVpu = true;
+            opts.manageBpu = false;
+            opts.manageMlc = false;
+            SimResult rv = simulate(mobileConfig(), w, opts);
 
-        opts.manageVpu = false;
-        opts.manageBpu = true;
-        SimResult rb = simulate(mobileConfig(), w, opts);
+            opts.manageVpu = false;
+            opts.manageBpu = true;
+            SimResult rb = simulate(mobileConfig(), w, opts);
 
-        opts.manageBpu = false;
-        opts.manageMlc = true;
-        SimResult rm = simulate(mobileConfig(), w, opts);
+            opts.manageBpu = false;
+            opts.manageMlc = true;
+            SimResult rm = simulate(mobileConfig(), w, opts);
 
-        SimResult r;
-        r.vpuGatedFraction = rv.vpuGatedFraction;
-        r.bpuGatedFraction = rb.bpuGatedFraction;
-        r.mlcHalfFraction = rm.mlcHalfFraction;
-        r.mlcOneWayFraction = rm.mlcOneWayFraction;
-        std::printf("%-12s  %s  %s  %s  %s\n", w.name.c_str(),
-                    pct(r.vpuGatedFraction).c_str(),
-                    pct(r.bpuGatedFraction).c_str(),
-                    pct(r.mlcHalfFraction).c_str(),
-                    pct(r.mlcOneWayFraction).c_str());
-        vpu.add(w.suite, r.vpuGatedFraction);
-        bpu.add(w.suite, r.bpuGatedFraction);
-        mlc_any.add(w.suite, r.mlcHalfFraction + r.mlcOneWayFraction);
-    });
+            SimResult r;
+            r.vpuGatedFraction = rv.vpuGatedFraction;
+            r.bpuGatedFraction = rb.bpuGatedFraction;
+            r.mlcHalfFraction = rm.mlcHalfFraction;
+            r.mlcOneWayFraction = rm.mlcOneWayFraction;
+            return r;
+        },
+        [&](const WorkloadSpec &w, const SimResult &r) {
+            std::printf("%-12s  %s  %s  %s  %s\n", w.name.c_str(),
+                        pct(r.vpuGatedFraction).c_str(),
+                        pct(r.bpuGatedFraction).c_str(),
+                        pct(r.mlcHalfFraction).c_str(),
+                        pct(r.mlcOneWayFraction).c_str());
+            vpu.add(w.suite, r.vpuGatedFraction);
+            bpu.add(w.suite, r.bpuGatedFraction);
+            mlc_any.add(w.suite,
+                        r.mlcHalfFraction + r.mlcOneWayFraction);
+        });
 
     std::printf("\naverages: VPU gated %s, BPU gated %s, MLC gated in "
                 "some fashion %s\n",
@@ -64,5 +70,6 @@ main()
                 pct(mlc_any.overallMean()).c_str());
     std::printf("paper shape: VPU ~90%%+, BPU ~40%% average, MLC "
                 "gated in some fashion.\n");
+    reportRunner("fig09_unit_activity_mobile");
     return 0;
 }

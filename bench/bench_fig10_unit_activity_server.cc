@@ -25,40 +25,45 @@ main()
                 "mlc_1way\n");
 
     SuiteAverages vpu, bpu, one_way;
-    forEachApp(serverWorkloads(), [&](const WorkloadSpec &w) {
-        // Section V-C methodology: each unit is managed in
-        // isolation while the others stay gated on.
-        SimOptions opts;
-        opts.mode = SimMode::PowerChop;
-        opts.maxInstructions = insns;
+    forEachApp(
+        serverWorkloads(),
+        [&](const WorkloadSpec &w) {
+            // Section V-C methodology: each unit is managed in
+            // isolation while the others stay gated on.
+            SimOptions opts;
+            opts.mode = SimMode::PowerChop;
+            opts.maxInstructions = insns;
 
-        opts.manageVpu = true;
-        opts.manageBpu = false;
-        opts.manageMlc = false;
-        SimResult rv = simulate(serverConfig(), w, opts);
+            opts.manageVpu = true;
+            opts.manageBpu = false;
+            opts.manageMlc = false;
+            SimResult rv = simulate(serverConfig(), w, opts);
 
-        opts.manageVpu = false;
-        opts.manageBpu = true;
-        SimResult rb = simulate(serverConfig(), w, opts);
+            opts.manageVpu = false;
+            opts.manageBpu = true;
+            SimResult rb = simulate(serverConfig(), w, opts);
 
-        opts.manageBpu = false;
-        opts.manageMlc = true;
-        SimResult rm = simulate(serverConfig(), w, opts);
+            opts.manageBpu = false;
+            opts.manageMlc = true;
+            SimResult rm = simulate(serverConfig(), w, opts);
 
-        SimResult r;
-        r.vpuGatedFraction = rv.vpuGatedFraction;
-        r.bpuGatedFraction = rb.bpuGatedFraction;
-        r.mlcHalfFraction = rm.mlcHalfFraction;
-        r.mlcOneWayFraction = rm.mlcOneWayFraction;
-        std::printf("%-14s  %s  %s  %s  %s\n", w.name.c_str(),
-                    pct(r.vpuGatedFraction).c_str(),
-                    pct(r.bpuGatedFraction).c_str(),
-                    pct(r.mlcHalfFraction).c_str(),
-                    pct(r.mlcOneWayFraction).c_str());
-        vpu.add(w.suite, r.vpuGatedFraction);
-        bpu.add(w.suite, r.bpuGatedFraction);
-        one_way.add(w.suite, r.mlcOneWayFraction);
-    });
+            SimResult r;
+            r.vpuGatedFraction = rv.vpuGatedFraction;
+            r.bpuGatedFraction = rb.bpuGatedFraction;
+            r.mlcHalfFraction = rm.mlcHalfFraction;
+            r.mlcOneWayFraction = rm.mlcOneWayFraction;
+            return r;
+        },
+        [&](const WorkloadSpec &w, const SimResult &r) {
+            std::printf("%-14s  %s  %s  %s  %s\n", w.name.c_str(),
+                        pct(r.vpuGatedFraction).c_str(),
+                        pct(r.bpuGatedFraction).c_str(),
+                        pct(r.mlcHalfFraction).c_str(),
+                        pct(r.mlcOneWayFraction).c_str());
+            vpu.add(w.suite, r.vpuGatedFraction);
+            bpu.add(w.suite, r.bpuGatedFraction);
+            one_way.add(w.suite, r.mlcOneWayFraction);
+        });
 
     std::printf("\nsuite means:\n");
     vpu.printSummary("vpu_gated");
@@ -68,5 +73,6 @@ main()
                 ">90%% despite nonzero\nvector work; streaming apps "
                 "sit at MLC 1-way >40%%; the BPU is usually kept\non, "
                 "with lbm/hmmer-style exceptions.\n");
+    reportRunner("fig10_unit_activity_server");
     return 0;
 }

@@ -21,23 +21,28 @@ main()
     std::printf("application     vpu/Mcyc  bpu/Mcyc  mlc/Mcyc\n");
 
     SuiteAverages vpu, bpu, mlc;
-    forEachApp(allWorkloads(), [&](const WorkloadSpec &w) {
-        SimOptions opts;
-        opts.mode = SimMode::PowerChop;
-        opts.maxInstructions = insns;
-        SimResult r = simulate(machineFor(w), w, opts);
-        std::printf("%-14s  %8.2f  %8.2f  %8.2f\n", w.name.c_str(),
-                    r.vpuSwitchesPerMcycle, r.bpuSwitchesPerMcycle,
-                    r.mlcSwitchesPerMcycle);
-        vpu.add(w.suite, r.vpuSwitchesPerMcycle);
-        bpu.add(w.suite, r.bpuSwitchesPerMcycle);
-        mlc.add(w.suite, r.mlcSwitchesPerMcycle);
-    });
+    forEachApp(
+        allWorkloads(),
+        [&](const WorkloadSpec &w) {
+            SimOptions opts;
+            opts.mode = SimMode::PowerChop;
+            opts.maxInstructions = insns;
+            return simulate(machineFor(w), w, opts);
+        },
+        [&](const WorkloadSpec &w, const SimResult &r) {
+            std::printf("%-14s  %8.2f  %8.2f  %8.2f\n", w.name.c_str(),
+                        r.vpuSwitchesPerMcycle, r.bpuSwitchesPerMcycle,
+                        r.mlcSwitchesPerMcycle);
+            vpu.add(w.suite, r.vpuSwitchesPerMcycle);
+            bpu.add(w.suite, r.bpuSwitchesPerMcycle);
+            mlc.add(w.suite, r.mlcSwitchesPerMcycle);
+        });
 
     std::printf("\naverages: VPU %.2f, BPU %.2f, MLC %.2f switches "
                 "per Mcycle\n",
                 vpu.overallMean(), bpu.overallMean(), mlc.overallMean());
     std::printf("paper shape: BPU < 50, VPU < 10, MLC < 5 per Mcycle "
                 "on average.\n");
+    reportRunner("fig11_switch_freq");
     return 0;
 }

@@ -23,21 +23,25 @@ main()
                 "pchop_slowdown  min_perf_loss\n");
 
     SuiteAverages slowdown, min_loss;
-    forEachApp(allWorkloads(), [&](const WorkloadSpec &w) {
-        ComparisonRuns runs =
-            runComparison(machineFor(w), w, insns);
-        const SimResult &full = runs.fullPower;
-        const SimResult &pc = runs.powerChop;
-        const SimResult &min = runs.minPower;
+    forEachApp(
+        allWorkloads(),
+        [&](const WorkloadSpec &w) {
+            return runComparison(machineFor(w), w, insns);
+        },
+        [&](const WorkloadSpec &w, const ComparisonRuns &runs) {
+            const SimResult &full = runs.fullPower;
+            const SimResult &pc = runs.powerChop;
+            const SimResult &min = runs.minPower;
 
-        double pc_slow = pc.slowdownVs(full);
-        double min_perf_loss = 1.0 - min.ipc() / full.ipc();
-        std::printf("%-14s  %8.3f  %9.3f  %7.3f  %s  %s\n",
-                    w.name.c_str(), full.ipc(), pc.ipc(), min.ipc(),
-                    pct(pc_slow).c_str(), pct(min_perf_loss).c_str());
-        slowdown.add(w.suite, pc_slow);
-        min_loss.add(w.suite, min_perf_loss);
-    });
+            double pc_slow = pc.slowdownVs(full);
+            double min_perf_loss = 1.0 - min.ipc() / full.ipc();
+            std::printf("%-14s  %8.3f  %9.3f  %7.3f  %s  %s\n",
+                        w.name.c_str(), full.ipc(), pc.ipc(), min.ipc(),
+                        pct(pc_slow).c_str(),
+                        pct(min_perf_loss).c_str());
+            slowdown.add(w.suite, pc_slow);
+            min_loss.add(w.suite, min_perf_loss);
+        });
 
     std::printf("\nsuite means:\n");
     slowdown.printSummary("pchop_slow");
@@ -45,5 +49,6 @@ main()
     std::printf("paper shape: PowerChop averages ~2.2%% slowdown; the "
                 "minimally-powered\nconfiguration loses dramatically "
                 "more performance.\n");
+    reportRunner("fig12_performance");
     return 0;
 }

@@ -24,22 +24,26 @@ main()
 
     SuiteAverages power_red, energy_red;
     int over10 = 0;
-    forEachApp(allWorkloads(), [&](const WorkloadSpec &w) {
-        ComparisonRuns runs = runPair(machineFor(w), w, insns);
-        const SimResult &full = runs.fullPower;
-        const SimResult &pc = runs.powerChop;
+    forEachApp(
+        allWorkloads(),
+        [&](const WorkloadSpec &w) {
+            return runPair(machineFor(w), w, insns);
+        },
+        [&](const WorkloadSpec &w, const ComparisonRuns &runs) {
+            const SimResult &full = runs.fullPower;
+            const SimResult &pc = runs.powerChop;
 
-        double pr = pc.powerReductionVs(full);
-        double er = pc.energyReductionVs(full);
-        std::printf("%-14s  %8.3f W  %9.3f W  %s  %s\n",
-                    w.name.c_str(), full.energy.averagePower(),
-                    pc.energy.averagePower(), pct(pr).c_str(),
-                    pct(er).c_str());
-        power_red.add(w.suite, pr);
-        energy_red.add(w.suite, er);
-        if (pr > 0.10)
-            ++over10;
-    });
+            double pr = pc.powerReductionVs(full);
+            double er = pc.energyReductionVs(full);
+            std::printf("%-14s  %8.3f W  %9.3f W  %s  %s\n",
+                        w.name.c_str(), full.energy.averagePower(),
+                        pc.energy.averagePower(), pct(pr).c_str(),
+                        pct(er).c_str());
+            power_red.add(w.suite, pr);
+            energy_red.add(w.suite, er);
+            if (pr > 0.10)
+                ++over10;
+        });
 
     std::printf("\nsuite means:\n");
     power_red.printSummary("power_red");
@@ -49,5 +53,6 @@ main()
     std::printf("paper shape: power reduction ~10%%/6%%/8%%/19%% for "
                 "INT/FP/PARSEC/Mobile,\nenergy slightly below power "
                 "(avg ~9%%), 13 of 29 apps above 10%%.\n");
+    reportRunner("fig13_power_energy");
     return 0;
 }

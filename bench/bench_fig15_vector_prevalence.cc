@@ -24,35 +24,45 @@ main()
     constexpr InsnCount shard = 1000;
 
     std::printf("application     V=0      0<V<=4   4<V<=16  V>16\n");
-    forEachApp(serverWorkloads(), [&](const WorkloadSpec &w) {
-        WorkloadGenerator gen(w);
+    struct ShardCounts
+    {
         std::uint64_t buckets[4] = {0, 0, 0, 0};
-        const InsnCount shards = insns / shard;
-        for (InsnCount s = 0; s < shards; ++s) {
-            unsigned v = 0;
-            for (InsnCount i = 0; i < shard; ++i) {
-                if (gen.next().op() == OpClass::SimdOp)
-                    ++v;
+    };
+    const InsnCount shards = insns / shard;
+    forEachApp(
+        serverWorkloads(),
+        [&](const WorkloadSpec &w) {
+            WorkloadGenerator gen(w);
+            ShardCounts c;
+            for (InsnCount s = 0; s < shards; ++s) {
+                unsigned v = 0;
+                for (InsnCount i = 0; i < shard; ++i) {
+                    if (gen.next().op() == OpClass::SimdOp)
+                        ++v;
+                }
+                if (v == 0)
+                    ++c.buckets[0];
+                else if (v <= 4)
+                    ++c.buckets[1];
+                else if (v <= 16)
+                    ++c.buckets[2];
+                else
+                    ++c.buckets[3];
             }
-            if (v == 0)
-                ++buckets[0];
-            else if (v <= 4)
-                ++buckets[1];
-            else if (v <= 16)
-                ++buckets[2];
-            else
-                ++buckets[3];
-        }
-        std::printf("%-14s  %s  %s  %s  %s\n", w.name.c_str(),
-                    pct(double(buckets[0]) / shards).c_str(),
-                    pct(double(buckets[1]) / shards).c_str(),
-                    pct(double(buckets[2]) / shards).c_str(),
-                    pct(double(buckets[3]) / shards).c_str());
-    });
+            return c;
+        },
+        [&](const WorkloadSpec &w, const ShardCounts &c) {
+            std::printf("%-14s  %s  %s  %s  %s\n", w.name.c_str(),
+                        pct(double(c.buckets[0]) / shards).c_str(),
+                        pct(double(c.buckets[1]) / shards).c_str(),
+                        pct(double(c.buckets[2]) / shards).c_str(),
+                        pct(double(c.buckets[3]) / shards).c_str());
+        });
 
     std::printf("\npaper shape: several applications spend large "
                 "fractions of execution in\nshards with a small "
                 "nonzero vector count (0<V<=4), e.g. namd, perlbench,"
                 "\nh264 — the timeout-resistant regime.\n");
+    reportRunner("fig15_vector_prevalence");
     return 0;
 }

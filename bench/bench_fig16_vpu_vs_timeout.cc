@@ -22,33 +22,42 @@ main()
     std::printf("application     pchop_gated  timeout_gated  "
                 "pchop_slow  timeout_slow\n");
 
+    struct Row
+    {
+        SimResult full, pc, to;
+    };
     SuiteAverages pc_gated, to_gated;
-    forEachApp(serverWorkloads(), [&](const WorkloadSpec &w) {
-        MachineConfig m = serverConfig();
-        SimOptions opts;
-        opts.maxInstructions = insns;
+    forEachApp(
+        serverWorkloads(),
+        [&](const WorkloadSpec &w) {
+            MachineConfig m = serverConfig();
+            SimOptions opts;
+            opts.maxInstructions = insns;
 
-        opts.mode = SimMode::FullPower;
-        SimResult full = simulate(m, w, opts);
+            Row r;
+            opts.mode = SimMode::FullPower;
+            r.full = simulate(m, w, opts);
 
-        // Per-unit comparison: PowerChop manages only the VPU here,
-        // matching the Section V-E experiment.
-        opts.mode = SimMode::PowerChop;
-        opts.manageBpu = false;
-        opts.manageMlc = false;
-        SimResult pc = simulate(m, w, opts);
+            // Per-unit comparison: PowerChop manages only the VPU
+            // here, matching the Section V-E experiment.
+            opts.mode = SimMode::PowerChop;
+            opts.manageBpu = false;
+            opts.manageMlc = false;
+            r.pc = simulate(m, w, opts);
 
-        opts.mode = SimMode::TimeoutVpu;
-        SimResult to = simulate(m, w, opts);
-
-        std::printf("%-14s  %s  %s  %s  %s\n", w.name.c_str(),
-                    pct(pc.vpuGatedFraction).c_str(),
-                    pct(to.vpuGatedFraction).c_str(),
-                    pct(pc.slowdownVs(full)).c_str(),
-                    pct(to.slowdownVs(full)).c_str());
-        pc_gated.add(w.suite, pc.vpuGatedFraction);
-        to_gated.add(w.suite, to.vpuGatedFraction);
-    });
+            opts.mode = SimMode::TimeoutVpu;
+            r.to = simulate(m, w, opts);
+            return r;
+        },
+        [&](const WorkloadSpec &w, const Row &r) {
+            std::printf("%-14s  %s  %s  %s  %s\n", w.name.c_str(),
+                        pct(r.pc.vpuGatedFraction).c_str(),
+                        pct(r.to.vpuGatedFraction).c_str(),
+                        pct(r.pc.slowdownVs(r.full)).c_str(),
+                        pct(r.to.slowdownVs(r.full)).c_str());
+            pc_gated.add(w.suite, r.pc.vpuGatedFraction);
+            to_gated.add(w.suite, r.to.vpuGatedFraction);
+        });
 
     std::printf("\naverages: PowerChop gates the VPU %s of cycles, "
                 "timeout %s\n",
@@ -57,5 +66,6 @@ main()
     std::printf("paper shape: PowerChop >= timeout everywhere; immense "
                 "wins on namd,\nperlbench, h264 (sparse uniform vector "
                 "ops defeat the idle clock).\n");
+    reportRunner("fig16_vpu_vs_timeout");
     return 0;
 }

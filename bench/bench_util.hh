@@ -1,9 +1,10 @@
 /**
  * @file
  * Shared plumbing for the evaluation benches: progress reporting,
- * per-suite aggregation and table formatting. Each bench binary
- * regenerates one table or figure of the paper and prints the same
- * rows/series the paper reports.
+ * parallel per-app execution on the shared job runner, per-suite
+ * aggregation and table formatting. Each bench binary regenerates one
+ * table or figure of the paper and prints the same rows/series the
+ * paper reports.
  */
 
 #ifndef POWERCHOP_BENCH_BENCH_UTIL_HH
@@ -11,7 +12,9 @@
 
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "powerchop/powerchop.hh"
@@ -41,11 +44,61 @@ banner(const std::string &what, const std::string &paper_ref)
                 "=============================\n");
 }
 
+/** The worker pool shared by a bench binary's batches. */
+inline SimJobRunner &
+runner()
+{
+    static SimJobRunner pool;
+    return pool;
+}
+
+/** Serializes progress lines emitted from concurrent jobs. */
+inline std::mutex &
+progressMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 /** Progress note to stderr (keeps stdout machine-parseable). */
 inline void
 progress(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(progressMutex());
     std::fprintf(stderr, "[bench] %s\n", msg.c_str());
+}
+
+/** Progress note tagged with the emitting job's index. */
+inline void
+progress(std::size_t job, std::size_t total, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(progressMutex());
+    std::fprintf(stderr, "[bench %zu/%zu] %s\n", job, total,
+                 msg.c_str());
+}
+
+/**
+ * Print the shared runner's cumulative throughput report and persist
+ * it as JSON so the perf trajectory is tracked across changes. Every
+ * bench calls this once after its tables are printed.
+ *
+ * @param bench_name Label stored in the JSON report.
+ */
+inline void
+reportRunner(const std::string &bench_name)
+{
+    const RunnerReport &rep = runner().report();
+    progress("runner: " + rep.toString());
+
+    const char *path = std::getenv("POWERCHOP_RUNNER_JSON");
+    if (!path || !*path)
+        path = "BENCH_runner.json";
+    if (std::FILE *f = std::fopen(path, "w")) {
+        std::fprintf(f, "%s\n", rep.toJson(bench_name).c_str());
+        std::fclose(f);
+    } else {
+        warn("cannot write runner report to '%s'", path);
+    }
 }
 
 /** Per-suite accumulation of one metric. */
@@ -85,7 +138,7 @@ class SuiteAverages
     std::vector<double> all_;
 };
 
-/** Run `fn` for every workload in `apps`, with progress reporting. */
+/** Run `fn` for every workload in `apps`, serially and in order. */
 inline void
 forEachApp(const std::vector<WorkloadSpec> &apps,
            const std::function<void(const WorkloadSpec &)> &fn)
@@ -94,6 +147,36 @@ forEachApp(const std::vector<WorkloadSpec> &apps,
         progress("running " + w.name + " (" + suiteName(w.suite) + ")");
         fn(w);
     }
+}
+
+/**
+ * Parallel overload: measure every workload concurrently on the
+ * shared runner, then emit the rows serially in workload order.
+ *
+ * `measure` runs on worker threads and must only touch its own
+ * workload (it typically wraps simulate()/runComparison() calls and
+ * returns a per-app result struct); `emit` runs on the calling thread
+ * in submission order, so tables print deterministically and
+ * identically to a serial sweep.
+ */
+template <typename MeasureFn, typename EmitFn>
+inline void
+forEachApp(const std::vector<WorkloadSpec> &apps, MeasureFn measure,
+           EmitFn emit)
+{
+    using Row =
+        std::invoke_result_t<MeasureFn &, const WorkloadSpec &>;
+    std::vector<Row> rows(apps.size());
+
+    runner().runTasks(apps.size(), [&](std::size_t i) {
+        progress(i + 1, apps.size(),
+                 "running " + apps[i].name + " (" +
+                     suiteName(apps[i].suite) + ")");
+        rows[i] = measure(apps[i]);
+    });
+
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        emit(apps[i], rows[i]);
 }
 
 } // namespace bench

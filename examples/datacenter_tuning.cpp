@@ -37,9 +37,12 @@ main(int argc, char **argv)
         std::cout << "scale   avg_slowdown  avg_power_saved  "
                      "avg_energy_saved\n";
 
-        double best_scale = 0, best_energy = 0;
-        for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-            std::vector<double> slow, power, energy;
+        // The whole sweep — every (threshold scale, app, mode) — runs
+        // as one parallel batch on the job runner.
+        const std::vector<double> scales = {0.25, 0.5, 1.0, 2.0,
+                                            4.0, 8.0};
+        std::vector<ComparisonPoint> points;
+        for (double scale : scales) {
             for (const auto &name : mix) {
                 WorkloadSpec w = findWorkload(name);
                 MachineConfig m = serverConfig();
@@ -47,8 +50,19 @@ main(int argc, char **argv)
                 m.powerChop.cde.thresholdBpu *= scale;
                 m.powerChop.cde.thresholdMlc1 *= scale;
                 m.powerChop.cde.thresholdMlc2 *= scale;
+                points.push_back({m, w});
+            }
+        }
+        SimJobRunner runner;
+        std::vector<ComparisonRuns> all =
+            runPairBatch(points, insns, runner);
 
-                ComparisonRuns runs = runPair(m, w, insns);
+        double best_scale = 0, best_energy = 0;
+        for (std::size_t si = 0; si < scales.size(); ++si) {
+            const double scale = scales[si];
+            std::vector<double> slow, power, energy;
+            for (std::size_t a = 0; a < mix.size(); ++a) {
+                const ComparisonRuns &runs = all[si * mix.size() + a];
                 slow.push_back(
                     runs.powerChop.slowdownVs(runs.fullPower));
                 power.push_back(
@@ -78,6 +92,7 @@ main(int argc, char **argv)
         std::cout << "\nHigher scales gate more aggressively "
                      "(energy-minimizing); lower scales\nconverge to "
                      "full-power behaviour. The defaults sit at 1x.\n";
+        std::cerr << "[runner] " << runner.report().toString() << "\n";
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
         return 1;

@@ -1,13 +1,26 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace powerchop
 {
 
 namespace
 {
-bool quietFlag = false;
+
+std::atomic<bool> quietFlag{false};
+
+/** Serializes warn()/inform() lines so messages emitted from the
+ *  parallel job runner's workers never interleave mid-line. */
+std::mutex &
+outputMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 void
@@ -76,6 +89,7 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
+    std::lock_guard<std::mutex> lock(outputMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -88,6 +102,7 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
+    std::lock_guard<std::mutex> lock(outputMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

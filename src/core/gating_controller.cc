@@ -43,6 +43,7 @@ GatingController::applyPolicy(const GatingPolicy &policy)
     if (policy.mlc != current_.mlc) {
         stall += penalties_.mlcSwitchCycles;
         ++stats_.mlcSwitches;
+        ++mlcPolicyEpoch_;
         unsigned assoc = mem_.mlc().params().assoc;
         unsigned ways = mlcActiveWays(policy.mlc, assoc);
         std::uint64_t dirty = mem_.setMlcActiveWays(ways);

@@ -87,6 +87,12 @@ class GatingController
     const GatingStats &stats() const { return stats_; }
     const GatingPenalties &penalties() const { return penalties_; }
 
+    /** Bumped whenever the MLC way policy actually changes; lets the
+     *  simulator cache the per-policy access counter it increments on
+     *  the memory hot path instead of re-dispatching on the policy
+     *  enum at every MLC access. */
+    std::uint64_t mlcPolicyEpoch() const { return mlcPolicyEpoch_; }
+
     /** Active MLC way fraction under the current policy. */
     double mlcActiveFraction() const;
 
@@ -97,6 +103,7 @@ class GatingController
     GatingPenalties penalties_;
     GatingPolicy current_ = GatingPolicy::fullPower();
     GatingStats stats_;
+    std::uint64_t mlcPolicyEpoch_ = 0;
 };
 
 } // namespace powerchop

@@ -60,6 +60,7 @@
 #include "sim/experiment.hh"
 #include "sim/machine_config.hh"
 #include "sim/sim_result.hh"
+#include "sim/sim_runner.hh"
 #include "sim/simulator.hh"
 
 #endif // POWERCHOP_POWERCHOP_HH

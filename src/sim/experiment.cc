@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -14,48 +15,102 @@ insnBudget(InsnCount def)
     const char *env = std::getenv("POWERCHOP_INSNS");
     if (!env || !*env)
         return def;
+    errno = 0;
     char *end = nullptr;
     unsigned long long v = std::strtoull(env, &end, 10);
-    if (end == env || v == 0) {
+    // strtoull silently wraps negative input, so reject a sign
+    // outright; ERANGE catches saturated overflow and *end catches
+    // trailing junk like "10M".
+    if (end == env || *end != '\0' || errno == ERANGE || v == 0 ||
+        env[0] == '-' || env[0] == '+') {
         warn("ignoring invalid POWERCHOP_INSNS='%s'", env);
         return def;
     }
     return static_cast<InsnCount>(v);
 }
 
+namespace
+{
+
+/** The mode sequence a comparison consists of: the full triple for
+ *  runComparison, the first two for runPair. */
+constexpr SimMode comparisonModes[] = {
+    SimMode::FullPower, SimMode::PowerChop, SimMode::MinPower};
+
+std::vector<SimJob>
+comparisonJobs(const std::vector<ComparisonPoint> &points,
+               InsnCount insns, std::size_t num_modes)
+{
+    std::vector<SimJob> jobs;
+    jobs.reserve(points.size() * num_modes);
+    for (const auto &p : points) {
+        for (std::size_t m = 0; m < num_modes; ++m) {
+            SimJob job;
+            job.machine = p.machine;
+            job.workload = p.workload;
+            job.opts.maxInstructions = insns;
+            job.opts.mode = comparisonModes[m];
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+/** Regroup a flat mode-major result list into per-point triples. */
+std::vector<ComparisonRuns>
+assembleRuns(std::vector<SimResult> results, std::size_t num_modes)
+{
+    std::vector<ComparisonRuns> runs(results.size() / num_modes);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        runs[i].fullPower = std::move(results[i * num_modes]);
+        runs[i].powerChop = std::move(results[i * num_modes + 1]);
+        if (num_modes > 2)
+            runs[i].minPower = std::move(results[i * num_modes + 2]);
+    }
+    return runs;
+}
+
+ComparisonRuns
+runSerial(const MachineConfig &machine, const WorkloadSpec &workload,
+          InsnCount insns, std::size_t num_modes)
+{
+    std::vector<SimJob> jobs =
+        comparisonJobs({{machine, workload}}, insns, num_modes);
+    std::vector<SimResult> results;
+    results.reserve(jobs.size());
+    for (const auto &job : jobs)
+        results.push_back(simulate(job.machine, job.workload, job.opts));
+    return assembleRuns(std::move(results), num_modes)[0];
+}
+
+} // namespace
+
 ComparisonRuns
 runComparison(const MachineConfig &machine, const WorkloadSpec &workload,
               InsnCount insns)
 {
-    ComparisonRuns runs;
-    SimOptions opts;
-    opts.maxInstructions = insns;
-
-    opts.mode = SimMode::FullPower;
-    runs.fullPower = simulate(machine, workload, opts);
-
-    opts.mode = SimMode::PowerChop;
-    runs.powerChop = simulate(machine, workload, opts);
-
-    opts.mode = SimMode::MinPower;
-    runs.minPower = simulate(machine, workload, opts);
-    return runs;
+    return runSerial(machine, workload, insns, 3);
 }
 
 ComparisonRuns
 runPair(const MachineConfig &machine, const WorkloadSpec &workload,
         InsnCount insns)
 {
-    ComparisonRuns runs;
-    SimOptions opts;
-    opts.maxInstructions = insns;
+    return runSerial(machine, workload, insns, 2);
+}
 
-    opts.mode = SimMode::FullPower;
-    runs.fullPower = simulate(machine, workload, opts);
+std::vector<ComparisonRuns>
+runComparisonBatch(const std::vector<ComparisonPoint> &points,
+                   InsnCount insns, SimJobRunner &runner)
+{
+    return assembleRuns(runner.run(comparisonJobs(points, insns, 3)), 3);
+}
 
-    opts.mode = SimMode::PowerChop;
-    runs.powerChop = simulate(machine, workload, opts);
-    return runs;
+std::vector<ComparisonRuns>
+runPairBatch(const std::vector<ComparisonPoint> &points,
+             InsnCount insns, SimJobRunner &runner)
+{
+    return assembleRuns(runner.run(comparisonJobs(points, insns, 2)), 2);
 }
 
 double

@@ -1,8 +1,9 @@
 /**
  * @file
  * Experiment helpers shared by the benchmark harness and examples:
- * standard baseline/PowerChop comparisons, suite aggregation, and the
- * instruction-budget environment override.
+ * standard baseline/PowerChop comparisons (serial and parallel batch
+ * forms), suite aggregation, and the instruction-budget environment
+ * override.
  */
 
 #ifndef POWERCHOP_SIM_EXPERIMENT_HH
@@ -11,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/sim_runner.hh"
 #include "sim/simulator.hh"
 
 namespace powerchop
@@ -20,7 +22,9 @@ namespace powerchop
  * Instruction budget for evaluation runs.
  *
  * @param def Default budget.
- * @return POWERCHOP_INSNS from the environment if set, else def.
+ * @return POWERCHOP_INSNS from the environment if set and valid, else
+ *         def. Values with trailing junk ("10M"), out-of-range values
+ *         and zero are rejected with a warning.
  */
 InsnCount insnBudget(InsnCount def = 10'000'000);
 
@@ -30,6 +34,13 @@ struct ComparisonRuns
     SimResult fullPower;
     SimResult powerChop;
     SimResult minPower;
+};
+
+/** One (design point, application) pair of a comparison batch. */
+struct ComparisonPoint
+{
+    MachineConfig machine;
+    WorkloadSpec workload;
 };
 
 /**
@@ -49,6 +60,21 @@ ComparisonRuns runComparison(const MachineConfig &machine,
  */
 ComparisonRuns runPair(const MachineConfig &machine,
                        const WorkloadSpec &workload, InsnCount insns);
+
+/**
+ * Parallel batch form of runComparison(): every (point, mode)
+ * simulation becomes one job on the runner, so even a single-workload
+ * comparison overlaps its modes. Results are ordered like `points`.
+ */
+std::vector<ComparisonRuns>
+runComparisonBatch(const std::vector<ComparisonPoint> &points,
+                   InsnCount insns, SimJobRunner &runner);
+
+/** Parallel batch form of runPair(); results are ordered like
+ *  `points`. */
+std::vector<ComparisonRuns>
+runPairBatch(const std::vector<ComparisonPoint> &points,
+             InsnCount insns, SimJobRunner &runner);
 
 /** Arithmetic mean; 0 for an empty vector. */
 double mean(const std::vector<double> &v);

@@ -1,0 +1,215 @@
+#include "sim/sim_runner.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * CPU time consumed by the calling thread. Using CPU rather than wall
+ * time for the busy tally means busy/wall reports the parallelism
+ * actually realized: on an oversubscribed machine descheduled time
+ * doesn't count as "busy", so the speedup estimate stays honest.
+ */
+double
+threadCpuSeconds()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+std::string
+RunnerReport::toString() const
+{
+    return csprintf("%zu jobs on %u threads: %.2fs wall (%.2fs busy), "
+                    "%.1f MIPS, %.2f jobs/s, %.2fx vs 1 thread",
+                    jobs, threads, wallSeconds, busySeconds, mips(),
+                    jobsPerSecond(), speedup());
+}
+
+std::string
+RunnerReport::toJson(const std::string &name) const
+{
+    return csprintf("{\"bench\":\"%s\",\"jobs\":%zu,\"threads\":%u,"
+                    "\"wall_seconds\":%.6f,\"busy_seconds\":%.6f,"
+                    "\"instructions\":%llu,\"mips\":%.3f,"
+                    "\"jobs_per_second\":%.3f,\"speedup\":%.3f}",
+                    name.c_str(), jobs, threads, wallSeconds,
+                    busySeconds,
+                    static_cast<unsigned long long>(instructions),
+                    mips(), jobsPerSecond(), speedup());
+}
+
+unsigned
+defaultJobCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+
+    const char *env = std::getenv("POWERCHOP_JOBS");
+    if (!env || !*env)
+        return hw;
+
+    errno = 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || v == 0 ||
+        v > 1024 || env[0] == '-' || env[0] == '+') {
+        warn("ignoring invalid POWERCHOP_JOBS='%s'", env);
+        return hw;
+    }
+    return static_cast<unsigned>(v);
+}
+
+SimJobRunner::SimJobRunner(unsigned threads)
+    : threads_(threads ? threads : defaultJobCount())
+{
+    report_.threads = threads_;
+    workers_.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SimJobRunner::~SimJobRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+SimJobRunner::workerLoop()
+{
+    std::uint64_t last_batch = 0;
+    while (true) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] {
+            return stopping_ ||
+                   (task_ && batchId_ != last_batch &&
+                    nextIndex_ < batchCount_);
+        });
+        if (stopping_)
+            return;
+
+        const std::uint64_t batch = batchId_;
+        const std::function<void(std::size_t)> &task = *task_;
+        double busy = 0;
+
+        while (nextIndex_ < batchCount_) {
+            const std::size_t idx = nextIndex_++;
+            lock.unlock();
+
+            const double cpu_start = threadCpuSeconds();
+            std::exception_ptr err;
+            try {
+                task(idx);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            busy += threadCpuSeconds() - cpu_start;
+
+            lock.lock();
+            if (err)
+                errors_[idx] = err;
+            ++completed_;
+            if (completed_ == batchCount_)
+                done_.notify_all();
+        }
+
+        batchBusySeconds_ += busy;
+        last_batch = batch;
+    }
+}
+
+void
+SimJobRunner::runTasks(std::size_t count,
+                       const std::function<void(std::size_t)> &task)
+{
+    if (count == 0)
+        return;
+
+    const auto start = Clock::now();
+    const InsnCount tally_before = simulatedInstructionTally();
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        panicIf(task_ != nullptr,
+                "SimJobRunner batches cannot be nested");
+        task_ = &task;
+        batchCount_ = count;
+        nextIndex_ = 0;
+        completed_ = 0;
+        batchBusySeconds_ = 0;
+        errors_.assign(count, nullptr);
+        ++batchId_;
+    }
+    wake_.notify_all();
+
+    std::exception_ptr first_error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return completed_ == batchCount_; });
+        task_ = nullptr;
+
+        for (auto &err : errors_) {
+            if (err) {
+                first_error = err;
+                break;
+            }
+        }
+        errors_.clear();
+
+        report_.jobs += count;
+        report_.wallSeconds += secondsSince(start);
+        report_.busySeconds += batchBusySeconds_;
+        report_.instructions +=
+            simulatedInstructionTally() - tally_before;
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<SimResult>
+SimJobRunner::run(const std::vector<SimJob> &jobs)
+{
+    std::vector<SimResult> results(jobs.size());
+    runTasks(jobs.size(), [&](std::size_t i) {
+        results[i] =
+            simulate(jobs[i].machine, jobs[i].workload, jobs[i].opts);
+    });
+    return results;
+}
+
+} // namespace powerchop

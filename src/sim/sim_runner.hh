@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The parallel simulation job runner.
+ *
+ * Every evaluation figure re-runs `simulate()` for many independent
+ * (machine, workload, mode) points; the points share nothing — the
+ * simulator builds all machine state per call and Rng is
+ * instance-based — so they are embarrassingly parallel. SimJobRunner
+ * owns a fixed pool of worker threads (sized by POWERCHOP_JOBS or the
+ * hardware concurrency), accepts batches of SimJob descriptors, and
+ * returns results in deterministic submission order regardless of
+ * which worker finishes when.
+ *
+ * The runner also keeps a cumulative throughput report (wall-clock,
+ * busy time across workers, instructions simulated) so each bench can
+ * print aggregate MIPS, jobs/sec and the effective speedup over a
+ * single thread, and persist them as BENCH_runner.json for tracking
+ * the perf trajectory across changes.
+ */
+
+#ifndef POWERCHOP_SIM_SIM_RUNNER_HH
+#define POWERCHOP_SIM_SIM_RUNNER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace powerchop
+{
+
+/** One independent simulation: a design point, an application model
+ *  and the run options (mode, budget, instrumentation). */
+struct SimJob
+{
+    MachineConfig machine;
+    WorkloadSpec workload;
+    SimOptions opts;
+};
+
+/** Cumulative throughput accounting for a runner's batches. */
+struct RunnerReport
+{
+    /** Jobs (or generic tasks) completed. */
+    std::size_t jobs = 0;
+
+    /** Worker threads in the pool. */
+    unsigned threads = 1;
+
+    /** Wall-clock seconds spent inside run()/runTasks() batches. */
+    double wallSeconds = 0;
+
+    /** Summed per-job CPU seconds across all workers — what a
+     *  single-threaded run of the same batches would take on an idle
+     *  machine. Measured as thread CPU time, not wall time, so
+     *  oversubscription doesn't inflate it. */
+    double busySeconds = 0;
+
+    /** Guest instructions simulated during the batches. */
+    InsnCount instructions = 0;
+
+    /** Realized speedup over serial execution of the same jobs
+     *  (equivalently, the average number of cores kept busy). */
+    double speedup() const
+    {
+        return wallSeconds > 0 ? busySeconds / wallSeconds : 0.0;
+    }
+
+    double jobsPerSecond() const
+    {
+        return wallSeconds > 0 ? jobs / wallSeconds : 0.0;
+    }
+
+    /** Aggregate millions of simulated instructions per second. */
+    double mips() const
+    {
+        return wallSeconds > 0 ? instructions / wallSeconds / 1e6 : 0.0;
+    }
+
+    /** One-line human-readable summary. */
+    std::string toString() const;
+
+    /** JSON object (for BENCH_runner.json); `name` labels the bench
+     *  or experiment the report belongs to. */
+    std::string toJson(const std::string &name) const;
+};
+
+/**
+ * Worker-thread count for parallel evaluation runs.
+ *
+ * @return POWERCHOP_JOBS from the environment if set and valid, else
+ *         std::thread::hardware_concurrency() (at least 1).
+ */
+unsigned defaultJobCount();
+
+/**
+ * Fixed-size worker pool executing batches of simulation jobs.
+ *
+ * Threads are created once at construction and persist across
+ * batches. run() and runTasks() are synchronous: they return when
+ * every job of the batch has completed, with results ordered by
+ * submission index. The pool itself must be driven from one thread at
+ * a time (benches and examples are single-threaded drivers); the jobs
+ * it executes run concurrently.
+ *
+ * If a job throws, the batch still runs to completion and the
+ * lowest-index exception is rethrown to the caller afterwards.
+ */
+class SimJobRunner
+{
+  public:
+    /** @param threads Pool size; 0 means defaultJobCount(). */
+    explicit SimJobRunner(unsigned threads = 0);
+    ~SimJobRunner();
+
+    SimJobRunner(const SimJobRunner &) = delete;
+    SimJobRunner &operator=(const SimJobRunner &) = delete;
+
+    /** @return the worker-pool size. */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Execute a batch of simulation jobs concurrently.
+     *
+     * @param jobs Job descriptors.
+     * @return one SimResult per job, in submission order.
+     */
+    std::vector<SimResult> run(const std::vector<SimJob> &jobs);
+
+    /**
+     * Execute `count` generic index-addressed tasks concurrently.
+     * task(i) is invoked exactly once for each i in [0, count); any
+     * result ordering is the caller's responsibility (index into a
+     * pre-sized vector).
+     */
+    void runTasks(std::size_t count,
+                  const std::function<void(std::size_t)> &task);
+
+    /** Cumulative report over all batches run so far. */
+    const RunnerReport &report() const { return report_; }
+
+  private:
+    void workerLoop();
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    // Current batch, guarded by mutex_.
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *task_ = nullptr;
+    std::size_t batchCount_ = 0;
+    std::size_t nextIndex_ = 0;
+    std::size_t completed_ = 0;
+    std::uint64_t batchId_ = 0;
+    double batchBusySeconds_ = 0;
+    std::vector<std::exception_ptr> errors_;
+    bool stopping_ = false;
+
+    RunnerReport report_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SIM_SIM_RUNNER_HH

@@ -1,11 +1,28 @@
 #include "sim/simulator.hh"
 
+#include <atomic>
+#include <limits>
+
 #include "common/logging.hh"
 #include "core/drowsy_mlc.hh"
 #include "core/perf_monitor.hh"
 
 namespace powerchop
 {
+
+namespace
+{
+
+/** Instructions simulated process-wide (all threads). */
+std::atomic<std::uint64_t> instructionTally{0};
+
+} // namespace
+
+InsnCount
+simulatedInstructionTally()
+{
+    return instructionTally.load(std::memory_order_relaxed);
+}
 
 SimResult
 simulate(const MachineConfig &machine, const WorkloadSpec &workload,
@@ -87,7 +104,20 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
 
     bool interpreting = true;
     Cycles last_accrue = cycles;
-    InsnCount next_sample = opts.sampleInterval;
+
+    // The per-interval sampler as a countdown: one predictable
+    // decrement-and-test per instruction, and the std::function is
+    // only touched when a sample actually fires. "Disabled" is a
+    // countdown that cannot reach zero within any realistic budget.
+    const InsnCount sample_interval = opts.sampleInterval;
+    InsnCount until_sample = sample_interval
+        ? sample_interval
+        : std::numeric_limits<InsnCount>::max();
+
+    // Cached destination for the per-policy MLC access counters,
+    // refreshed only when the controller's MLC policy epoch moves.
+    double *mlc_counter = &act.mlcAccessesFull;
+    std::uint64_t mlc_epoch = std::numeric_limits<std::uint64_t>::max();
 
     auto accrue = [&]() {
         if (cycles > last_accrue) {
@@ -96,8 +126,15 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
         }
     };
 
-    for (InsnCount n = 0; n < opts.maxInstructions; ++n) {
-        if (gen.atBlockHead()) {
+    // The loop runs one basic block per iteration: the head work
+    // (trace matching, region entry, baseline gater ticks) happens
+    // once per block, then the block body executes as a burst with no
+    // per-instruction head checks. The generator is at a block head
+    // whenever control reaches the top of this loop.
+    const InsnCount max_insns = opts.maxInstructions;
+    InsnCount n = 0;
+    while (n < max_insns) {
+        {
             const BlockId blk = gen.currentBlock();
 
             if (cur_trace && trace_idx < cur_trace->blocks.size() &&
@@ -141,92 +178,110 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                 drowsy.tick(cycles);
         }
 
-        const DynInst &di = gen.next();
-        const OpClass op = di.op();
-        ++insns_since_head;
-        monitor.onCommit(op);
+        // Execution mode is fixed for the whole block.
+        const double insn_cycles =
+            interpreting ? core.interpreterCpi : slot;
 
-        cycles += interpreting ? core.interpreterCpi : slot;
+        InsnCount burst = gen.blockInsnsRemaining();
+        if (burst > max_insns - n)
+            burst = max_insns - n;
+        insns_since_head += burst;
 
-        switch (op) {
-          case OpClass::SimdOp: {
-            if (use_timeout)
-                cycles += timeout.onSimdUse(cycles);
-            double slots = vpu.executeSimd();
-            if (slots > 1.0) {
-                // Scalar emulation: the extra scalar ops occupy issue
-                // slots (and energy) in the rest of the core.
-                cycles += (slots - 1.0) * slot;
-                act.instructions += slots - 1.0;
-            }
-            break;
-          }
-          case OpClass::Load:
-          case OpClass::Store: {
-            const bool is_store = (op == OpClass::Store);
-            MemAccessResult r = mem.access(di.effAddr, is_store);
-            double scale = is_store ? core.storeStallFraction : 1.0;
-            if (r.level == MemLevel::Mlc) {
-                cycles += core.mlcHitPenalty * scale;
-                if (r.mlcWokeDrowsy)
-                    cycles += machine.drowsy.wakePenaltyCycles * scale;
-            } else if (r.level == MemLevel::Memory) {
-                Addr line = di.effAddr >> line_shift;
-                Addr delta = line > last_miss_line
-                    ? line - last_miss_line : last_miss_line - line;
-                bool streamed = delta <= 2;
-                last_miss_line = line;
-                cycles += core.memoryPenalty * scale *
-                          (streamed ? core.streamMissFactor : 1.0);
-            }
-            if (r.level != MemLevel::L1) {
-                ++mlc_accesses;
-                switch (controller.current().mlc) {
-                  case MlcPolicy::AllWays:
-                    act.mlcAccessesFull += 1;
-                    break;
-                  case MlcPolicy::HalfWays:
-                    act.mlcAccessesHalf += 1;
-                    break;
-                  case MlcPolicy::QuarterWays:
-                    act.mlcAccessesQuarter += 1;
-                    break;
-                  case MlcPolicy::OneWay:
-                    act.mlcAccessesOne += 1;
+        for (const InsnCount end = n + burst; n < end; ++n) {
+            const DynInst &di = gen.next();
+            const OpClass op = di.op();
+            monitor.onCommit(op);
+
+            cycles += insn_cycles;
+
+            switch (op) {
+              case OpClass::SimdOp: {
+                if (use_timeout)
+                    cycles += timeout.onSimdUse(cycles);
+                double slots = vpu.executeSimd();
+                if (slots > 1.0) {
+                    // Scalar emulation: the extra scalar ops occupy
+                    // issue slots (and energy) in the rest of the
+                    // core.
+                    cycles += (slots - 1.0) * slot;
+                    act.instructions += slots - 1.0;
+                }
+                break;
+              }
+              case OpClass::Load:
+              case OpClass::Store: {
+                const bool is_store = (op == OpClass::Store);
+                MemAccessResult r = mem.access(di.effAddr, is_store);
+                double scale = is_store ? core.storeStallFraction : 1.0;
+                if (r.level == MemLevel::Mlc) {
+                    cycles += core.mlcHitPenalty * scale;
+                    if (r.mlcWokeDrowsy)
+                        cycles +=
+                            machine.drowsy.wakePenaltyCycles * scale;
+                } else if (r.level == MemLevel::Memory) {
+                    Addr line = di.effAddr >> line_shift;
+                    Addr delta = line > last_miss_line
+                        ? line - last_miss_line : last_miss_line - line;
+                    bool streamed = delta <= 2;
+                    last_miss_line = line;
+                    cycles += core.memoryPenalty * scale *
+                              (streamed ? core.streamMissFactor : 1.0);
+                }
+                if (r.level != MemLevel::L1) {
+                    ++mlc_accesses;
+                    if (mlc_epoch != controller.mlcPolicyEpoch()) {
+                        mlc_epoch = controller.mlcPolicyEpoch();
+                        switch (controller.current().mlc) {
+                          case MlcPolicy::AllWays:
+                            mlc_counter = &act.mlcAccessesFull;
+                            break;
+                          case MlcPolicy::HalfWays:
+                            mlc_counter = &act.mlcAccessesHalf;
+                            break;
+                          case MlcPolicy::QuarterWays:
+                            mlc_counter = &act.mlcAccessesQuarter;
+                            break;
+                          case MlcPolicy::OneWay:
+                            mlc_counter = &act.mlcAccessesOne;
+                            break;
+                        }
+                    }
+                    *mlc_counter += 1;
+                }
+                break;
+              }
+              case OpClass::Branch: {
+                if (di.isTerminator) {
+                    // Region-chaining jump: direct-chained in the
+                    // region cache; only a changed target costs a
+                    // fetch bubble.
+                    BpuOutcome o =
+                        bpu.predictIndirect(di.pc(), di.target);
+                    if (o.targetMiss)
+                        cycles += core.btbMissPenalty;
                     break;
                 }
-            }
-            break;
-          }
-          case OpClass::Branch: {
-            if (di.isTerminator) {
-                // Region-chaining jump: direct-chained in the region
-                // cache; only a changed target costs a fetch bubble.
-                BpuOutcome o = bpu.predictIndirect(di.pc(), di.target);
-                if (o.targetMiss)
+                BpuOutcome o = bpu.predict(di.pc(), di.taken, di.target);
+                ++branch_lookups;
+                if (bpu.largeOn())
+                    ++bpu_large_lookups;
+                if (o.directionMispredict) {
+                    cycles += core.mispredictPenalty;
+                    ++branch_mispredicts;
+                } else if (o.targetMiss) {
                     cycles += core.btbMissPenalty;
+                }
+                break;
+              }
+              case OpClass::IntAlu:
+              case OpClass::FpAlu:
                 break;
             }
-            BpuOutcome o = bpu.predict(di.pc(), di.taken, di.target);
-            ++branch_lookups;
-            if (bpu.largeOn())
-                ++bpu_large_lookups;
-            if (o.directionMispredict) {
-                cycles += core.mispredictPenalty;
-                ++branch_mispredicts;
-            } else if (o.targetMiss) {
-                cycles += core.btbMissPenalty;
-            }
-            break;
-          }
-          case OpClass::IntAlu:
-          case OpClass::FpAlu:
-            break;
-        }
 
-        if (opts.sampleInterval && n + 1 >= next_sample) {
-            opts.sampler(n + 1, cycles);
-            next_sample += opts.sampleInterval;
+            if (--until_sample == 0) {
+                opts.sampler(n + 1, cycles);
+                until_sample = sample_interval;
+            }
         }
     }
 
@@ -312,6 +367,8 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     res.activity = act;
     res.energy = accumulateEnergy(power_model, act, machine.mlc.assoc);
 
+    instructionTally.fetch_add(res.instructions,
+                               std::memory_order_relaxed);
     return res;
 }
 

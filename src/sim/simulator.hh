@@ -68,6 +68,13 @@ struct SimOptions
 SimResult simulate(const MachineConfig &machine,
                    const WorkloadSpec &workload, const SimOptions &opts);
 
+/**
+ * Process-wide count of guest instructions simulated by completed
+ * simulate() calls, across all threads. The parallel job runner
+ * snapshots it around a batch to compute aggregate MIPS.
+ */
+InsnCount simulatedInstructionTally();
+
 } // namespace powerchop
 
 #endif // POWERCHOP_SIM_SIMULATOR_HH

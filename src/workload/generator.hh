@@ -68,6 +68,16 @@ class WorkloadGenerator
     /** @return the id of the block currently executing. */
     BlockId currentBlock() const { return curBlock_; }
 
+    /** @return instructions left in the current block, terminator
+     *  included: exactly this many next() calls complete the block
+     *  and make atBlockHead() true again. The simulator uses it to
+     *  run whole-block bursts without per-instruction head checks. */
+    InsnCount
+    blockInsnsRemaining() const
+    {
+        return program_->block(curBlock_).insts.size() - instPos_;
+    }
+
   private:
     /** Per-phase runtime state. */
     struct PhaseState;
