@@ -90,14 +90,13 @@ reportRunner(const std::string &bench_name)
     const RunnerReport &rep = runner().report();
     progress("runner: " + rep.toString());
 
-    const char *path = std::getenv("POWERCHOP_RUNNER_JSON");
-    if (!path || !*path)
-        path = "BENCH_runner.json";
-    if (std::FILE *f = std::fopen(path, "w")) {
+    const std::string path =
+        envString("POWERCHOP_RUNNER_JSON").value_or("BENCH_runner.json");
+    if (std::FILE *f = std::fopen(path.c_str(), "w")) {
         std::fprintf(f, "%s\n", rep.toJson(bench_name).c_str());
         std::fclose(f);
     } else {
-        warn("cannot write runner report to '%s'", path);
+        warn("cannot write runner report to '%s'", path.c_str());
     }
 }
 

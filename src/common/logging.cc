@@ -21,6 +21,22 @@ outputMutex()
     return m;
 }
 
+/**
+ * Drain every buffered sink before an error leaves the library.
+ *
+ * A fatal()/panic() raised on a worker thread can unwind into a
+ * caller that terminates the process (or the exception may escape and
+ * abort it outright); anything still sitting in stdio buffers — a
+ * half-printed results table, earlier warnings — would be lost.
+ * fflush(nullptr) flushes every open output stream, so the error
+ * message and all output preceding it are durable before the throw.
+ */
+void
+flushAllSinks()
+{
+    std::fflush(nullptr);
+}
+
 } // namespace
 
 void
@@ -67,6 +83,12 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
+    {
+        std::lock_guard<std::mutex> lock(outputMutex());
+        if (!quietFlag)
+            std::fprintf(stderr, "panic: %s\n", msg.c_str());
+        flushAllSinks();
+    }
     throw PanicError("panic: " + msg);
 }
 
@@ -77,6 +99,12 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
+    {
+        std::lock_guard<std::mutex> lock(outputMutex());
+        if (!quietFlag)
+            std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+        flushAllSinks();
+    }
     throw FatalError("fatal: " + msg);
 }
 

@@ -10,7 +10,10 @@
  *
  * Unlike gem5, panic() and fatal() throw typed exceptions instead of
  * aborting the process; a library embedded in tests and long-running
- * tools must leave termination policy to the caller.
+ * tools must leave termination policy to the caller. Both report the
+ * message to stderr and flush every buffered sink before throwing, so
+ * errors raised on worker threads survive even if the exception later
+ * escapes and aborts the process.
  */
 
 #ifndef POWERCHOP_COMMON_LOGGING_HH

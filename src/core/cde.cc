@@ -1,5 +1,9 @@
 #include "core/cde.hh"
 
+#include <cmath>
+
+#include "common/logging.hh"
+
 namespace powerchop
 {
 
@@ -11,6 +15,18 @@ GatingPolicy
 Cde::scoreCriticality(double vpu_crit, double bpu_crit,
                       double mlc_crit) const
 {
+    // Criticality scores are ratios of counter values; NaN or a
+    // negative VPU/MLC score means a corrupted profile reached the
+    // scoring stage, and any policy derived from it would be junk.
+    if (std::isnan(vpu_crit) || std::isnan(bpu_crit) ||
+        std::isnan(mlc_crit)) {
+        panic("CDE: NaN criticality score (vpu=%g bpu=%g mlc=%g)",
+              vpu_crit, bpu_crit, mlc_crit);
+    }
+    if (vpu_crit < 0 || vpu_crit > 1 || mlc_crit < 0)
+        panic("CDE: criticality out of range (vpu=%g mlc=%g)",
+              vpu_crit, mlc_crit);
+
     GatingPolicy policy = GatingPolicy::fullPower();
 
     // Criticality_VPU = SIMD fraction of committed instructions.
@@ -52,6 +68,19 @@ Cde::Result
 Cde::onPvtMiss(const PhaseSignature &sig, const WindowProfile &profile,
                Pvt &pvt)
 {
+    // Window-profile invariants: the performance monitors can never
+    // report more SIMD commits than total commits, and mispredict
+    // rates are probabilities. Violations mean the monitor snapshot
+    // was corrupted in flight.
+    panicIf(profile.simdInsns > profile.totalInsns,
+            "CDE: window SIMD count exceeds total instruction count");
+    if (profile.mispredLarge < 0 || profile.mispredLarge > 1 ||
+        profile.mispredSmall < 0 || profile.mispredSmall > 1) {
+        panic("CDE: window mispredict rate out of [0, 1] "
+              "(large=%g small=%g)",
+              profile.mispredLarge, profile.mispredSmall);
+    }
+
     Result res;
     res.cycles = params_.workCycles;
 

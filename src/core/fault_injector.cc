@@ -1,0 +1,109 @@
+#include "core/fault_injector.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+void
+checkRate(const std::string &who, const char *field, double rate)
+{
+    if (!(rate >= 0.0 && rate <= 1.0))
+        fatal("%s: faults.%s=%g outside [0, 1]", who.c_str(), field,
+              rate);
+}
+
+} // namespace
+
+void
+FaultInjectorParams::validate(const std::string &who) const
+{
+    checkRate(who, "policyCorruptRate", policyCorruptRate);
+    checkRate(who, "htbDropRate", htbDropRate);
+    checkRate(who, "htbAliasRate", htbAliasRate);
+    checkRate(who, "controllerFlipRate", controllerFlipRate);
+    checkRate(who, "wakeupStretchRate", wakeupStretchRate);
+    if (!(wakeupStretchFactor >= 1.0))
+        fatal("%s: faults.wakeupStretchFactor=%g below 1", who.c_str(),
+              wakeupStretchFactor);
+}
+
+FaultInjector::FaultInjector(const FaultInjectorParams &params)
+    : params_(params), rng_(params.seed)
+{
+}
+
+GatingPolicy
+FaultInjector::flipPolicyBit(const GatingPolicy &policy)
+{
+    std::uint8_t bits = policy.encode();
+    bits ^= static_cast<std::uint8_t>(1u << rng_.below(4));
+    return GatingPolicy::decode(bits);
+}
+
+GatingPolicy
+FaultInjector::corruptPolicy(const GatingPolicy &policy)
+{
+    if (!params_.enabled || params_.policyCorruptRate <= 0 ||
+        !rng_.bernoulli(params_.policyCorruptRate)) {
+        return policy;
+    }
+    ++stats_.policyCorruptions;
+    return flipPolicyBit(policy);
+}
+
+bool
+FaultInjector::dropTranslation()
+{
+    if (!params_.enabled || params_.htbDropRate <= 0)
+        return false;
+    if (!rng_.bernoulli(params_.htbDropRate))
+        return false;
+    ++stats_.htbDrops;
+    return true;
+}
+
+TranslationId
+FaultInjector::aliasTranslation(TranslationId id)
+{
+    if (!params_.enabled || params_.htbAliasRate <= 0 ||
+        !rng_.bernoulli(params_.htbAliasRate)) {
+        return id;
+    }
+    ++stats_.htbAliases;
+    TranslationId aliased =
+        id ^ static_cast<TranslationId>(1u << rng_.below(8));
+    // Translation ids are head PCs; 0 is the invalid sentinel, so a
+    // flip that lands there aliases to the neighbouring id instead.
+    if (aliased == invalidTranslationId)
+        aliased = id + 1;
+    return aliased;
+}
+
+GatingPolicy
+FaultInjector::flipControllerState(const GatingPolicy &current)
+{
+    if (!params_.enabled || params_.controllerFlipRate <= 0 ||
+        !rng_.bernoulli(params_.controllerFlipRate)) {
+        return current;
+    }
+    ++stats_.controllerFlips;
+    return flipPolicyBit(current);
+}
+
+double
+FaultInjector::stretchWakeup(double stall_cycles)
+{
+    if (!params_.enabled || params_.wakeupStretchRate <= 0 ||
+        stall_cycles <= 0 ||
+        !rng_.bernoulli(params_.wakeupStretchRate)) {
+        return stall_cycles;
+    }
+    ++stats_.wakeupStretches;
+    return stall_cycles * params_.wakeupStretchFactor;
+}
+
+} // namespace powerchop

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic fault injection for the PowerChop gating stack.
+ *
+ * PowerChop's gating decisions flow through several small structures
+ * (HTB -> PVT -> CDE -> gating controller), and a corrupted decision
+ * anywhere on that path silently destroys unit state (BPU/MLC
+ * contents) or stalls execution on wakeup. The FaultInjector models
+ * those corruptions explicitly so the hardened gating path — the
+ * invariant assertions, the QoS watchdog's safe mode and the robust
+ * job runner — can be exercised and quantified:
+ *
+ *  - policy-vector corruption: a PVT hit delivers a bit-flipped
+ *    policy vector (models PVT array soft errors);
+ *  - HTB hit drops and aliases: a translation-head event is lost, or
+ *    attributed to the wrong translation id (models HTB update races
+ *    and tag corruption), skewing phase signatures;
+ *  - gating-controller state flips: the controller's record of the
+ *    current power state is bit-flipped, causing spurious or missed
+ *    transitions and accounting drift (models sequencer soft errors);
+ *  - wakeup stretches: a gating transition's stall is multiplied
+ *    (models slow power-grid ramps / droop throttling on wakeup).
+ *
+ * All randomness comes from a private, seeded Rng, so a (seed, rate)
+ * configuration reproduces the exact same fault sequence on every run
+ * and on any worker count: each simulate() call owns one injector.
+ */
+
+#ifndef POWERCHOP_CORE_FAULT_INJECTOR_HH
+#define POWERCHOP_CORE_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "core/policy.hh"
+
+namespace powerchop
+{
+
+/** Fault-injection configuration; all rates are per-event
+ *  probabilities in [0, 1]. Disabled (the default) is guaranteed to
+ *  leave simulation results bit-identical to a build without the
+ *  injector. */
+struct FaultInjectorParams
+{
+    bool enabled = false;
+
+    /** Seed of the injector's private fault stream. */
+    std::uint64_t seed = 0xFA017;
+
+    /** P(bit-flip a policy vector delivered by a PVT hit). */
+    double policyCorruptRate = 0;
+
+    /** P(drop one translation-head event before the HTB sees it). */
+    double htbDropRate = 0;
+
+    /** P(alias a translation-head event to a wrong translation id). */
+    double htbAliasRate = 0;
+
+    /** P(bit-flip the gating controller's current-state record at a
+     *  policy application). */
+    double controllerFlipRate = 0;
+
+    /** P(stretch the stall of a non-trivial gating transition). */
+    double wakeupStretchRate = 0;
+
+    /** Stall multiplier of a stretched wakeup (>= 1). */
+    double wakeupStretchFactor = 4.0;
+
+    /** fatal() on out-of-range rates/factor, naming the bad field.
+     *  @param who Owner name used in the error message. */
+    void validate(const std::string &who) const;
+};
+
+/** Count of each fault class actually injected during a run. */
+struct FaultStats
+{
+    std::uint64_t policyCorruptions = 0;
+    std::uint64_t htbDrops = 0;
+    std::uint64_t htbAliases = 0;
+    std::uint64_t controllerFlips = 0;
+    std::uint64_t wakeupStretches = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return policyCorruptions + htbDrops + htbAliases +
+               controllerFlips + wakeupStretches;
+    }
+};
+
+/**
+ * Seeded per-run fault source. One instance is built per simulate()
+ * call and handed (by pointer) to the gating controller and the
+ * PowerChop unit; a null/inactive injector is a no-op on every path.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultInjectorParams &params = {});
+
+    /** @return true when fault injection is configured on. */
+    bool active() const { return params_.enabled; }
+
+    /** Possibly bit-flip a policy vector read from the PVT. */
+    GatingPolicy corruptPolicy(const GatingPolicy &policy);
+
+    /** @return true when this translation-head event is dropped. */
+    bool dropTranslation();
+
+    /** Possibly alias a translation id to a wrong (valid) id. */
+    TranslationId aliasTranslation(TranslationId id);
+
+    /** Possibly bit-flip the controller's current-state record. */
+    GatingPolicy flipControllerState(const GatingPolicy &current);
+
+    /** Possibly stretch a transition's stall cycles. */
+    double stretchWakeup(double stall_cycles);
+
+    const FaultStats &stats() const { return stats_; }
+    const FaultInjectorParams &params() const { return params_; }
+
+  private:
+    /** Flip one uniformly chosen bit of a 4-bit policy encoding. */
+    GatingPolicy flipPolicyBit(const GatingPolicy &policy);
+
+    FaultInjectorParams params_;
+    Rng rng_;
+    FaultStats stats_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_FAULT_INJECTOR_HH

@@ -1,5 +1,10 @@
 #include "core/gating_controller.hh"
 
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/fault_injector.hh"
+
 namespace powerchop
 {
 
@@ -13,6 +18,19 @@ GatingController::GatingController(Vpu &vpu, BpuComplex &bpu,
 double
 GatingController::applyPolicy(const GatingPolicy &policy)
 {
+    // Policy-vector range check: a corrupted vector must still map to
+    // at least one live MLC way before it reaches the cache.
+    panicIf(mlcActiveWays(policy.mlc, mem_.mlc().params().assoc) == 0,
+            "gating: policy maps to zero active MLC ways");
+
+    // An injected sequencer fault flips the controller's record of
+    // the current state; the unit operations are idempotent, so the
+    // flip manifests as spurious transitions (with their stalls and
+    // state loss) or as skipped residency accounting — exactly the
+    // drift the QoS watchdog has to catch.
+    if (injector_ && injector_->active())
+        current_ = injector_->flipControllerState(current_);
+
     double stall = 0;
 
     // --- VPU --------------------------------------------------------------
@@ -51,6 +69,15 @@ GatingController::applyPolicy(const GatingPolicy &policy)
         stall += static_cast<double>(dirty) *
                  penalties_.mlcWritebackCyclesPerLine;
     }
+
+    if (injector_ && injector_->active())
+        stall = injector_->stretchWakeup(stall);
+
+    // Wakeup accounting invariant: transition stalls are finite and
+    // non-negative whatever the penalty config or injected faults did.
+    if (!(stall >= 0) || !std::isfinite(stall))
+        panic("gating: transition stall %g is negative or non-finite",
+              stall);
 
     current_ = policy;
     stats_.stallCycles += stall;

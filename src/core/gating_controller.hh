@@ -20,6 +20,8 @@
 namespace powerchop
 {
 
+class FaultInjector;
+
 /** Performance penalties of gating transitions (Section IV-D). */
 struct GatingPenalties
 {
@@ -96,6 +98,17 @@ class GatingController
     /** Active MLC way fraction under the current policy. */
     double mlcActiveFraction() const;
 
+    /**
+     * Attach a fault injector (nullptr detaches). An active injector
+     * may bit-flip the controller's current-state record before a
+     * policy application (forcing spurious or missed transitions) and
+     * stretch transition stalls (slow wakeups).
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     Vpu &vpu_;
     BpuComplex &bpu_;
@@ -104,6 +117,7 @@ class GatingController
     GatingPolicy current_ = GatingPolicy::fullPower();
     GatingStats stats_;
     std::uint64_t mlcPolicyEpoch_ = 0;
+    FaultInjector *injector_ = nullptr;
 };
 
 } // namespace powerchop

@@ -89,6 +89,16 @@ Htb::makeReport()
         ids[i] = entries_[order[i]].id;
     rep.signature = PhaseSignature(ids, top);
 
+    // Phase-signature sanity: a window that executed translations
+    // must emit a non-empty signature no longer than the window, or
+    // downstream PVT/CDE state is built on garbage.
+    panicIf(rep.translations == 0,
+            "HTB emitted a window report with zero translations");
+    panicIf(used_ > 0 && rep.signature.empty(),
+            "HTB emitted an empty signature for a non-empty window");
+    panicIf(rep.translations > params_.windowSize,
+            "HTB window overran its configured size");
+
     std::sort(rep.profile.begin(), rep.profile.end());
 
     // Flush for the next window.

@@ -1,5 +1,7 @@
 #include "core/powerchop_unit.hh"
 
+#include "core/fault_injector.hh"
+
 namespace powerchop
 {
 
@@ -7,7 +9,8 @@ PowerChopUnit::PowerChopUnit(const PowerChopParams &params,
                              GatingController &controller,
                              Nucleus &nucleus, PerfMonitor &monitor)
     : htb_(params.htb), pvt_(params.pvt), cde_(params.cde),
-      controller_(controller), nucleus_(nucleus), monitor_(monitor)
+      watchdog_(params.qos), controller_(controller),
+      nucleus_(nucleus), monitor_(monitor)
 {
 }
 
@@ -20,17 +23,28 @@ PowerChopUnit::setManagedUnits(bool vpu, bool bpu, bool mlc)
 }
 
 double
-PowerChopUnit::onTranslationHead(TranslationId id, std::uint64_t insns)
+PowerChopUnit::onTranslationHead(TranslationId id, std::uint64_t insns,
+                                 Cycles now)
 {
     ++translations_;
+
+    if (injector_ && injector_->active()) {
+        // A dropped event never reaches the HTB (the update raced and
+        // lost); an aliased one charges the instructions to the wrong
+        // translation, skewing the window's phase signature.
+        if (injector_->dropTranslation())
+            return 0;
+        id = injector_->aliasTranslation(id);
+    }
+
     auto report = htb_.recordTranslation(id, insns);
     if (!report)
         return 0;
-    return onWindow(*report);
+    return onWindow(*report, now);
 }
 
 double
-PowerChopUnit::onWindow(const WindowReport &rep)
+PowerChopUnit::onWindow(const WindowReport &rep, Cycles now)
 {
     if (observer_)
         observer_(rep);
@@ -40,10 +54,30 @@ PowerChopUnit::onWindow(const WindowReport &rep)
     // window in hardware.
     WindowProfile profile = monitor_.snapshotAndReset();
 
+    // The QoS watchdog sees every window edge, including the ones a
+    // PVT hit would service entirely in hardware: realized slowdown
+    // is a property of the window, not of the lookup outcome.
+    if (watchdog_.enabled() && now >= 0) {
+        QosWatchdog::Action act =
+            watchdog_.onWindow(rep.instructions, now);
+        if (act == QosWatchdog::Action::EnterSafeMode)
+            return controller_.applyPolicy(watchdog_.safePolicy());
+        if (watchdog_.inSafeMode()) {
+            // Gating suspended: no PVT/CDE activity until the
+            // cooldown expires, so a corrupted policy source cannot
+            // keep re-degrading the machine.
+            return 0;
+        }
+    }
+
     double stall = 0;
     if (auto policy = pvt_.lookup(rep.signature)) {
-        // PVT hit: hardware applies the gating decisions directly.
-        stall += controller_.applyPolicy(*policy);
+        // PVT hit: hardware applies the gating decisions directly. A
+        // fault here models a soft error in the PVT's policy array.
+        GatingPolicy applied = *policy;
+        if (injector_ && injector_->active())
+            applied = injector_->corruptPolicy(applied);
+        stall += controller_.applyPolicy(applied);
         return stall;
     }
 

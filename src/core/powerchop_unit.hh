@@ -20,9 +20,12 @@
 #include "core/htb.hh"
 #include "core/perf_monitor.hh"
 #include "core/pvt.hh"
+#include "core/qos_watchdog.hh"
 
 namespace powerchop
 {
+
+class FaultInjector;
 
 /** PowerChop system configuration. */
 struct PowerChopParams
@@ -30,6 +33,10 @@ struct PowerChopParams
     HtbParams htb;
     PvtParams pvt;
     CdeParams cde;
+
+    /** Optional QoS watchdog over the realized per-window slowdown
+     *  (off by default; see qos_watchdog.hh). */
+    QosParams qos;
 };
 
 /**
@@ -53,9 +60,13 @@ class PowerChopUnit
      *
      * @param id    Executing translation's id.
      * @param insns Dynamic instructions attributed to it.
+     * @param now   Current cycle time; feeds the QoS watchdog's
+     *              per-window IPC measurement. Negative (the default)
+     *              means "unknown", which keeps the watchdog idle.
      * @return stall cycles (policy switches, PVT-miss handling).
      */
-    double onTranslationHead(TranslationId id, std::uint64_t insns);
+    double onTranslationHead(TranslationId id, std::uint64_t insns,
+                             Cycles now = -1.0);
 
     /** Observer invoked with every completed window report (used by
      *  the Figure 8 phase-quality analysis); pass nullptr to clear. */
@@ -69,25 +80,37 @@ class PowerChopUnit
      *  gate one unit at a time). */
     void setManagedUnits(bool vpu, bool bpu, bool mlc);
 
+    /** Attach a fault injector (nullptr detaches). An active
+     *  injector can drop or alias translation-head events before the
+     *  HTB sees them and corrupt policy vectors delivered by PVT
+     *  hits. */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
     const Htb &htb() const { return htb_; }
     const Pvt &pvt() const { return pvt_; }
     const Cde &cde() const { return cde_; }
+    const QosWatchdog &qos() const { return watchdog_; }
 
     /** Total translation-head executions observed. */
     std::uint64_t translationsSeen() const { return translations_; }
 
   private:
     /** Handle a window report: PVT lookup, CDE on miss. */
-    double onWindow(const WindowReport &rep);
+    double onWindow(const WindowReport &rep, Cycles now);
 
     Htb htb_;
     Pvt pvt_;
     Cde cde_;
+    QosWatchdog watchdog_;
     GatingController &controller_;
     Nucleus &nucleus_;
     PerfMonitor &monitor_;
     std::function<void(const WindowReport &)> observer_;
     std::uint64_t translations_ = 0;
+    FaultInjector *injector_ = nullptr;
 };
 
 } // namespace powerchop

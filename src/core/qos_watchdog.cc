@@ -1,0 +1,80 @@
+#include "core/qos_watchdog.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+void
+QosParams::validate(const std::string &who) const
+{
+    if (!(slowdownThreshold > 0.0 && slowdownThreshold < 1.0))
+        fatal("%s: qos.slowdownThreshold=%g outside (0, 1)",
+              who.c_str(), slowdownThreshold);
+    if (violationWindows == 0)
+        fatal("%s: qos.violationWindows must be non-zero", who.c_str());
+    if (cooldownWindows == 0)
+        fatal("%s: qos.cooldownWindows must be non-zero", who.c_str());
+    if (!(referenceDecay > 0.0 && referenceDecay <= 1.0))
+        fatal("%s: qos.referenceDecay=%g outside (0, 1]", who.c_str(),
+              referenceDecay);
+}
+
+QosWatchdog::QosWatchdog(const QosParams &params) : params_(params)
+{
+}
+
+QosWatchdog::Action
+QosWatchdog::onWindow(InsnCount insns, Cycles now)
+{
+    if (!params_.enabled)
+        return Action::None;
+
+    ++stats_.windowsObserved;
+
+    if (lastEdge_ < 0) {
+        lastEdge_ = now;
+        return Action::None;
+    }
+    const Cycles window_cycles = now - lastEdge_;
+    lastEdge_ = now;
+    if (window_cycles <= 0 || insns == 0)
+        return Action::None;
+
+    const double ipc = static_cast<double>(insns) / window_cycles;
+
+    if (cooldownLeft_ > 0) {
+        ++stats_.safeModeWindows;
+        if (--cooldownLeft_ == 0) {
+            // Leaving safe mode: the windows just observed ran
+            // ungated, so the realized IPC is a fresh, trustworthy
+            // reference for the phase now executing.
+            referenceIpc_ = ipc;
+            consecutiveViolations_ = 0;
+        }
+        return Action::None;
+    }
+
+    if (ipc >= referenceIpc_) {
+        referenceIpc_ = ipc;
+        consecutiveViolations_ = 0;
+        return Action::None;
+    }
+
+    if (ipc < referenceIpc_ * (1.0 - params_.slowdownThreshold)) {
+        ++stats_.violations;
+        if (++consecutiveViolations_ >= params_.violationWindows) {
+            ++stats_.safeModeActivations;
+            cooldownLeft_ = params_.cooldownWindows;
+            consecutiveViolations_ = 0;
+            referenceIpc_ *= params_.referenceDecay;
+            return Action::EnterSafeMode;
+        }
+    } else {
+        consecutiveViolations_ = 0;
+    }
+    referenceIpc_ *= params_.referenceDecay;
+    return Action::None;
+}
+
+} // namespace powerchop

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * QoS watchdog: runtime performance assertion over the gating stack.
+ *
+ * PowerChop's CDE bounds slowdown only indirectly, through the
+ * thresholds it scores criticality with; a corrupted policy vector, a
+ * skewed phase signature or a broken sequencer degrades performance
+ * silently. Following the DarkGates observation that hybrid gating
+ * designs need an explicit fallback path bounding worst-case
+ * performance loss, the watchdog monitors the realized IPC of every
+ * execution window against a running reference and, when the loss
+ * exceeds the paper's performance threshold for consecutive windows,
+ * rolls the machine back to an ungated safe-mode policy and suspends
+ * gating for a cooldown period. Silent corruption becomes bounded,
+ * observable degradation: activations and safe-mode residency are
+ * reported in the run's results.
+ *
+ * The watchdog is opt-in (enabled = false by default) so that runs
+ * without it remain bit-identical to the unhardened gating path.
+ */
+
+#ifndef POWERCHOP_CORE_QOS_WATCHDOG_HH
+#define POWERCHOP_CORE_QOS_WATCHDOG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "core/policy.hh"
+
+namespace powerchop
+{
+
+/** QoS watchdog configuration. */
+struct QosParams
+{
+    /** Opt-in: off preserves the unhardened gating path exactly. */
+    bool enabled = false;
+
+    /** Tolerated per-window IPC loss against the reference before a
+     *  window counts as a violation; defaults to the 5% worst-case
+     *  slowdown bound the paper's Section V-E baselines are held
+     *  to. */
+    double slowdownThreshold = 0.05;
+
+    /** Consecutive violating windows before safe mode engages (a
+     *  single noisy window is not a rollback). */
+    unsigned violationWindows = 2;
+
+    /** Windows gating stays suspended after a rollback. */
+    unsigned cooldownWindows = 16;
+
+    /** Per-window decay of the reference IPC toward the realized
+     *  IPC, so a genuine phase change (legitimately lower IPC) stops
+     *  registering as a violation instead of pinning the watchdog. */
+    double referenceDecay = 0.995;
+
+    /** fatal() on out-of-range values, naming the bad field. */
+    void validate(const std::string &who) const;
+};
+
+/** Watchdog activity counters. */
+struct QosStats
+{
+    std::uint64_t windowsObserved = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t safeModeActivations = 0;
+    std::uint64_t safeModeWindows = 0;
+};
+
+/**
+ * Per-window slowdown monitor with safe-mode rollback.
+ *
+ * The owner reports each execution-window edge with the window's
+ * instruction count and the current cycle time; the watchdog tracks
+ * the realized IPC against a decayed-maximum reference and decides
+ * when to enter safe mode. While inSafeMode() the owner must apply
+ * safePolicy() (on the EnterSafeMode edge) and suspend policy
+ * applications until the cooldown expires.
+ */
+class QosWatchdog
+{
+  public:
+    enum class Action : std::uint8_t
+    {
+        None,          ///< Keep gating normally.
+        EnterSafeMode, ///< Roll back to safePolicy() now.
+    };
+
+    explicit QosWatchdog(const QosParams &params = {});
+
+    bool enabled() const { return params_.enabled; }
+
+    /** @return true while gating is suspended after a rollback. */
+    bool inSafeMode() const { return cooldownLeft_ > 0; }
+
+    /** The rollback target: everything ungated, so worst-case
+     *  performance is the full-power machine's. */
+    GatingPolicy safePolicy() const { return GatingPolicy::fullPower(); }
+
+    /**
+     * Observe one execution-window edge.
+     *
+     * @param insns Instructions executed in the closing window.
+     * @param now   Current cycle time (monotone across calls).
+     * @return whether the owner must roll back to safePolicy().
+     */
+    Action onWindow(InsnCount insns, Cycles now);
+
+    const QosStats &stats() const { return stats_; }
+    const QosParams &params() const { return params_; }
+
+  private:
+    QosParams params_;
+    QosStats stats_;
+
+    /** Cycle time of the previous window edge; < 0 before the first
+     *  edge is seen (the first window has no interval to measure). */
+    Cycles lastEdge_ = -1.0;
+
+    /** Decayed maximum of realized window IPC. */
+    double referenceIpc_ = 0;
+
+    unsigned consecutiveViolations_ = 0;
+    unsigned cooldownLeft_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_CORE_QOS_WATCHDOG_HH

@@ -25,6 +25,7 @@
 #ifndef POWERCHOP_POWERCHOP_HH
 #define POWERCHOP_POWERCHOP_HH
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -45,11 +46,13 @@
 #include "uarch/vpu.hh"
 
 #include "core/cde.hh"
+#include "core/fault_injector.hh"
 #include "core/gating_controller.hh"
 #include "core/htb.hh"
 #include "core/policy.hh"
 #include "core/powerchop_unit.hh"
 #include "core/pvt.hh"
+#include "core/qos_watchdog.hh"
 #include "core/signature.hh"
 #include "core/timeout_gater.hh"
 

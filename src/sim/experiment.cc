@@ -1,9 +1,9 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
+#include <limits>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -12,21 +12,9 @@ namespace powerchop
 InsnCount
 insnBudget(InsnCount def)
 {
-    const char *env = std::getenv("POWERCHOP_INSNS");
-    if (!env || !*env)
-        return def;
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    // strtoull silently wraps negative input, so reject a sign
-    // outright; ERANGE catches saturated overflow and *end catches
-    // trailing junk like "10M".
-    if (end == env || *end != '\0' || errno == ERANGE || v == 0 ||
-        env[0] == '-' || env[0] == '+') {
-        warn("ignoring invalid POWERCHOP_INSNS='%s'", env);
-        return def;
-    }
-    return static_cast<InsnCount>(v);
+    return envUint64("POWERCHOP_INSNS", 1,
+                     std::numeric_limits<InsnCount>::max())
+        .value_or(def);
 }
 
 namespace

@@ -5,16 +5,97 @@
 namespace powerchop
 {
 
+namespace
+{
+
+/** Shared cache-geometry checks, each naming machine and field. */
+void
+validateCache(const std::string &machine, const char *which,
+              const CacheParams &c)
+{
+    if (c.sizeBytes == 0)
+        fatal("%s: %s.sizeBytes must be non-zero", machine.c_str(),
+              which);
+    if (c.assoc == 0)
+        fatal("%s: %s.assoc must be non-zero", machine.c_str(), which);
+    if (c.lineBytes == 0)
+        fatal("%s: %s.lineBytes must be non-zero", machine.c_str(),
+              which);
+    if (c.sizeBytes < static_cast<std::uint64_t>(c.assoc) * c.lineBytes)
+        fatal("%s: %s.sizeBytes=%llu smaller than one set "
+              "(assoc %u x line %u)",
+              machine.c_str(), which,
+              static_cast<unsigned long long>(c.sizeBytes), c.assoc,
+              c.lineBytes);
+}
+
+} // namespace
+
 void
 MachineConfig::validate() const
 {
     core.validate();
     power.validate();
+
+    validateCache(name, "l1", l1);
+    validateCache(name, "mlc", mlc);
     if (mlc.assoc < 2)
-        fatal("%s: MLC must be at least 2-way for way gating",
+        fatal("%s: mlc.assoc must be at least 2-way for way gating",
               name.c_str());
     if (l1.sizeBytes >= mlc.sizeBytes)
-        fatal("%s: L1 must be smaller than the MLC", name.c_str());
+        fatal("%s: l1.sizeBytes must be smaller than mlc.sizeBytes",
+              name.c_str());
+
+    if (vpu.width == 0)
+        fatal("%s: vpu.width must be non-zero", name.c_str());
+    if (vpu.emulationExpansion < 1.0)
+        fatal("%s: vpu.emulationExpansion=%g below 1 (emulation "
+              "cannot beat native)",
+              name.c_str(), vpu.emulationExpansion);
+
+    if (penalties.mlcSwitchCycles < 0)
+        fatal("%s: penalties.mlcSwitchCycles is negative", name.c_str());
+    if (penalties.vpuSwitchCycles < 0)
+        fatal("%s: penalties.vpuSwitchCycles is negative", name.c_str());
+    if (penalties.bpuSwitchCycles < 0)
+        fatal("%s: penalties.bpuSwitchCycles is negative", name.c_str());
+    if (penalties.vpuSaveRestoreCycles < 0)
+        fatal("%s: penalties.vpuSaveRestoreCycles is negative",
+              name.c_str());
+    if (penalties.mlcWritebackCyclesPerLine < 0)
+        fatal("%s: penalties.mlcWritebackCyclesPerLine is negative",
+              name.c_str());
+
+    if (timeout.timeoutCycles <= 0)
+        fatal("%s: timeout.timeoutCycles must be positive",
+              name.c_str());
+    if (timeout.switchCycles < 0 || timeout.saveRestoreCycles < 0)
+        fatal("%s: timeout switch/saveRestore cycles are negative",
+              name.c_str());
+
+    if (drowsy.intervalCycles <= 0)
+        fatal("%s: drowsy.intervalCycles must be positive",
+              name.c_str());
+    if (drowsy.wakePenaltyCycles < 0)
+        fatal("%s: drowsy.wakePenaltyCycles is negative", name.c_str());
+    if (drowsy.drowsyLeakageFraction < 0 ||
+        drowsy.drowsyLeakageFraction > 1) {
+        fatal("%s: drowsy.drowsyLeakageFraction outside [0, 1]",
+              name.c_str());
+    }
+
+    if (powerChop.htb.windowSize == 0)
+        fatal("%s: powerChop.htb.windowSize must be non-zero",
+              name.c_str());
+    if (powerChop.pvt.entries == 0)
+        fatal("%s: powerChop.pvt.entries must be non-zero",
+              name.c_str());
+    if (powerChop.cde.profilingWindows == 0)
+        fatal("%s: powerChop.cde.profilingWindows must be non-zero",
+              name.c_str());
+
+    powerChop.qos.validate(name);
+    faults.validate(name);
 }
 
 MachineConfig

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bt/bt_system.hh"
+#include "core/fault_injector.hh"
 #include "core/gating_controller.hh"
 #include "core/powerchop_unit.hh"
 #include "core/drowsy_mlc.hh"
@@ -41,7 +42,13 @@ struct MachineConfig
     DrowsyParams drowsy;
     CorePowerParams power;
 
-    /** Validate the whole configuration. */
+    /** Fault injection into the gating stack (disabled by default;
+     *  see fault_injector.hh). */
+    FaultInjectorParams faults;
+
+    /** Validate the whole configuration: every simulate() call runs
+     *  this before building the machine, and each violation is a
+     *  fatal() naming the offending field. */
     void validate() const;
 };
 

@@ -97,6 +97,22 @@ SimResult::toJson() const
     out << "\"simd_emulated\":" << simdEmulated << ",";
     out << "\"mlc_drowsy_fraction\":" << mlcDrowsyFraction << ",";
     out << "\"drowsy_wakes\":" << drowsyWakes;
+    // Resilience fields appear only when something happened, so the
+    // rendering of a fault-free run stays byte-identical to builds
+    // without the resilience subsystem.
+    if (faults.total() > 0) {
+        out << ",\"faults_injected\":" << faults.total();
+        out << ",\"faults_policy\":" << faults.policyCorruptions;
+        out << ",\"faults_htb_drop\":" << faults.htbDrops;
+        out << ",\"faults_htb_alias\":" << faults.htbAliases;
+        out << ",\"faults_ctrl_flip\":" << faults.controllerFlips;
+        out << ",\"faults_wakeup\":" << faults.wakeupStretches;
+    }
+    if (safeModeActivations > 0) {
+        out << ",\"safe_mode_activations\":" << safeModeActivations;
+        out << ",\"safe_mode_window_fraction\":"
+            << safeModeWindowFraction;
+    }
     out << "}";
     return out.str();
 }
@@ -116,6 +132,18 @@ SimResult::toString() const
         << mlcOneWayFraction * 100 << "%\n";
     out << "  avg power " << energy.averagePower() << " W (leakage "
         << energy.averageLeakagePower() << " W)\n";
+    if (faults.total() > 0) {
+        out << "  faults injected: " << faults.total() << " (policy "
+            << faults.policyCorruptions << ", htb "
+            << faults.htbDrops + faults.htbAliases << ", ctrl "
+            << faults.controllerFlips << ", wakeup "
+            << faults.wakeupStretches << ")\n";
+    }
+    if (safeModeActivations > 0) {
+        out << "  safe mode: " << safeModeActivations
+            << " activations, " << safeModeWindowFraction * 100
+            << "% of windows\n";
+    }
     return out.str();
 }
 

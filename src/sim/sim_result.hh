@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/fault_injector.hh"
 #include "core/gating_controller.hh"
 #include "power/accumulator.hh"
 
@@ -94,6 +95,15 @@ struct SimResult
      *  wakeup count (DrowsyMlc mode only). @{ */
     double mlcDrowsyFraction = 0;
     std::uint64_t drowsyWakes = 0;
+    /** @} */
+
+    /** Resilience: injected-fault counts and QoS watchdog activity.
+     *  All zero unless fault injection / the watchdog were enabled;
+     *  toString()/toJson() render them only when non-zero so
+     *  fault-free output stays byte-identical. @{ */
+    FaultStats faults;
+    std::uint64_t safeModeActivations = 0;
+    double safeModeWindowFraction = 0;
     /** @} */
 
     /** Raw activity and the resulting energy breakdown. */

@@ -1,10 +1,11 @@
 #include "sim/sim_runner.hh"
 
-#include <cerrno>
+#include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <ctime>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -44,26 +45,108 @@ threadCpuSeconds()
 
 } // namespace
 
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::TimedOut:
+        return "timed-out";
+    }
+    panic("unknown JobStatus %d", static_cast<int>(s));
+}
+
+std::size_t
+RobustBatchResult::okCount() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        outcomes.begin(), outcomes.end(),
+        [](const JobOutcome &o) { return o.status == JobStatus::Ok; }));
+}
+
+std::size_t
+RobustBatchResult::failedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const JobOutcome &o) {
+                          return o.status == JobStatus::Failed;
+                      }));
+}
+
+std::size_t
+RobustBatchResult::timedOutCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const JobOutcome &o) {
+                          return o.status == JobStatus::TimedOut;
+                      }));
+}
+
+std::size_t
+RobustBatchResult::degradedCount() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].status == JobStatus::Ok &&
+            results[i].safeModeActivations > 0) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+RobustBatchResult::summary() const
+{
+    return csprintf("%zu ok, %zu failed, %zu timed out, %zu degraded",
+                    okCount(), failedCount(), timedOutCount(),
+                    degradedCount());
+}
+
 std::string
 RunnerReport::toString() const
 {
-    return csprintf("%zu jobs on %u threads: %.2fs wall (%.2fs busy), "
-                    "%.1f MIPS, %.2f jobs/s, %.2fx vs 1 thread",
-                    jobs, threads, wallSeconds, busySeconds, mips(),
-                    jobsPerSecond(), speedup());
+    std::string s =
+        csprintf("%zu jobs on %u threads: %.2fs wall (%.2fs busy), "
+                 "%.1f MIPS, %.2f jobs/s, %.2fx vs 1 thread",
+                 jobs, threads, wallSeconds, busySeconds, mips(),
+                 jobsPerSecond(), speedup());
+    // Robust-batch tallies are appended only when such a batch ran,
+    // keeping fault-free bench output byte-identical.
+    if (okJobs + failedJobs + timedOutJobs > 0) {
+        s += csprintf("; robust: %zu ok, %zu failed, %zu timed out, "
+                      "%zu degraded, %zu retries",
+                      okJobs, failedJobs, timedOutJobs, degradedJobs,
+                      retries);
+    }
+    return s;
 }
 
 std::string
 RunnerReport::toJson(const std::string &name) const
 {
-    return csprintf("{\"bench\":\"%s\",\"jobs\":%zu,\"threads\":%u,"
-                    "\"wall_seconds\":%.6f,\"busy_seconds\":%.6f,"
-                    "\"instructions\":%llu,\"mips\":%.3f,"
-                    "\"jobs_per_second\":%.3f,\"speedup\":%.3f}",
-                    name.c_str(), jobs, threads, wallSeconds,
-                    busySeconds,
-                    static_cast<unsigned long long>(instructions),
-                    mips(), jobsPerSecond(), speedup());
+    std::string s =
+        csprintf("{\"bench\":\"%s\",\"jobs\":%zu,\"threads\":%u,"
+                 "\"wall_seconds\":%.6f,\"busy_seconds\":%.6f,"
+                 "\"instructions\":%llu,\"mips\":%.3f,"
+                 "\"jobs_per_second\":%.3f,\"speedup\":%.3f",
+                 name.c_str(), jobs, threads, wallSeconds, busySeconds,
+                 static_cast<unsigned long long>(instructions), mips(),
+                 jobsPerSecond(), speedup());
+    if (okJobs + failedJobs + timedOutJobs > 0) {
+        s += csprintf(",\"ok_jobs\":%zu,\"failed_jobs\":%zu,"
+                      "\"timed_out_jobs\":%zu,\"degraded_jobs\":%zu,"
+                      "\"retries\":%zu",
+                      okJobs, failedJobs, timedOutJobs, degradedJobs,
+                      retries);
+    }
+    s += "}";
+    return s;
 }
 
 unsigned
@@ -72,20 +155,8 @@ defaultJobCount()
     unsigned hw = std::thread::hardware_concurrency();
     if (hw == 0)
         hw = 1;
-
-    const char *env = std::getenv("POWERCHOP_JOBS");
-    if (!env || !*env)
-        return hw;
-
-    errno = 0;
-    char *end = nullptr;
-    unsigned long v = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0' || errno == ERANGE || v == 0 ||
-        v > 1024 || env[0] == '-' || env[0] == '+') {
-        warn("ignoring invalid POWERCHOP_JOBS='%s'", env);
-        return hw;
-    }
-    return static_cast<unsigned>(v);
+    return static_cast<unsigned>(
+        envUint64("POWERCHOP_JOBS", 1, 1024).value_or(hw));
 }
 
 SimJobRunner::SimJobRunner(unsigned threads)
@@ -210,6 +281,121 @@ SimJobRunner::run(const std::vector<SimJob> &jobs)
             simulate(jobs[i].machine, jobs[i].workload, jobs[i].opts);
     });
     return results;
+}
+
+RobustBatchResult
+SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
+                        const RobustRunOptions &opts)
+{
+    RobustBatchResult batch;
+    batch.results.resize(jobs.size());
+    batch.outcomes.resize(jobs.size());
+    if (jobs.empty())
+        return batch;
+
+    // Per-job cancellation slot. deadlineNs < 0 means "not running";
+    // the watchdog thread only arms cancel for slots whose deadline
+    // has passed. Sized once up front so worker threads never race a
+    // reallocation.
+    struct Slot
+    {
+        std::atomic<bool> cancel{false};
+        std::atomic<std::int64_t> deadlineNs{-1};
+    };
+    std::vector<Slot> slots(jobs.size());
+
+    const auto nowNs = [] {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now().time_since_epoch())
+            .count();
+    };
+
+    // Deadlines are enforced by a polling watchdog rather than by
+    // preempting workers: the simulator checks its cancel flag at
+    // block boundaries, so a ~10ms poll adds at most that much slack
+    // to the configured timeout.
+    std::atomic<bool> watchdog_stop{false};
+    std::thread watchdog;
+    if (opts.timeoutSeconds > 0) {
+        watchdog = std::thread([&] {
+            while (!watchdog_stop.load(std::memory_order_relaxed)) {
+                const std::int64_t now = nowNs();
+                for (auto &slot : slots) {
+                    const std::int64_t deadline =
+                        slot.deadlineNs.load(std::memory_order_relaxed);
+                    if (deadline >= 0 && now >= deadline)
+                        slot.cancel.store(true,
+                                          std::memory_order_relaxed);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+        });
+    }
+
+    const auto timeout_ns = static_cast<std::int64_t>(
+        opts.timeoutSeconds * 1e9);
+
+    runTasks(jobs.size(), [&](std::size_t i) {
+        const SimJob &job = jobs[i];
+        JobOutcome &outcome = batch.outcomes[i];
+        Slot &slot = slots[i];
+
+        const unsigned max_attempts =
+            1 + (job.transient ? opts.maxRetries : 0);
+        for (unsigned attempt = 1; attempt <= max_attempts;
+             ++attempt) {
+            outcome.attempts = attempt;
+
+            SimOptions run_opts = job.opts;
+            if (opts.timeoutSeconds > 0) {
+                slot.cancel.store(false, std::memory_order_relaxed);
+                slot.deadlineNs.store(nowNs() + timeout_ns,
+                                      std::memory_order_relaxed);
+                run_opts.cancelFlag = &slot.cancel;
+            }
+
+            try {
+                batch.results[i] =
+                    simulate(job.machine, job.workload, run_opts);
+                outcome.status = JobStatus::Ok;
+                outcome.error.clear();
+            } catch (const SimCancelledError &e) {
+                // A deadline is a property of the job, not of the
+                // attempt's luck — never retry a timeout.
+                outcome.status = JobStatus::TimedOut;
+                outcome.error = e.what();
+            } catch (const std::exception &e) {
+                outcome.status = JobStatus::Failed;
+                outcome.error = e.what();
+            } catch (...) {
+                outcome.status = JobStatus::Failed;
+                outcome.error = "unknown exception";
+            }
+            slot.deadlineNs.store(-1, std::memory_order_relaxed);
+
+            if (outcome.status != JobStatus::Failed ||
+                attempt == max_attempts) {
+                break;
+            }
+        }
+    });
+
+    if (watchdog.joinable()) {
+        watchdog_stop.store(true, std::memory_order_relaxed);
+        watchdog.join();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        report_.okJobs += batch.okCount();
+        report_.failedJobs += batch.failedCount();
+        report_.timedOutJobs += batch.timedOutCount();
+        report_.degradedJobs += batch.degradedCount();
+        for (const auto &o : batch.outcomes)
+            report_.retries += o.attempts - 1;
+    }
+    return batch;
 }
 
 } // namespace powerchop

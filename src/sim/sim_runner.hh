@@ -42,6 +42,69 @@ struct SimJob
     MachineConfig machine;
     WorkloadSpec workload;
     SimOptions opts;
+
+    /** Jobs flagged transient are retried (up to the batch's
+     *  maxRetries) when they fail with an exception; permanent
+     *  failures and timeouts are never retried. */
+    bool transient = false;
+};
+
+/** Terminal state of one job in a robust batch. */
+enum class JobStatus : std::uint8_t
+{
+    Ok,       ///< Completed; its SimResult is valid.
+    Failed,   ///< Threw on every allowed attempt; result is empty.
+    TimedOut, ///< Cancelled by the per-job deadline; result is empty.
+};
+
+/** @return a display name for a job status. */
+const char *jobStatusName(JobStatus s);
+
+/** What happened to one job of a robust batch. */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Ok;
+
+    /** The final attempt's exception message (Failed/TimedOut). */
+    std::string error;
+
+    /** Attempts consumed (> 1 only for retried transient jobs). */
+    unsigned attempts = 1;
+};
+
+/** Error-handling knobs of a robust batch. */
+struct RobustRunOptions
+{
+    /** Per-job wall-clock deadline in seconds; 0 disables. Jobs over
+     *  the deadline are cooperatively cancelled (the simulator polls
+     *  a flag at block boundaries) and reported TimedOut. */
+    double timeoutSeconds = 0;
+
+    /** Extra attempts granted to jobs flagged transient. */
+    unsigned maxRetries = 0;
+};
+
+/** Results of a robust batch: one result + one outcome per job, in
+ *  submission order. Failed/timed-out jobs leave a default
+ *  SimResult; check the outcome before using a result. */
+struct RobustBatchResult
+{
+    std::vector<SimResult> results;
+    std::vector<JobOutcome> outcomes;
+
+    std::size_t okCount() const;
+    std::size_t failedCount() const;
+    std::size_t timedOutCount() const;
+
+    /** Jobs that completed but tripped the QoS watchdog into safe
+     *  mode at least once (bounded, observable degradation). */
+    std::size_t degradedCount() const;
+
+    /** @return true when every job completed. */
+    bool allOk() const { return okCount() == outcomes.size(); }
+
+    /** One-line "N ok, N failed, N timed out, N degraded" summary. */
+    std::string summary() const;
 };
 
 /** Cumulative throughput accounting for a runner's batches. */
@@ -64,6 +127,17 @@ struct RunnerReport
 
     /** Guest instructions simulated during the batches. */
     InsnCount instructions = 0;
+
+    /** Robust-batch accounting (runRobust() only). All zero for
+     *  plain run()/runTasks() batches; toString()/toJson() render
+     *  them only when a robust batch actually ran, so reports from
+     *  fault-free benches stay byte-identical. @{ */
+    std::size_t okJobs = 0;
+    std::size_t failedJobs = 0;
+    std::size_t timedOutJobs = 0;
+    std::size_t degradedJobs = 0;
+    std::size_t retries = 0;
+    /** @} */
 
     /** Realized speedup over serial execution of the same jobs
      *  (equivalently, the average number of cores kept busy). */
@@ -132,6 +206,24 @@ class SimJobRunner
      * @return one SimResult per job, in submission order.
      */
     std::vector<SimResult> run(const std::vector<SimJob> &jobs);
+
+    /**
+     * Execute a batch with per-job error isolation.
+     *
+     * Unlike run(), a throwing job does not poison the batch: its
+     * outcome records Failed with the exception message and every
+     * other job still completes. With opts.timeoutSeconds > 0 each
+     * job also gets a wall-clock deadline enforced by cooperative
+     * cancellation (SimOptions::cancelFlag), reported as TimedOut.
+     * Jobs flagged transient are retried up to opts.maxRetries extra
+     * times after an exception (never after a timeout).
+     *
+     * @param jobs Job descriptors.
+     * @param opts Timeout / retry policy.
+     * @return one result + one outcome per job, in submission order.
+     */
+    RobustBatchResult runRobust(const std::vector<SimJob> &jobs,
+                                const RobustRunOptions &opts = {});
 
     /**
      * Execute `count` generic index-addressed tasks concurrently.

@@ -44,6 +44,14 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     PowerChopUnit pchop(machine.powerChop, controller, bt.nucleus(),
                         monitor);
 
+    // Per-run fault source: seeded from the config, private to this
+    // call, so fault sequences are deterministic on any worker count.
+    FaultInjector injector(machine.faults);
+    if (injector.active()) {
+        controller.setFaultInjector(&injector);
+        pchop.setFaultInjector(&injector);
+    }
+
     TimeoutParams to_params = machine.timeout;
     if (opts.timeoutCycles > 0)
         to_params.timeoutCycles = opts.timeoutCycles;
@@ -132,8 +140,17 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     // per-instruction head checks. The generator is at a block head
     // whenever control reaches the top of this loop.
     const InsnCount max_insns = opts.maxInstructions;
+    const std::atomic<bool> *cancel = opts.cancelFlag;
     InsnCount n = 0;
     while (n < max_insns) {
+        if (cancel && cancel->load(std::memory_order_relaxed)) {
+            throw SimCancelledError(csprintf(
+                "simulate(%s on %s): cancelled after %llu of %llu "
+                "instructions",
+                workload.name.c_str(), machine.name.c_str(),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(max_insns)));
+        }
         {
             const BlockId blk = gen.currentBlock();
 
@@ -156,7 +173,7 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                         last_trans != invalidTranslationId) {
                         accrue();
                         cycles += pchop.onTranslationHead(
-                            last_trans, insns_since_head);
+                            last_trans, insns_since_head, cycles);
                         last_accrue = cycles;
                     }
                     last_trans = entry.translation->id;
@@ -315,6 +332,17 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
 
     res.pvtLookups = pchop.pvt().lookups();
     res.pvtHits = pchop.pvt().hits();
+
+    // Resilience observability: what the fault injector actually did
+    // and how often the QoS watchdog had to roll back. All zero (and
+    // absent from renderings) in a fault-free run.
+    res.faults = injector.stats();
+    const QosStats &qos = pchop.qos().stats();
+    res.safeModeActivations = qos.safeModeActivations;
+    res.safeModeWindowFraction = qos.windowsObserved
+        ? static_cast<double>(qos.safeModeWindows) /
+              qos.windowsObserved
+        : 0.0;
     res.translationsExecuted = pchop.translationsSeen();
     res.pvtMissPerTranslation = res.translationsExecuted
         ? static_cast<double>(pchop.pvt().misses()) /

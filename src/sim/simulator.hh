@@ -14,8 +14,10 @@
 #ifndef POWERCHOP_SIM_SIMULATOR_HH
 #define POWERCHOP_SIM_SIMULATOR_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 
 #include "sim/machine_config.hh"
 #include "sim/sim_result.hh"
@@ -23,6 +25,21 @@
 
 namespace powerchop
 {
+
+/**
+ * Thrown by simulate() when its cancel flag is raised mid-run (the
+ * robust job runner uses this for per-job wall-clock timeouts).
+ * Deliberately not a FatalError/PanicError: cancellation is neither a
+ * user mistake nor a simulator bug.
+ */
+class SimCancelledError : public std::runtime_error
+{
+  public:
+    explicit SimCancelledError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
 
 /** Per-run options. */
 struct SimOptions
@@ -55,6 +72,14 @@ struct SimOptions
      */
     InsnCount sampleInterval = 0;
     std::function<void(InsnCount, Cycles)> sampler;
+
+    /**
+     * Optional cooperative-cancellation flag, polled once per basic
+     * block. When another thread sets it, simulate() stops at the
+     * next block boundary by throwing SimCancelledError. The flag
+     * must outlive the call.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
 };
 
 /**
