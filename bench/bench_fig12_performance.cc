@@ -50,5 +50,6 @@ main()
                 "minimally-powered\nconfiguration loses dramatically "
                 "more performance.\n");
     reportRunner("fig12_performance");
+    maybeEmitTrace(allWorkloads().front(), insns);
     return 0;
 }

@@ -100,6 +100,48 @@ reportRunner(const std::string &bench_name)
     }
 }
 
+/**
+ * Optional telemetry sinks for benches: when POWERCHOP_TRACE or
+ * POWERCHOP_METRICS names a path, re-run `app` in PowerChop mode with
+ * the corresponding recorders attached and write the Chrome
+ * trace-event JSON and/or the per-window metrics CSV there. A no-op
+ * (and zero extra simulation) when neither variable is set, so
+ * default bench output and timing are untouched.
+ *
+ * @param app   Application model to trace.
+ * @param insns Instruction budget of the traced run.
+ */
+inline void
+maybeEmitTrace(const WorkloadSpec &app, InsnCount insns)
+{
+    const auto trace_path = envString("POWERCHOP_TRACE");
+    const auto metrics_path = envString("POWERCHOP_METRICS");
+    if (!trace_path && !metrics_path)
+        return;
+
+    telemetry::TraceRecorder trace;
+    telemetry::MetricsRegistry metrics;
+    SimOptions opts;
+    opts.mode = SimMode::PowerChop;
+    opts.maxInstructions = insns;
+    if (trace_path)
+        opts.trace = &trace;
+    if (metrics_path)
+        opts.metrics = &metrics;
+    simulate(machineFor(app), app, opts);
+
+    if (trace_path && telemetry::writeChromeTrace(*trace_path, {&trace})) {
+        progress(csprintf("wrote trace of %s to %s (%zu events)",
+                          app.name.c_str(), trace_path->c_str(),
+                          trace.events().size()));
+    }
+    if (metrics_path && metrics.writeCsv(*metrics_path)) {
+        progress(csprintf("wrote metrics of %s to %s (%zu windows)",
+                          app.name.c_str(), metrics_path->c_str(),
+                          metrics.rows().size()));
+    }
+}
+
 /** Per-suite accumulation of one metric. */
 class SuiteAverages
 {

@@ -53,6 +53,23 @@ Distribution::mean() const
     return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (p < 0.0 || p > 1.0)
+        panic("Distribution percentile %f outside [0, 1]", p);
+    if (samples_ == 0)
+        panic("Distribution percentile of an empty distribution");
+    const double target = p * static_cast<double>(samples_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (static_cast<double>(seen) >= target)
+            return min_ + bucketWidth_ * static_cast<double>(i + 1);
+    }
+    return max_;
+}
+
 void
 Distribution::reset()
 {
@@ -85,6 +102,26 @@ Group::dump() const
     for (const auto &[name, a] : averages_)
         out << name_ << "." << name << " " << a->mean() << "\n";
     return out.str();
+}
+
+std::string
+Group::toJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, s] : scalars_) {
+        out += csprintf("%s\"%s.%s\":%llu", first ? "" : ",",
+                        name_.c_str(), name.c_str(),
+                        static_cast<unsigned long long>(s->value()));
+        first = false;
+    }
+    for (const auto &[name, a] : averages_) {
+        out += csprintf("%s\"%s.%s\":%.10g", first ? "" : ",",
+                        name_.c_str(), name.c_str(), a->mean());
+        first = false;
+    }
+    out += "}";
+    return out;
 }
 
 } // namespace stats

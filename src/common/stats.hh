@@ -94,6 +94,19 @@ class Distribution
     std::uint64_t overflows() const { return overflow_; }
     double mean() const;
 
+    /**
+     * Approximate percentile from the histogram.
+     *
+     * Walks the buckets until the cumulative count reaches p of all
+     * samples and returns that bucket's upper edge (underflow and
+     * overflow samples count in the edge buckets, so results are
+     * clamped to [min, max]). Panics when p is outside [0, 1] or no
+     * samples were recorded.
+     *
+     * @param p Percentile in [0, 1], e.g. 0.99.
+     */
+    double percentile(double p) const;
+
     void reset();
 
   private:
@@ -128,7 +141,22 @@ class Group
     /** Render all registered stats as text, one per line. */
     std::string dump() const;
 
+    /** Render as a JSON object: {"<group>.<stat>": value, ...}.
+     *  Scalars render as integers, averages as their mean. */
+    std::string toJson() const;
+
     const std::string &name() const { return name_; }
+
+    /** Registered stats by name (iteration order is sorted). @{ */
+    const std::map<std::string, const Scalar *> &scalars() const
+    {
+        return scalars_;
+    }
+    const std::map<std::string, const Average *> &averages() const
+    {
+        return averages_;
+    }
+    /** @} */
 
   private:
     std::string name_;

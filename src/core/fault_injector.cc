@@ -1,6 +1,7 @@
 #include "core/fault_injector.hh"
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace powerchop
 {
@@ -52,6 +53,8 @@ FaultInjector::corruptPolicy(const GatingPolicy &policy)
         return policy;
     }
     ++stats_.policyCorruptions;
+    if (trace_)
+        trace_->fault(telemetry::FaultEvent::PolicyCorrupt);
     return flipPolicyBit(policy);
 }
 
@@ -63,6 +66,8 @@ FaultInjector::dropTranslation()
     if (!rng_.bernoulli(params_.htbDropRate))
         return false;
     ++stats_.htbDrops;
+    if (trace_)
+        trace_->fault(telemetry::FaultEvent::HtbDrop);
     return true;
 }
 
@@ -74,6 +79,8 @@ FaultInjector::aliasTranslation(TranslationId id)
         return id;
     }
     ++stats_.htbAliases;
+    if (trace_)
+        trace_->fault(telemetry::FaultEvent::HtbAlias);
     TranslationId aliased =
         id ^ static_cast<TranslationId>(1u << rng_.below(8));
     // Translation ids are head PCs; 0 is the invalid sentinel, so a
@@ -91,6 +98,8 @@ FaultInjector::flipControllerState(const GatingPolicy &current)
         return current;
     }
     ++stats_.controllerFlips;
+    if (trace_)
+        trace_->fault(telemetry::FaultEvent::ControllerFlip);
     return flipPolicyBit(current);
 }
 
@@ -103,6 +112,8 @@ FaultInjector::stretchWakeup(double stall_cycles)
         return stall_cycles;
     }
     ++stats_.wakeupStretches;
+    if (trace_)
+        trace_->fault(telemetry::FaultEvent::WakeupStretch);
     return stall_cycles * params_.wakeupStretchFactor;
 }
 

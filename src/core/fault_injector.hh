@@ -39,6 +39,11 @@
 namespace powerchop
 {
 
+namespace telemetry
+{
+class TraceRecorder;
+} // namespace telemetry
+
 /** Fault-injection configuration; all rates are per-event
  *  probabilities in [0, 1]. Disabled (the default) is guaranteed to
  *  leave simulation results bit-identical to a build without the
@@ -122,6 +127,11 @@ class FaultInjector
     const FaultStats &stats() const { return stats_; }
     const FaultInjectorParams &params() const { return params_; }
 
+    /** Attach a trace recorder (nullptr detaches); every injected
+     *  fault emits one instant event. The fault stream itself is
+     *  unaffected (recording consumes no randomness). */
+    void setTrace(telemetry::TraceRecorder *trace) { trace_ = trace; }
+
   private:
     /** Flip one uniformly chosen bit of a 4-bit policy encoding. */
     GatingPolicy flipPolicyBit(const GatingPolicy &policy);
@@ -129,6 +139,7 @@ class FaultInjector
     FaultInjectorParams params_;
     Rng rng_;
     FaultStats stats_;
+    telemetry::TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace powerchop

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/fault_injector.hh"
+#include "telemetry/trace.hh"
 
 namespace powerchop
 {
@@ -37,13 +38,18 @@ GatingController::applyPolicy(const GatingPolicy &policy)
     if (policy.vpuOn != current_.vpuOn) {
         // Register file is explicitly saved (gate off) or restored
         // (gate on); execution halts while that happens.
-        stall += penalties_.vpuSwitchCycles +
-                 penalties_.vpuSaveRestoreCycles;
+        const double unit_stall = penalties_.vpuSwitchCycles +
+                                  penalties_.vpuSaveRestoreCycles;
+        stall += unit_stall;
         ++stats_.vpuSwitches;
         if (policy.vpuOn)
             vpu_.gateOn();
         else
             vpu_.gateOff();
+        if (trace_) {
+            trace_->gateState(telemetry::GateUnit::Vpu,
+                              policy.vpuOn ? 1 : 0, unit_stall);
+        }
     }
 
     // --- BPU --------------------------------------------------------------
@@ -55,19 +61,31 @@ GatingController::applyPolicy(const GatingPolicy &policy)
         } else {
             bpu_.gateLargeOff();    // global/chooser/BTB state lost
         }
+        if (trace_) {
+            trace_->gateState(telemetry::GateUnit::Bpu,
+                              policy.bpuOn ? 1 : 0,
+                              penalties_.bpuSwitchCycles);
+        }
     }
 
     // --- MLC --------------------------------------------------------------
     if (policy.mlc != current_.mlc) {
-        stall += penalties_.mlcSwitchCycles;
         ++stats_.mlcSwitches;
         ++mlcPolicyEpoch_;
         unsigned assoc = mem_.mlc().params().assoc;
         unsigned ways = mlcActiveWays(policy.mlc, assoc);
         std::uint64_t dirty = mem_.setMlcActiveWays(ways);
         stats_.mlcDirtyWritebacks += dirty;
-        stall += static_cast<double>(dirty) *
-                 penalties_.mlcWritebackCyclesPerLine;
+        const double unit_stall =
+            penalties_.mlcSwitchCycles +
+            static_cast<double>(dirty) *
+                penalties_.mlcWritebackCyclesPerLine;
+        stall += unit_stall;
+        if (trace_) {
+            trace_->gateState(
+                telemetry::GateUnit::Mlc,
+                static_cast<std::uint64_t>(policy.mlc), unit_stall);
+        }
     }
 
     if (injector_ && injector_->active())

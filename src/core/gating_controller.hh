@@ -22,6 +22,11 @@ namespace powerchop
 
 class FaultInjector;
 
+namespace telemetry
+{
+class TraceRecorder;
+} // namespace telemetry
+
 /** Performance penalties of gating transitions (Section IV-D). */
 struct GatingPenalties
 {
@@ -109,6 +114,12 @@ class GatingController
         injector_ = injector;
     }
 
+    /** Attach a trace recorder (nullptr detaches). Each unit state
+     *  change emits one gate-state event with the stall cycles
+     *  attributed to that unit's transition; recording never feeds
+     *  back into gating decisions. */
+    void setTrace(telemetry::TraceRecorder *trace) { trace_ = trace; }
+
   private:
     Vpu &vpu_;
     BpuComplex &bpu_;
@@ -118,6 +129,7 @@ class GatingController
     GatingStats stats_;
     std::uint64_t mlcPolicyEpoch_ = 0;
     FaultInjector *injector_ = nullptr;
+    telemetry::TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace powerchop

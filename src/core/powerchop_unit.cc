@@ -1,6 +1,8 @@
 #include "core/powerchop_unit.hh"
 
 #include "core/fault_injector.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace powerchop
 {
@@ -54,19 +56,50 @@ PowerChopUnit::onWindow(const WindowReport &rep, Cycles now)
     // window in hardware.
     WindowProfile profile = monitor_.snapshotAndReset();
 
+    // Telemetry observes the closing window before this edge's
+    // transitions: the recorded policy and residency are the ones in
+    // effect while the window executed.
+    ++windowIndex_;
+    if (trace_) {
+        const double wc = now >= 0 ? now - lastWindowEdge_ : 0;
+        const double ipc =
+            wc > 0 ? static_cast<double>(rep.instructions) / wc : 0;
+        trace_->window(windowIndex_, rep.instructions, ipc);
+        trace_->phase(rep.signature.hash());
+    }
+    if (metrics_)
+        metrics_->onWindow(rep, profile, now, controller_);
+    if (now >= 0)
+        lastWindowEdge_ = now;
+
     // The QoS watchdog sees every window edge, including the ones a
     // PVT hit would service entirely in hardware: realized slowdown
     // is a property of the window, not of the lookup outcome.
     if (watchdog_.enabled() && now >= 0) {
         QosWatchdog::Action act =
             watchdog_.onWindow(rep.instructions, now);
-        if (act == QosWatchdog::Action::EnterSafeMode)
+        if (trace_) {
+            const std::uint64_t v = watchdog_.stats().violations;
+            for (; lastQosViolations_ < v; ++lastQosViolations_)
+                trace_->qosViolation();
+        }
+        if (act == QosWatchdog::Action::EnterSafeMode) {
+            if (trace_)
+                trace_->safeMode(true);
+            wasInSafeMode_ = true;
             return controller_.applyPolicy(watchdog_.safePolicy());
+        }
         if (watchdog_.inSafeMode()) {
             // Gating suspended: no PVT/CDE activity until the
             // cooldown expires, so a corrupted policy source cannot
             // keep re-degrading the machine.
             return 0;
+        }
+        if (wasInSafeMode_) {
+            // First edge after the cooldown expired.
+            wasInSafeMode_ = false;
+            if (trace_)
+                trace_->safeMode(false);
         }
     }
 
@@ -77,13 +110,33 @@ PowerChopUnit::onWindow(const WindowReport &rep, Cycles now)
         GatingPolicy applied = *policy;
         if (injector_ && injector_->active())
             applied = injector_->corruptPolicy(applied);
+        if (trace_) {
+            trace_->cde(telemetry::CdeEvent::PvtHit,
+                        applied.encode());
+        }
         stall += controller_.applyPolicy(applied);
         return stall;
     }
 
     // PVT miss: trap into the CDE.
     stall += nucleus_.takeInterrupt(InterruptKind::PvtMiss);
+    const std::uint64_t capacity_before = cde_.capacityMisses();
+    const std::uint64_t phases_before = cde_.newPhases();
     Cde::Result res = cde_.onPvtMiss(rep.signature, profile, pvt_);
+    if (trace_) {
+        // Classify the CDE's decision from its observable outcome.
+        telemetry::CdeEvent what;
+        if (cde_.capacityMisses() != capacity_before)
+            what = telemetry::CdeEvent::Reregister;
+        else if (cde_.newPhases() != phases_before)
+            what = telemetry::CdeEvent::ProfileStart;
+        else if (res.keepCurrent)
+            what = telemetry::CdeEvent::Profiling;
+        else
+            what = telemetry::CdeEvent::Install;
+        trace_->cde(what,
+                    res.keepCurrent ? 0 : res.policy.encode());
+    }
     stall += res.cycles;
     if (!res.keepCurrent)
         stall += controller_.applyPolicy(res.policy);

@@ -27,6 +27,12 @@ namespace powerchop
 
 class FaultInjector;
 
+namespace telemetry
+{
+class TraceRecorder;
+class WindowMetricsCollector;
+} // namespace telemetry
+
 /** PowerChop system configuration. */
 struct PowerChopParams
 {
@@ -89,6 +95,19 @@ class PowerChopUnit
         injector_ = injector;
     }
 
+    /** Attach a trace recorder (nullptr detaches). Window edges,
+     *  phase-signature changes, CDE decisions and QoS watchdog
+     *  activity are recorded; recording never alters decisions. */
+    void setTrace(telemetry::TraceRecorder *trace) { trace_ = trace; }
+
+    /** Attach a per-window metrics collector (nullptr detaches); it
+     *  observes every window edge with the window's report and
+     *  performance profile. */
+    void setMetricsCollector(telemetry::WindowMetricsCollector *c)
+    {
+        metrics_ = c;
+    }
+
     const Htb &htb() const { return htb_; }
     const Pvt &pvt() const { return pvt_; }
     const Cde &cde() const { return cde_; }
@@ -111,6 +130,15 @@ class PowerChopUnit
     std::function<void(const WindowReport &)> observer_;
     std::uint64_t translations_ = 0;
     FaultInjector *injector_ = nullptr;
+    telemetry::TraceRecorder *trace_ = nullptr;
+    telemetry::WindowMetricsCollector *metrics_ = nullptr;
+
+    /** Telemetry-only window tracking (window index, last edge time
+     *  for IPC, last seen QoS counters). Never read by decisions. */
+    std::uint64_t windowIndex_ = 0;
+    Cycles lastWindowEdge_ = 0;
+    std::uint64_t lastQosViolations_ = 0;
+    bool wasInSafeMode_ = false;
 };
 
 } // namespace powerchop

@@ -60,6 +60,11 @@
 #include "power/cacti_lite.hh"
 #include "power/core_power_model.hh"
 
+#include "telemetry/chrome_trace.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
+#include "telemetry/trace.hh"
+
 #include "sim/experiment.hh"
 #include "sim/machine_config.hh"
 #include "sim/sim_result.hh"

@@ -96,6 +96,7 @@ MachineConfig::validate() const
 
     powerChop.qos.validate(name);
     faults.validate(name);
+    telemetry.validate(name);
 }
 
 MachineConfig

@@ -17,6 +17,7 @@
 #include "core/drowsy_mlc.hh"
 #include "core/timeout_gater.hh"
 #include "power/core_power_model.hh"
+#include "telemetry/trace.hh"
 #include "uarch/bpu_complex.hh"
 #include "uarch/cache.hh"
 #include "uarch/core_params.hh"
@@ -45,6 +46,10 @@ struct MachineConfig
     /** Fault injection into the gating stack (disabled by default;
      *  see fault_injector.hh). */
     FaultInjectorParams faults;
+
+    /** Trace-recording configuration (event cap, per-class switches);
+     *  only consulted when SimOptions attaches a recorder. */
+    telemetry::TelemetryParams telemetry;
 
     /** Validate the whole configuration: every simulate() call runs
      *  this before building the machine, and each violation is a

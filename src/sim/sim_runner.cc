@@ -124,6 +124,14 @@ RunnerReport::toString() const
                       okJobs, failedJobs, timedOutJobs, degradedJobs,
                       retries);
     }
+    if (!stages.empty()) {
+        s += "; stages:";
+        for (const auto &st : stages) {
+            s += csprintf(" %s=%.2fs/%llu", st.name.c_str(),
+                          st.seconds,
+                          static_cast<unsigned long long>(st.count));
+        }
+    }
     return s;
 }
 
@@ -144,6 +152,18 @@ RunnerReport::toJson(const std::string &name) const
                       "\"retries\":%zu",
                       okJobs, failedJobs, timedOutJobs, degradedJobs,
                       retries);
+    }
+    if (!stages.empty()) {
+        s += ",\"stages\":{";
+        bool first = true;
+        for (const auto &st : stages) {
+            s += csprintf("%s\"%s\":{\"seconds\":%.6f,\"count\":%llu}",
+                          first ? "" : ",", st.name.c_str(),
+                          st.seconds,
+                          static_cast<unsigned long long>(st.count));
+            first = false;
+        }
+        s += "}";
     }
     s += "}";
     return s;
@@ -266,6 +286,8 @@ SimJobRunner::runTasks(std::size_t count,
         report_.busySeconds += batchBusySeconds_;
         report_.instructions +=
             simulatedInstructionTally() - tally_before;
+        if (profiler_.enabled())
+            report_.stages = profiler_.snapshot();
     }
 
     if (first_error)
@@ -354,6 +376,12 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
                                       std::memory_order_relaxed);
                 run_opts.cancelFlag = &slot.cancel;
             }
+
+            // Re-attempts of transient jobs are counted into their
+            // own stage so the report separates productive first-run
+            // time from recovery time.
+            telemetry::ScopedStageTimer retry_timer(
+                attempt > 1 ? &profiler_ : nullptr, "retry");
 
             try {
                 batch.results[i] =

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "sim/simulator.hh"
+#include "telemetry/profiler.hh"
 
 namespace powerchop
 {
@@ -139,6 +140,12 @@ struct RunnerReport
     std::size_t retries = 0;
     /** @} */
 
+    /** Wall-clock stage breakdown (translate / simulate / retry),
+     *  populated only when POWERCHOP_PROFILE enables the runner's
+     *  stage profiler; toString()/toJson() render it only when
+     *  non-empty, keeping unprofiled reports byte-identical. */
+    std::vector<telemetry::StageTime> stages;
+
     /** Realized speedup over serial execution of the same jobs
      *  (equivalently, the average number of cores kept busy). */
     double speedup() const
@@ -237,6 +244,11 @@ class SimJobRunner
     /** Cumulative report over all batches run so far. */
     const RunnerReport &report() const { return report_; }
 
+    /** The stage profiler snapshotted into the runner report — the
+     *  process-global profiler (enabled by POWERCHOP_PROFILE), which
+     *  simulate() records into unless a job attached its own. */
+    telemetry::StageProfiler &profiler() { return profiler_; }
+
   private:
     void workerLoop();
 
@@ -257,6 +269,8 @@ class SimJobRunner
     bool stopping_ = false;
 
     RunnerReport report_;
+    telemetry::StageProfiler &profiler_ =
+        telemetry::StageProfiler::global();
 };
 
 } // namespace powerchop

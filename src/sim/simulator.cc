@@ -2,10 +2,14 @@
 
 #include <atomic>
 #include <limits>
+#include <optional>
 
 #include "common/logging.hh"
 #include "core/drowsy_mlc.hh"
 #include "core/perf_monitor.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
+#include "telemetry/trace.hh"
 
 namespace powerchop
 {
@@ -33,6 +37,10 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
         fatal("simulate: zero instruction budget");
 
     // --- Build the machine -------------------------------------------------
+    telemetry::StageProfiler *profiler = opts.profiler;
+    if (!profiler && telemetry::StageProfiler::global().enabled())
+        profiler = &telemetry::StageProfiler::global();
+    telemetry::ScopedStageTimer translate_timer(profiler, "translate");
     WorkloadGenerator gen(workload);
     BtParams bt_params = machine.bt;
     BtSystem bt(gen.program(), bt_params);
@@ -58,6 +66,8 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     TimeoutGater timeout(vpu, to_params);
     DrowsyMlc drowsy(mem, machine.drowsy);
 
+    CorePowerModel power_model(machine.power);
+
     const CoreParams &core = machine.core;
     const double slot = 1.0 / core.issueWidth;
 
@@ -70,6 +80,38 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                               opts.manageMlc);
         if (opts.windowObserver)
             pchop.setWindowObserver(opts.windowObserver);
+    }
+
+    // --- Telemetry ---------------------------------------------------------
+    telemetry::TraceRecorder *trace = opts.trace;
+    if (trace) {
+        trace->beginRun(workload.name, machine.name,
+                        simModeName(opts.mode), machine.telemetry);
+        controller.setTrace(trace);
+        pchop.setTrace(trace);
+        if (injector.active())
+            injector.setTrace(trace);
+    }
+
+    // The registry's probes reference the collector below; detach
+    // them whenever this frame unwinds (including cancellation) so
+    // the registry never outlives its probed objects.
+    struct ProbeDetachGuard
+    {
+        telemetry::MetricsRegistry *registry = nullptr;
+        ~ProbeDetachGuard()
+        {
+            if (registry)
+                registry->detachProbes();
+        }
+    } probe_guard;
+
+    std::optional<telemetry::WindowMetricsCollector> collector;
+    if (opts.metrics && use_powerchop) {
+        collector.emplace(*opts.metrics, &power_model,
+                          core.frequencyHz, machine.mlc.assoc);
+        pchop.setMetricsCollector(&*collector);
+        probe_guard.registry = opts.metrics;
     }
 
     SimResult res;
@@ -134,6 +176,9 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
         }
     };
 
+    translate_timer.stop();
+    telemetry::ScopedStageTimer simulate_timer(profiler, "simulate");
+
     // The loop runs one basic block per iteration: the head work
     // (trace matching, region entry, baseline gater ticks) happens
     // once per block, then the block body executes as a burst with no
@@ -172,6 +217,8 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                     if (use_powerchop &&
                         last_trans != invalidTranslationId) {
                         accrue();
+                        if (trace)
+                            trace->setNow(n, cycles);
                         cycles += pchop.onTranslationHead(
                             last_trans, insns_since_head, cycles);
                         last_accrue = cycles;
@@ -302,11 +349,18 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
         }
     }
 
+    simulate_timer.stop();
+
     accrue();
     if (use_timeout)
         timeout.finish(cycles);
     if (use_drowsy)
         drowsy.finish(cycles);
+
+    if (trace) {
+        trace->setNow(n, cycles);
+        trace->endRun(n, cycles);
+    }
 
     // --- Collect results -----------------------------------------------------
     res.instructions = opts.maxInstructions;
@@ -391,7 +445,6 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     act.bpuSwitches = static_cast<double>(res.gating.bpuSwitches);
     act.mlcSwitches = static_cast<double>(res.gating.mlcSwitches);
 
-    CorePowerModel power_model(machine.power);
     res.activity = act;
     res.energy = accumulateEnergy(power_model, act, machine.mlc.assoc);
 

@@ -26,6 +26,13 @@
 namespace powerchop
 {
 
+namespace telemetry
+{
+class TraceRecorder;
+class MetricsRegistry;
+class StageProfiler;
+} // namespace telemetry
+
 /**
  * Thrown by simulate() when its cancel flag is raised mid-run (the
  * robust job runner uses this for per-job wall-clock timeouts).
@@ -80,6 +87,31 @@ struct SimOptions
      * must outlive the call.
      */
     const std::atomic<bool> *cancelFlag = nullptr;
+
+    /**
+     * Optional trace recorder (see telemetry/trace.hh). When set,
+     * gate-state transitions, window edges, CDE decisions, QoS
+     * activity and injected faults are recorded as typed events under
+     * MachineConfig::telemetry's switches. Recording never feeds back
+     * into simulation, so results are bit-identical either way. One
+     * recorder per call; must outlive the call.
+     */
+    telemetry::TraceRecorder *trace = nullptr;
+
+    /**
+     * Optional metrics registry (see telemetry/metrics.hh): PowerChop
+     * mode snapshots the canonical per-window series into it. The
+     * registry must be empty (fresh) and outlive the call; its probe
+     * callbacks are detached before simulate() returns.
+     */
+    telemetry::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Optional wall-clock stage profiler; simulate() records its
+     * construction ("translate") and execution ("simulate") stages.
+     * Shared across jobs and internally locked.
+     */
+    telemetry::StageProfiler *profiler = nullptr;
 };
 
 /**

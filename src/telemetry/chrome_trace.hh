@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Chrome trace-event JSON export of recorded gating traces.
+ *
+ * Renders one or more TraceRecorders (one per simulation job, in
+ * submission order) into the Chrome trace-event format [1], which
+ * opens directly in Perfetto (ui.perfetto.dev) and chrome://tracing.
+ *
+ * Layout: each run becomes one "process" (pid = 1 + run index) named
+ * "<workload> on <machine> [<mode>]". Inside a process, fixed
+ * "threads" are the tracks:
+ *
+ *   tid 1  VPU gate   — spans: "on" / "gated"
+ *   tid 2  BPU gate   — spans: "on" / "gated"
+ *   tid 3  MLC ways   — spans: "all" / "half" / "quarter" / "1-way"
+ *   tid 4  phase      — spans: one per contiguous phase-signature run
+ *   tid 5  windows    — instants per HTB window + "window IPC" counter
+ *   tid 6  CDE        — instants: pvt-hit / profile-start / ...
+ *   tid 7  QoS        — "safe-mode" spans + violation instants
+ *   tid 8  faults     — instants, one per injected fault
+ *
+ * Timestamps map one simulated cycle to one microsecond of trace
+ * time, so "1 ms" on the Perfetto timeline is 1000 cycles. All values
+ * derive from simulation state only, making exported traces
+ * byte-identical across worker counts and repeat runs.
+ *
+ * [1] https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+ */
+
+#ifndef POWERCHOP_TELEMETRY_CHROME_TRACE_HH
+#define POWERCHOP_TELEMETRY_CHROME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hh"
+
+namespace powerchop
+{
+namespace telemetry
+{
+
+/**
+ * Render runs as a complete Chrome trace-event JSON document.
+ *
+ * @param runs Recorders in deterministic (submission) order; null
+ *             entries are skipped.
+ * @return the JSON document ({"traceEvents":[...], ...}).
+ */
+std::string
+chromeTraceJson(const std::vector<const TraceRecorder *> &runs);
+
+/** Single-run convenience overload. */
+std::string chromeTraceJson(const TraceRecorder &run);
+
+/**
+ * Write runs to a trace file.
+ *
+ * @param path Output file path.
+ * @param runs Recorders in deterministic order.
+ * @return true on success; false (with a warning) when the file
+ *         cannot be written.
+ */
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<const TraceRecorder *> &runs);
+
+} // namespace telemetry
+} // namespace powerchop
+
+#endif // POWERCHOP_TELEMETRY_CHROME_TRACE_HH

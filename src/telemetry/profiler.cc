@@ -1,0 +1,55 @@
+#include "telemetry/profiler.hh"
+
+#include "common/env.hh"
+
+namespace powerchop
+{
+namespace telemetry
+{
+
+void
+StageProfiler::record(const std::string &stage, double seconds)
+{
+    if (!enabled_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    StageTime &st = stages_[stage];
+    if (st.name.empty())
+        st.name = stage;
+    st.seconds += seconds;
+    ++st.count;
+}
+
+std::vector<StageTime>
+StageProfiler::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<StageTime> out;
+    out.reserve(stages_.size());
+    for (const auto &[name, st] : stages_)
+        out.push_back(st);
+    return out;
+}
+
+void
+StageProfiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stages_.clear();
+}
+
+bool
+StageProfiler::enabledByEnv()
+{
+    return envUint64("POWERCHOP_PROFILE", 0, 1).value_or(0) != 0;
+}
+
+StageProfiler &
+StageProfiler::global()
+{
+    static StageProfiler instance(enabledByEnv());
+    return instance;
+}
+
+} // namespace telemetry
+} // namespace powerchop

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Wall-clock stage profiling for the simulation job runner.
+ *
+ * A StageProfiler accumulates wall-clock seconds per named stage
+ * ("translate", "simulate", "retry") so the runner report can break
+ * total busy time down by where it went. Unlike the trace recorder
+ * and metrics registry — whose contents are deterministic simulation
+ * state — stage times are host measurements: they never appear in
+ * simulation results or traces, only in the (already wall-clock-
+ * bearing) runner report, so determinism guarantees are unaffected.
+ *
+ * The profiler is shared by all worker threads of one runner and is
+ * therefore internally locked; a disabled profiler (the default, see
+ * POWERCHOP_PROFILE) costs one branch per scope.
+ */
+
+#ifndef POWERCHOP_TELEMETRY_PROFILER_HH
+#define POWERCHOP_TELEMETRY_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace powerchop
+{
+namespace telemetry
+{
+
+/** Accumulated wall-clock time of one named stage. */
+struct StageTime
+{
+    std::string name;
+    double seconds = 0;
+    std::uint64_t count = 0; ///< Scopes recorded into this stage.
+};
+
+/**
+ * Thread-safe per-stage wall-clock accumulator.
+ */
+class StageProfiler
+{
+  public:
+    /** @param enabled A disabled profiler ignores record() calls. */
+    explicit StageProfiler(bool enabled = false) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /** Add one timed scope to a stage. No-op when disabled. */
+    void record(const std::string &stage, double seconds);
+
+    /** All stages with recorded time, sorted by name. */
+    std::vector<StageTime> snapshot() const;
+
+    /** Drop all recorded stages. */
+    void reset();
+
+    /** @return true when POWERCHOP_PROFILE is set to a non-zero
+     *  value (the runner's enable knob). */
+    static bool enabledByEnv();
+
+    /**
+     * The process-wide profiler, enabled by POWERCHOP_PROFILE at
+     * first use. simulate() records into it when no per-run profiler
+     * is attached, and the job runner snapshots it into the runner
+     * report — so stage times cover every simulation of the process,
+     * including ones driven through generic runTasks() closures that
+     * build their own SimOptions.
+     */
+    static StageProfiler &global();
+
+  private:
+    bool enabled_;
+    mutable std::mutex mutex_;
+    std::map<std::string, StageTime> stages_;
+};
+
+/**
+ * RAII timer recording one scope into a profiler stage.
+ *
+ * The profiler pointer may be null (records nothing), so call sites
+ * need no conditional scoping.
+ */
+class ScopedStageTimer
+{
+  public:
+    ScopedStageTimer(StageProfiler *profiler, std::string stage)
+        : profiler_(profiler), stage_(std::move(stage)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedStageTimer(const ScopedStageTimer &) = delete;
+    ScopedStageTimer &operator=(const ScopedStageTimer &) = delete;
+
+    ~ScopedStageTimer() { stop(); }
+
+    /** Record the elapsed time now; the destructor becomes a no-op. */
+    void
+    stop()
+    {
+        if (!profiler_)
+            return;
+        const auto end = std::chrono::steady_clock::now();
+        profiler_->record(
+            stage_,
+            std::chrono::duration<double>(end - start_).count());
+        profiler_ = nullptr;
+    }
+
+  private:
+    StageProfiler *profiler_;
+    std::string stage_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace telemetry
+} // namespace powerchop
+
+#endif // POWERCHOP_TELEMETRY_PROFILER_HH

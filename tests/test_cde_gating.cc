@@ -128,6 +128,46 @@ TEST(Cde, ScorePolicyUsesProfileRatios)
     EXPECT_EQ(p.mlc, MlcPolicy::AllWays);
 }
 
+TEST(Cde, EmptyWindowProfileScoresAllNonCritical)
+{
+    // A window with zero committed instructions (e.g. a fully stalled
+    // window) must not divide by zero; every criticality reads 0 and
+    // everything gates down.
+    WindowProfile wp = profile(0, 0, 0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(wp.vpuCriticality(), 0.0);
+    EXPECT_DOUBLE_EQ(wp.mlcCriticality(), 0.0);
+
+    Cde cde;
+    GatingPolicy p = cde.scorePolicy(wp);
+    EXPECT_FALSE(p.vpuOn);
+    EXPECT_FALSE(p.bpuOn);
+    EXPECT_EQ(p.mlc, MlcPolicy::OneWay);
+}
+
+TEST(Cde, BranchFreeWindowGatesLargePredictor)
+{
+    // No branches in the window: both predictors report a 0.0
+    // mispredict rate, the BPU criticality (small - large) is 0, and
+    // the large predictor gates off.
+    WindowProfile wp = profile(1000, 500, 100, 0.0, 0.0);
+    Cde cde;
+    GatingPolicy p = cde.scorePolicy(wp);
+    EXPECT_FALSE(p.bpuOn);
+    // The other units still score from their own counters.
+    EXPECT_TRUE(p.vpuOn);
+    EXPECT_EQ(p.mlc, MlcPolicy::AllWays);
+}
+
+TEST(Cde, AllSimdWindowKeepsVpuOn)
+{
+    // Saturated criticality: every instruction is SIMD.
+    WindowProfile wp = profile(1000, 1000, 0, 0.05, 0.15);
+    EXPECT_DOUBLE_EQ(wp.vpuCriticality(), 1.0);
+    Cde cde;
+    GatingPolicy p = cde.scorePolicy(wp);
+    EXPECT_TRUE(p.vpuOn);
+}
+
 // --- CDE Algorithm 1 flow -----------------------------------------------------------
 
 TEST(Cde, ProfilesForConfiguredWindowsThenRegisters)

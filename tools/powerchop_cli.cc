@@ -8,6 +8,9 @@
  *                                form, usable as a template).
  *   run <workload> [options]     Simulate one workload.
  *   compare <workload> [options] Full-power vs PowerChop vs min-power.
+ *   trace <workload> [options]   Simulate and write a Chrome
+ *                                trace-event JSON timeline (opens in
+ *                                Perfetto / chrome://tracing).
  *
  * `<workload>` is either a built-in model name or a path to a spec
  * file (containing '/' or ending in .wl).
@@ -15,19 +18,32 @@
  * Options:
  *   --machine server|mobile   Design point (default: by suite).
  *   --mode MODE               full-power | powerchop | min-power |
- *                             timeout-vpu | drowsy-mlc (run only).
+ *                             timeout-vpu | drowsy-mlc.
  *   --insns N                 Instruction budget (default 10000000).
  *   --timeout N               Timeout period in cycles (timeout-vpu).
  *   --save PATH               Write the workload spec to PATH.
+ *   --trace PATH              Also write a trace (run/compare).
+ *   --out PATH                Trace output path (trace; default
+ *                             <workload>.trace.json).
+ *   --metrics-out PATH        Write the per-window metrics CSV
+ *                             (PowerChop mode; .jsonl writes JSONL).
+ *
+ * Unknown subcommands and options print usage and exit 2. --version
+ * prints the release and exits 0.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "powerchop/powerchop.hh"
 #include "workload/spec_io.hh"
+
+#ifndef POWERCHOP_VERSION
+#define POWERCHOP_VERSION "unknown"
+#endif
 
 using namespace powerchop;
 
@@ -44,10 +60,23 @@ usage()
         "  show <workload>\n"
         "  run <workload> [--machine server|mobile] [--mode MODE]\n"
         "      [--insns N] [--timeout N] [--save PATH] [--json]\n"
+        "      [--trace PATH] [--metrics-out PATH]\n"
         "  compare <workload> [--machine server|mobile] [--insns N]\n"
+        "  trace <workload> [--out PATH] [--mode MODE] [--insns N]\n"
+        "  --version\n"
         "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n");
     return 2;
 }
+
+/** Report a bad flag/subcommand: usage text on stderr, exit 2. */
+class UsageError : public std::runtime_error
+{
+  public:
+    explicit UsageError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
 
 WorkloadSpec
 resolveWorkload(const std::string &arg)
@@ -79,6 +108,9 @@ struct Args
     double timeout = 0;
     std::string save;
     bool json = false;
+    std::string tracePath;
+    std::string metricsOut;
+    std::string out;
 };
 
 Args
@@ -103,12 +135,52 @@ parseOptions(const std::vector<std::string> &rest)
             a.save = need("--save");
         else if (rest[i] == "--json")
             a.json = true;
+        else if (rest[i] == "--trace")
+            a.tracePath = need("--trace");
+        else if (rest[i] == "--metrics-out")
+            a.metricsOut = need("--metrics-out");
+        else if (rest[i] == "--out")
+            a.out = need("--out");
         else
-            fatal("unknown option '%s'", rest[i].c_str());
+            throw UsageError(csprintf("unknown option '%s'",
+                                      rest[i].c_str()));
     }
     if (a.insns == 0)
         fatal("--insns must be positive");
     return a;
+}
+
+/** Attach telemetry sinks requested by flags; returns the trace
+ *  recorder when --trace / trace's --out asked for one. */
+void
+writeTelemetry(const Args &a, const std::string &trace_path,
+               const telemetry::TraceRecorder &trace,
+               const telemetry::MetricsRegistry &metrics)
+{
+    if (!trace_path.empty()) {
+        if (!telemetry::writeChromeTrace(trace_path, {&trace}))
+            fatal("cannot write trace to '%s'", trace_path.c_str());
+        std::printf("wrote %s (%zu events%s)\n", trace_path.c_str(),
+                    trace.events().size(),
+                    trace.droppedEvents()
+                        ? csprintf(", %llu dropped",
+                                   static_cast<unsigned long long>(
+                                       trace.droppedEvents()))
+                              .c_str()
+                        : "");
+    }
+    if (!a.metricsOut.empty()) {
+        const bool jsonl =
+            a.metricsOut.size() > 6 &&
+            a.metricsOut.substr(a.metricsOut.size() - 6) == ".jsonl";
+        const bool ok = jsonl ? metrics.writeJsonl(a.metricsOut)
+                              : metrics.writeCsv(a.metricsOut);
+        if (!ok)
+            fatal("cannot write metrics to '%s'",
+                  a.metricsOut.c_str());
+        std::printf("wrote %s (%zu windows)\n", a.metricsOut.c_str(),
+                    metrics.rows().size());
+    }
 }
 
 MachineConfig
@@ -194,11 +266,48 @@ cmdRun(const std::string &name, const Args &a)
     opts.mode = a.mode;
     opts.maxInstructions = a.insns;
     opts.timeoutCycles = a.timeout;
+
+    telemetry::TraceRecorder trace;
+    telemetry::MetricsRegistry metrics;
+    if (!a.tracePath.empty())
+        opts.trace = &trace;
+    if (!a.metricsOut.empty()) {
+        if (a.mode != SimMode::PowerChop)
+            fatal("--metrics-out requires --mode powerchop");
+        opts.metrics = &metrics;
+    }
+
     SimResult r = simulate(m, w, opts);
     if (a.json)
         std::printf("%s\n", r.toJson().c_str());
     else
         printResult(r);
+    writeTelemetry(a, a.tracePath, trace, metrics);
+    return 0;
+}
+
+int
+cmdTrace(const std::string &name, const Args &a)
+{
+    WorkloadSpec w = resolveWorkload(name);
+    MachineConfig m = resolveMachine(a, w);
+    SimOptions opts;
+    opts.mode = a.mode;
+    opts.maxInstructions = a.insns;
+    opts.timeoutCycles = a.timeout;
+
+    telemetry::TraceRecorder trace;
+    telemetry::MetricsRegistry metrics;
+    opts.trace = &trace;
+    if (!a.metricsOut.empty() && a.mode == SimMode::PowerChop)
+        opts.metrics = &metrics;
+
+    SimResult r = simulate(m, w, opts);
+    printResult(r);
+
+    const std::string path =
+        !a.out.empty() ? a.out : w.name + ".trace.json";
+    writeTelemetry(a, path, trace, metrics);
     return 0;
 }
 
@@ -239,6 +348,10 @@ main(int argc, char **argv)
 
     try {
         std::string cmd = argv[1];
+        if (cmd == "--version" || cmd == "version") {
+            std::printf("powerchop %s\n", POWERCHOP_VERSION);
+            return 0;
+        }
         if (cmd == "list" && argc == 2)
             return cmdList();
         if (cmd == "show" && argc == 3)
@@ -247,9 +360,15 @@ main(int argc, char **argv)
             return cmdRun(argv[2], parseOptions(rest));
         if (cmd == "compare" && argc >= 3)
             return cmdCompare(argv[2], parseOptions(rest));
+        if (cmd == "trace" && argc >= 3)
+            return cmdTrace(argv[2], parseOptions(rest));
+    } catch (const UsageError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }
+    // Unknown subcommand (or malformed arity): usage, exit 2.
     return usage();
 }
