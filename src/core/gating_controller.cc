@@ -49,6 +49,7 @@ GatingController::applyPolicy(const GatingPolicy &policy)
         if (trace_) {
             trace_->gateState(telemetry::GateUnit::Vpu,
                               policy.vpuOn ? 1 : 0, unit_stall);
+            trace_->advanceCycles(unit_stall);
         }
     }
 
@@ -65,6 +66,7 @@ GatingController::applyPolicy(const GatingPolicy &policy)
             trace_->gateState(telemetry::GateUnit::Bpu,
                               policy.bpuOn ? 1 : 0,
                               penalties_.bpuSwitchCycles);
+            trace_->advanceCycles(penalties_.bpuSwitchCycles);
         }
     }
 
@@ -85,11 +87,16 @@ GatingController::applyPolicy(const GatingPolicy &policy)
             trace_->gateState(
                 telemetry::GateUnit::Mlc,
                 static_cast<std::uint64_t>(policy.mlc), unit_stall);
+            trace_->advanceCycles(unit_stall);
         }
     }
 
-    if (injector_ && injector_->active())
+    if (injector_ && injector_->active()) {
+        const double unstretched = stall;
         stall = injector_->stretchWakeup(stall);
+        if (trace_)
+            trace_->advanceCycles(stall - unstretched);
+    }
 
     // Wakeup accounting invariant: transition stalls are finite and
     // non-negative whatever the penalty config or injected faults did.

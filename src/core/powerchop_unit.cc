@@ -118,8 +118,11 @@ PowerChopUnit::onWindow(const WindowReport &rep, Cycles now)
         return stall;
     }
 
-    // PVT miss: trap into the CDE.
+    // PVT miss: trap into the CDE. The interrupt stall elapses before
+    // the CDE runs, so the trace clock moves past it first.
     stall += nucleus_.takeInterrupt(InterruptKind::PvtMiss);
+    if (trace_)
+        trace_->advanceCycles(stall);
     const std::uint64_t capacity_before = cde_.capacityMisses();
     const std::uint64_t phases_before = cde_.newPhases();
     Cde::Result res = cde_.onPvtMiss(rep.signature, profile, pvt_);
@@ -136,6 +139,7 @@ PowerChopUnit::onWindow(const WindowReport &rep, Cycles now)
             what = telemetry::CdeEvent::Install;
         trace_->cde(what,
                     res.keepCurrent ? 0 : res.policy.encode());
+        trace_->advanceCycles(res.cycles);
     }
     stall += res.cycles;
     if (!res.keepCurrent)

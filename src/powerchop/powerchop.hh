@@ -71,4 +71,9 @@
 #include "sim/sim_runner.hh"
 #include "sim/simulator.hh"
 
+#include "verify/differential.hh"
+#include "verify/golden.hh"
+#include "verify/invariant_auditor.hh"
+#include "verify/reference_simulator.hh"
+
 #endif // POWERCHOP_POWERCHOP_HH

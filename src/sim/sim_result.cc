@@ -90,8 +90,14 @@ SimResult::toJson() const
     out << "\"pvt_lookups\":" << pvtLookups << ",";
     out << "\"pvt_hits\":" << pvtHits << ",";
     out << "\"translations\":" << translationsExecuted << ",";
+    out << "\"slot_ops\":" << slotOps << ",";
     out << "\"l1_hit_rate\":" << l1HitRate << ",";
     out << "\"mlc_hit_rate\":" << mlcHitRate << ",";
+    out << "\"mlc_accesses\":" << mlcAccesses << ",";
+    out << "\"mlc_accesses_per_kilo\":" << mlcAccessesPerKilo << ",";
+    out << "\"branch_lookups\":" << branchLookups << ",";
+    out << "\"branch_mispredicts\":" << branchMispredicts << ",";
+    out << "\"branches_per_kilo\":" << branchesPerKilo << ",";
     out << "\"branch_mispredict_rate\":" << branchMispredictRate << ",";
     out << "\"simd_native\":" << simdOps << ",";
     out << "\"simd_emulated\":" << simdEmulated << ",";

@@ -41,9 +41,29 @@ struct SimResult
     std::string machine;
     SimMode mode = SimMode::FullPower;
 
+    /**
+     * Committed guest instructions — THE canonical executed-
+     * instruction count. Every per-instruction rate in this struct
+     * (ipc(), mlcAccessesPerKilo, branchesPerKilo, the mispredict
+     * rate) divides by this count. It equals the run's instruction
+     * budget: simulate() always retires exactly the budget.
+     *
+     * It deliberately excludes the extra scalar issue slots of
+     * emulated SIMD ops; those are micro-architectural work, not
+     * guest instructions, and are reported separately as slotOps
+     * (the energy model's Rest-unit dynamic-event count).
+     */
     InsnCount instructions = 0;
     Cycles cycles = 0;
     double seconds = 0;
+
+    /**
+     * Issue-slot operations: `instructions` plus the extra scalar
+     * slots of emulated SIMD expansion (== activity.instructions).
+     * This is the base of the Rest unit's dynamic energy, never of
+     * the per-instruction rates above.
+     */
+    double slotOps = 0;
 
     double ipc() const
     {
@@ -75,13 +95,20 @@ struct SimResult
     double pvtMissPerTranslation = 0;
     /** @} */
 
-    /** Cache behaviour. @{ */
+    /** Cache behaviour. Raw counts are kept next to the derived
+     *  per-kilo rates so every denominator is auditable:
+     *  mlcAccessesPerKilo == 1000 * mlcAccesses / instructions. @{ */
     double l1HitRate = 0;
     double mlcHitRate = 0;
+    std::uint64_t mlcAccesses = 0;
     double mlcAccessesPerKilo = 0;
     /** @} */
 
-    /** Branch behaviour. @{ */
+    /** Branch behaviour. branchesPerKilo == 1000 * branchLookups /
+     *  instructions; branchMispredictRate == branchMispredicts /
+     *  branchLookups (0 when there were no lookups). @{ */
+    std::uint64_t branchLookups = 0;
+    std::uint64_t branchMispredicts = 0;
     double branchMispredictRate = 0;
     double branchesPerKilo = 0;
     /** @} */

@@ -43,6 +43,16 @@ threadCpuSeconds()
         .count();
 }
 
+/** POWERCHOP_AUDIT=1 runs the invariant auditor on every job the
+ *  runner executes; a violated conservation law fails the job (plain
+ *  run() propagates the InvariantViolationError, runRobust() records
+ *  it as a Failed outcome). */
+bool
+auditEveryJob()
+{
+    return envUint64("POWERCHOP_AUDIT", 0, 1).value_or(0) != 0;
+}
+
 } // namespace
 
 const char *
@@ -298,9 +308,12 @@ std::vector<SimResult>
 SimJobRunner::run(const std::vector<SimJob> &jobs)
 {
     std::vector<SimResult> results(jobs.size());
+    const bool audit = auditEveryJob();
     runTasks(jobs.size(), [&](std::size_t i) {
+        SimOptions run_opts = jobs[i].opts;
+        run_opts.audit = run_opts.audit || audit;
         results[i] =
-            simulate(jobs[i].machine, jobs[i].workload, jobs[i].opts);
+            simulate(jobs[i].machine, jobs[i].workload, run_opts);
     });
     return results;
 }
@@ -357,6 +370,7 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
 
     const auto timeout_ns = static_cast<std::int64_t>(
         opts.timeoutSeconds * 1e9);
+    const bool audit = auditEveryJob();
 
     runTasks(jobs.size(), [&](std::size_t i) {
         const SimJob &job = jobs[i];
@@ -370,6 +384,7 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
             outcome.attempts = attempt;
 
             SimOptions run_opts = job.opts;
+            run_opts.audit = run_opts.audit || audit;
             if (opts.timeoutSeconds > 0) {
                 slot.cancel.store(false, std::memory_order_relaxed);
                 slot.deadlineNs.store(nowNs() + timeout_ns,

@@ -10,6 +10,7 @@
 #include "telemetry/metrics.hh"
 #include "telemetry/profiler.hh"
 #include "telemetry/trace.hh"
+#include "verify/invariant_auditor.hh"
 
 namespace powerchop
 {
@@ -121,6 +122,14 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
 
     Cycles cycles = 0;
 
+    // Residency accounting: accrue() charges elapsed cycles to the
+    // policy in effect when they elapsed; transition stalls are
+    // charged to the *new* policy (last_accrue is left at the
+    // pre-stall time), so per-unit residencies always sum to the
+    // run's total cycles — the conservation law the invariant
+    // auditor checks.
+    Cycles last_accrue = 0;
+
     if (opts.mode == SimMode::MinPower) {
         // Everything to its lowest-power state for the entire run.
         cycles += controller.applyPolicy(GatingPolicy::minPower());
@@ -153,7 +162,6 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     const Addr line_shift = 6;
 
     bool interpreting = true;
-    Cycles last_accrue = cycles;
 
     // The per-interval sampler as a countdown: one predictable
     // decrement-and-test per instruction, and the std::function is
@@ -221,7 +229,6 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                             trace->setNow(n, cycles);
                         cycles += pchop.onTranslationHead(
                             last_trans, insns_since_head, cycles);
-                        last_accrue = cycles;
                     }
                     last_trans = entry.translation->id;
                     insns_since_head = 0;
@@ -236,7 +243,6 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
             if (use_timeout) {
                 accrue();
                 cycles += timeout.checkIdle(cycles);
-                last_accrue = cycles;
             }
             if (use_drowsy)
                 drowsy.tick(cycles);
@@ -351,6 +357,19 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
 
     simulate_timer.stop();
 
+    // Flush the trailing attribution: instructions executed after the
+    // final translation head would otherwise never be credited to it,
+    // silently losing the last HTB window/phase of every run.
+    if (use_powerchop && last_trans != invalidTranslationId &&
+        insns_since_head > 0) {
+        accrue();
+        if (trace)
+            trace->setNow(n, cycles);
+        cycles +=
+            pchop.onTranslationHead(last_trans, insns_since_head, cycles);
+        insns_since_head = 0;
+    }
+
     accrue();
     if (use_timeout)
         timeout.finish(cycles);
@@ -363,9 +382,16 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     }
 
     // --- Collect results -----------------------------------------------------
-    res.instructions = opts.maxInstructions;
+    // All divisions below are guarded: a short run keeps every rate
+    // finite, and a default/failed result stays all-zero instead of
+    // propagating NaNs into downstream tables.
+    auto per = [](double num, double den) {
+        return den > 0 ? num / den : 0.0;
+    };
+
+    res.instructions = n;
     res.cycles = cycles;
-    res.seconds = cycles / core.frequencyHz;
+    res.seconds = per(cycles, core.frequencyHz);
 
     res.gating = controller.stats();
     if (use_timeout) {
@@ -373,16 +399,16 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
         res.gating.vpuGatedCycles = timeout.gatedCycles();
     }
 
-    res.vpuGatedFraction = res.gating.vpuGatedCycles / cycles;
-    res.bpuGatedFraction = res.gating.bpuGatedCycles / cycles;
-    res.mlcHalfFraction = res.gating.mlcHalfCycles / cycles;
-    res.mlcQuarterFraction = res.gating.mlcQuarterCycles / cycles;
-    res.mlcOneWayFraction = res.gating.mlcOneWayCycles / cycles;
+    res.vpuGatedFraction = per(res.gating.vpuGatedCycles, cycles);
+    res.bpuGatedFraction = per(res.gating.bpuGatedCycles, cycles);
+    res.mlcHalfFraction = per(res.gating.mlcHalfCycles, cycles);
+    res.mlcQuarterFraction = per(res.gating.mlcQuarterCycles, cycles);
+    res.mlcOneWayFraction = per(res.gating.mlcOneWayCycles, cycles);
 
     const double mcycles = cycles / 1e6;
-    res.vpuSwitchesPerMcycle = res.gating.vpuSwitches / mcycles;
-    res.bpuSwitchesPerMcycle = res.gating.bpuSwitches / mcycles;
-    res.mlcSwitchesPerMcycle = res.gating.mlcSwitches / mcycles;
+    res.vpuSwitchesPerMcycle = per(res.gating.vpuSwitches, mcycles);
+    res.bpuSwitchesPerMcycle = per(res.gating.bpuSwitches, mcycles);
+    res.mlcSwitchesPerMcycle = per(res.gating.mlcSwitches, mcycles);
 
     res.pvtLookups = pchop.pvt().lookups();
     res.pvtHits = pchop.pvt().hits();
@@ -405,13 +431,16 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
 
     res.l1HitRate = mem.l1().hitRate();
     res.mlcHitRate = mem.mlc().hitRate();
+    res.mlcAccesses = mlc_accesses;
     res.mlcAccessesPerKilo =
-        1000.0 * mlc_accesses / res.instructions;
+        per(1000.0 * mlc_accesses, res.instructions);
 
-    res.branchMispredictRate = branch_lookups
-        ? static_cast<double>(branch_mispredicts) / branch_lookups
-        : 0.0;
-    res.branchesPerKilo = 1000.0 * branch_lookups / res.instructions;
+    res.branchLookups = branch_lookups;
+    res.branchMispredicts = branch_mispredicts;
+    res.branchMispredictRate =
+        per(branch_mispredicts, branch_lookups);
+    res.branchesPerKilo =
+        per(1000.0 * branch_lookups, res.instructions);
 
     res.simdOps = vpu.nativeOps();
     res.simdEmulated = vpu.emulatedOps();
@@ -445,8 +474,24 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     act.bpuSwitches = static_cast<double>(res.gating.bpuSwitches);
     act.mlcSwitches = static_cast<double>(res.gating.mlcSwitches);
 
+    res.slotOps = act.instructions;
     res.activity = act;
     res.energy = accumulateEnergy(power_model, act, machine.mlc.assoc);
+
+    if (opts.audit) {
+        verify::InvariantAuditor auditor;
+        verify::AuditReport audit = auditor.audit(res, machine);
+        if (trace) {
+            for (const auto &v : auditor.auditTrace(*trace).violations)
+                audit.violations.push_back(v);
+        }
+        if (!audit.ok()) {
+            throw verify::InvariantViolationError(csprintf(
+                "simulate(%s on %s, %s): %s", workload.name.c_str(),
+                machine.name.c_str(), simModeName(opts.mode),
+                audit.toString().c_str()));
+        }
+    }
 
     instructionTally.fetch_add(res.instructions,
                                std::memory_order_relaxed);

@@ -112,6 +112,15 @@ struct SimOptions
      * Shared across jobs and internally locked.
      */
     telemetry::StageProfiler *profiler = nullptr;
+
+    /**
+     * Run the invariant auditor (verify/invariant_auditor.hh) on the
+     * finished result before returning; a violated conservation law
+     * throws verify::InvariantViolationError naming every broken
+     * invariant. The job runner turns this on for every job when
+     * POWERCHOP_AUDIT is set.
+     */
+    bool audit = false;
 };
 
 /**

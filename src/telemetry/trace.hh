@@ -151,6 +151,25 @@ class TraceRecorder
         nowCycles_ = cycles;
     }
 
+    /** Advance only the cycle component of "now" by a stall that the
+     *  emitting component just charged (nucleus interrupts, CDE work,
+     *  gating transitions). Events recorded while a translation-head
+     *  window is serviced would otherwise all carry the head's stamp;
+     *  the components that know the stall but not the global
+     *  instruction count use this to keep the trace clock honest.
+     *  Negative deltas are ignored — the clock never rewinds. */
+    void
+    advanceCycles(double delta)
+    {
+        if (delta > 0)
+            nowCycles_ += delta;
+    }
+
+    /** The recorder's current clock (for advancing components). @{ */
+    InsnCount nowInsns() const { return nowInsns_; }
+    Cycles nowCycles() const { return nowCycles_; }
+    /** @} */
+
     /** Typed emitters; each checks its class switch and the cap. @{ */
     void gateState(GateUnit unit, std::uint64_t state,
                    double stall_cycles);

@@ -1,0 +1,385 @@
+#include "verify/golden.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+namespace verify
+{
+
+namespace
+{
+
+/** Cursor over JSON text with the few scanning helpers the flat
+ *  grammar needs. */
+struct Scanner
+{
+    const std::string &text;
+    const std::string &who;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw GoldenParseError(
+            csprintf("%s: offset %zu: %s", who.c_str(), pos, what.c_str()));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(csprintf("expected '%c', found '%c'", c, text[pos]));
+        ++pos;
+    }
+
+    /** Parse a JSON string literal (escape sequences are passed
+     *  through verbatim except \" and \\ — golden values are metric
+     *  names and mode strings, never exotic text). */
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\' && pos + 1 < text.size()) {
+                ++pos;
+                switch (text[pos]) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default: out += '\\'; out += text[pos]; break;
+                }
+            } else {
+                out += text[pos];
+            }
+            ++pos;
+        }
+        if (pos >= text.size())
+            fail("unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            fail("expected a number");
+        pos += end - start;
+        return v;
+    }
+};
+
+} // namespace
+
+FlatJson
+parseFlatJson(const std::string &text, const std::string &who)
+{
+    Scanner s{text, who};
+    FlatJson out;
+
+    s.expect('{');
+    if (s.peek() == '}') {
+        ++s.pos;
+        return out;
+    }
+    for (;;) {
+        std::string key = s.parseString();
+        s.expect(':');
+        if (s.peek() == '"')
+            out.strings[key] = s.parseString();
+        else
+            out.numbers[key] = s.parseNumber();
+        char c = s.peek();
+        ++s.pos;
+        if (c == '}')
+            break;
+        if (c != ',')
+            s.fail(csprintf("expected ',' or '}', found '%c'", c));
+    }
+    return out;
+}
+
+std::string
+GoldenDiff::toString() const
+{
+    if (mismatches.empty())
+        return "ok";
+    std::ostringstream out;
+    out << mismatches.size() << " mismatch"
+        << (mismatches.size() == 1 ? "" : "es") << ": ";
+    for (std::size_t i = 0; i < mismatches.size(); ++i) {
+        if (i)
+            out << "; ";
+        out << mismatches[i].key << " (" << mismatches[i].detail << ")";
+    }
+    return out.str();
+}
+
+namespace
+{
+
+bool
+near(double a, double b, double rel_tol)
+{
+    if (a == b)
+        return true;
+    const double scale =
+        std::max(1.0, std::max(std::fabs(a), std::fabs(b)));
+    return std::fabs(a - b) <= rel_tol * scale;
+}
+
+} // namespace
+
+GoldenDiff
+diffGolden(const FlatJson &golden, const FlatJson &candidate,
+           double rel_tol)
+{
+    GoldenDiff diff;
+
+    for (const auto &[key, want] : golden.strings) {
+        auto it = candidate.strings.find(key);
+        if (it == candidate.strings.end()) {
+            diff.mismatches.push_back(
+                {key, "missing from candidate"});
+        } else if (it->second != want) {
+            diff.mismatches.push_back(
+                {key, csprintf("\"%s\" != golden \"%s\"",
+                               it->second.c_str(), want.c_str())});
+        }
+    }
+    for (const auto &[key, want] : golden.numbers) {
+        auto it = candidate.numbers.find(key);
+        if (it == candidate.numbers.end()) {
+            diff.mismatches.push_back(
+                {key, "missing from candidate"});
+        } else if (!near(it->second, want, rel_tol)) {
+            diff.mismatches.push_back(
+                {key, csprintf("%.12g != golden %.12g (diff %.3g, tol "
+                               "%g)",
+                               it->second, want, it->second - want,
+                               rel_tol)});
+        }
+    }
+    return diff;
+}
+
+std::string
+goldenFileName(const std::string &workload, const std::string &machine,
+               const std::string &mode)
+{
+    return workload + "-" + machine + "-" + mode + ".json";
+}
+
+bool
+loadGolden(const std::string &path, FlatJson &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = parseFlatJson(buf.str(), path);
+    return true;
+}
+
+void
+saveGolden(const std::string &path, const std::string &json_text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("saveGolden: cannot write %s", path.c_str());
+    out << json_text << "\n";
+}
+
+std::vector<GoldenMismatch>
+compareResults(const SimResult &a, const SimResult &b, double rel_tol)
+{
+    std::vector<GoldenMismatch> out;
+
+    auto str = [&](const char *key, const std::string &x,
+                   const std::string &y) {
+        if (x != y)
+            out.push_back({key, csprintf("\"%s\" != \"%s\"", x.c_str(),
+                                         y.c_str())});
+    };
+    auto num = [&](const char *key, double x, double y) {
+        if (!near(x, y, rel_tol))
+            out.push_back(
+                {key, csprintf("%.17g != %.17g (diff %.3g)", x, y,
+                               x - y)});
+    };
+    auto cnt = [&](const char *key, std::uint64_t x, std::uint64_t y) {
+        if (x != y)
+            out.push_back(
+                {key, csprintf("%llu != %llu",
+                               static_cast<unsigned long long>(x),
+                               static_cast<unsigned long long>(y))});
+    };
+
+    str("workload", a.workload, b.workload);
+    str("machine", a.machine, b.machine);
+    str("mode", simModeName(a.mode), simModeName(b.mode));
+
+    cnt("instructions", a.instructions, b.instructions);
+    num("cycles", a.cycles, b.cycles);
+    num("seconds", a.seconds, b.seconds);
+    num("slotOps", a.slotOps, b.slotOps);
+
+    cnt("gating.vpuSwitches", a.gating.vpuSwitches,
+        b.gating.vpuSwitches);
+    cnt("gating.bpuSwitches", a.gating.bpuSwitches,
+        b.gating.bpuSwitches);
+    cnt("gating.mlcSwitches", a.gating.mlcSwitches,
+        b.gating.mlcSwitches);
+    num("gating.vpuGatedCycles", a.gating.vpuGatedCycles,
+        b.gating.vpuGatedCycles);
+    num("gating.bpuGatedCycles", a.gating.bpuGatedCycles,
+        b.gating.bpuGatedCycles);
+    num("gating.mlcFullCycles", a.gating.mlcFullCycles,
+        b.gating.mlcFullCycles);
+    num("gating.mlcHalfCycles", a.gating.mlcHalfCycles,
+        b.gating.mlcHalfCycles);
+    num("gating.mlcQuarterCycles", a.gating.mlcQuarterCycles,
+        b.gating.mlcQuarterCycles);
+    num("gating.mlcOneWayCycles", a.gating.mlcOneWayCycles,
+        b.gating.mlcOneWayCycles);
+    cnt("gating.mlcDirtyWritebacks", a.gating.mlcDirtyWritebacks,
+        b.gating.mlcDirtyWritebacks);
+    num("gating.stallCycles", a.gating.stallCycles,
+        b.gating.stallCycles);
+
+    num("vpuGatedFraction", a.vpuGatedFraction, b.vpuGatedFraction);
+    num("bpuGatedFraction", a.bpuGatedFraction, b.bpuGatedFraction);
+    num("mlcHalfFraction", a.mlcHalfFraction, b.mlcHalfFraction);
+    num("mlcQuarterFraction", a.mlcQuarterFraction,
+        b.mlcQuarterFraction);
+    num("mlcOneWayFraction", a.mlcOneWayFraction, b.mlcOneWayFraction);
+    num("vpuSwitchesPerMcycle", a.vpuSwitchesPerMcycle,
+        b.vpuSwitchesPerMcycle);
+    num("bpuSwitchesPerMcycle", a.bpuSwitchesPerMcycle,
+        b.bpuSwitchesPerMcycle);
+    num("mlcSwitchesPerMcycle", a.mlcSwitchesPerMcycle,
+        b.mlcSwitchesPerMcycle);
+
+    cnt("pvtLookups", a.pvtLookups, b.pvtLookups);
+    cnt("pvtHits", a.pvtHits, b.pvtHits);
+    cnt("translationsExecuted", a.translationsExecuted,
+        b.translationsExecuted);
+    num("pvtMissPerTranslation", a.pvtMissPerTranslation,
+        b.pvtMissPerTranslation);
+
+    num("l1HitRate", a.l1HitRate, b.l1HitRate);
+    num("mlcHitRate", a.mlcHitRate, b.mlcHitRate);
+    cnt("mlcAccesses", a.mlcAccesses, b.mlcAccesses);
+    num("mlcAccessesPerKilo", a.mlcAccessesPerKilo,
+        b.mlcAccessesPerKilo);
+
+    cnt("branchLookups", a.branchLookups, b.branchLookups);
+    cnt("branchMispredicts", a.branchMispredicts, b.branchMispredicts);
+    num("branchMispredictRate", a.branchMispredictRate,
+        b.branchMispredictRate);
+    num("branchesPerKilo", a.branchesPerKilo, b.branchesPerKilo);
+
+    cnt("simdOps", a.simdOps, b.simdOps);
+    cnt("simdEmulated", a.simdEmulated, b.simdEmulated);
+
+    num("mlcDrowsyFraction", a.mlcDrowsyFraction, b.mlcDrowsyFraction);
+    cnt("drowsyWakes", a.drowsyWakes, b.drowsyWakes);
+
+    cnt("faults.policyCorruptions", a.faults.policyCorruptions,
+        b.faults.policyCorruptions);
+    cnt("faults.htbDrops", a.faults.htbDrops, b.faults.htbDrops);
+    cnt("faults.htbAliases", a.faults.htbAliases, b.faults.htbAliases);
+    cnt("faults.controllerFlips", a.faults.controllerFlips,
+        b.faults.controllerFlips);
+    cnt("faults.wakeupStretches", a.faults.wakeupStretches,
+        b.faults.wakeupStretches);
+    cnt("safeModeActivations", a.safeModeActivations,
+        b.safeModeActivations);
+    num("safeModeWindowFraction", a.safeModeWindowFraction,
+        b.safeModeWindowFraction);
+
+    num("activity.cycles", a.activity.cycles, b.activity.cycles);
+    num("activity.instructions", a.activity.instructions,
+        b.activity.instructions);
+    num("activity.vpuOps", a.activity.vpuOps, b.activity.vpuOps);
+    num("activity.bpuLargeLookups", a.activity.bpuLargeLookups,
+        b.activity.bpuLargeLookups);
+    num("activity.mlcAccessesFull", a.activity.mlcAccessesFull,
+        b.activity.mlcAccessesFull);
+    num("activity.mlcAccessesHalf", a.activity.mlcAccessesHalf,
+        b.activity.mlcAccessesHalf);
+    num("activity.mlcAccessesQuarter", a.activity.mlcAccessesQuarter,
+        b.activity.mlcAccessesQuarter);
+    num("activity.mlcAccessesOne", a.activity.mlcAccessesOne,
+        b.activity.mlcAccessesOne);
+    num("activity.vpuGatedCycles", a.activity.vpuGatedCycles,
+        b.activity.vpuGatedCycles);
+    num("activity.bpuGatedCycles", a.activity.bpuGatedCycles,
+        b.activity.bpuGatedCycles);
+    num("activity.mlcFullCycles", a.activity.mlcFullCycles,
+        b.activity.mlcFullCycles);
+    num("activity.mlcHalfCycles", a.activity.mlcHalfCycles,
+        b.activity.mlcHalfCycles);
+    num("activity.mlcQuarterCycles", a.activity.mlcQuarterCycles,
+        b.activity.mlcQuarterCycles);
+    num("activity.mlcOneWayCycles", a.activity.mlcOneWayCycles,
+        b.activity.mlcOneWayCycles);
+    num("activity.mlcDrowsyFraction", a.activity.mlcDrowsyFraction,
+        b.activity.mlcDrowsyFraction);
+    num("activity.vpuSwitches", a.activity.vpuSwitches,
+        b.activity.vpuSwitches);
+    num("activity.bpuSwitches", a.activity.bpuSwitches,
+        b.activity.bpuSwitches);
+    num("activity.mlcSwitches", a.activity.mlcSwitches,
+        b.activity.mlcSwitches);
+
+    num("energy.seconds", a.energy.seconds, b.energy.seconds);
+    for (unsigned u = 0; u < numUnits; ++u) {
+        const Unit unit = static_cast<Unit>(u);
+        const std::string base =
+            std::string("energy.") + unitName(unit) + ".";
+        num((base + "leakage").c_str(), a.energy.unit(unit).leakage,
+            b.energy.unit(unit).leakage);
+        num((base + "dynamic").c_str(), a.energy.unit(unit).dynamic,
+            b.energy.unit(unit).dynamic);
+        num((base + "gatingOverhead").c_str(),
+            a.energy.unit(unit).gatingOverhead,
+            b.energy.unit(unit).gatingOverhead);
+    }
+
+    return out;
+}
+
+} // namespace verify
+} // namespace powerchop

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The invariant auditor: conservation-law checks over finished
+ * simulation results.
+ *
+ * The gating simulator's books must balance — per-unit gated and
+ * ungated cycles sum to the run's total, MLC residency fractions sum
+ * to one, the energy breakdown is exactly what accumulateEnergy()
+ * produces from the recorded activity, derived rates match their raw
+ * numerators and the canonical instruction count, and telemetry
+ * timestamps never run backwards. Power-state accounting is exactly
+ * where gating simulators silently go wrong, so every one of those
+ * laws is checked explicitly and violations are reported by name.
+ *
+ * Three entry points:
+ *  - audit(res): internal consistency of one SimResult (cross-checks
+ *    between SimResult, GatingStats and ActivityRecord);
+ *  - audit(res, machine): everything above plus the recomputations
+ *    that need the design point (energy == accumulateEnergy(activity),
+ *    seconds == cycles / frequency, IPC <= issue width);
+ *  - auditTrace(trace): monotonic timestamp order of a telemetry
+ *    trace.
+ *
+ * simulate() runs the (res, machine) audit on every call when
+ * SimOptions::audit is set (POWERCHOP_AUDIT=1 turns it on for every
+ * job the runner executes) and throws InvariantViolationError naming
+ * each broken invariant.
+ */
+
+#ifndef POWERCHOP_VERIFY_INVARIANT_AUDITOR_HH
+#define POWERCHOP_VERIFY_INVARIANT_AUDITOR_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.hh"
+#include "sim/sim_result.hh"
+
+namespace powerchop
+{
+
+namespace telemetry
+{
+class TraceRecorder;
+} // namespace telemetry
+
+namespace verify
+{
+
+/** One broken conservation law. */
+struct AuditViolation
+{
+    /** Stable invariant identifier (e.g. "mlc-residency-conservation");
+     *  tests and CI match on this, the detail is for humans. */
+    std::string invariant;
+
+    /** Human-readable account of the imbalance. */
+    std::string detail;
+};
+
+/** Outcome of one audit pass. */
+struct AuditReport
+{
+    /** Individual checks evaluated. */
+    std::size_t checks = 0;
+
+    std::vector<AuditViolation> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    /** @return true when a violation with this invariant id exists. */
+    bool has(const std::string &invariant) const;
+
+    /** "ok (N checks)" or a per-violation listing. */
+    std::string toString() const;
+};
+
+/** Thrown by simulate() when SimOptions::audit finds a violation. */
+class InvariantViolationError : public std::runtime_error
+{
+  public:
+    explicit InvariantViolationError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * Checks a SimResult's conservation laws.
+ *
+ * Tolerances: residency integrals are sums of ~budget/blocksize
+ * floating point additions, so equalities are checked relative to
+ * relTol * max(1, |a|, |b|). The default 1e-6 is ~7 orders of
+ * magnitude above the drift a 10M-instruction run accumulates and
+ * ~10 below any genuine accounting bug (a lost block, window or
+ * stall is whole cycles). Integer counters are compared exactly.
+ */
+class InvariantAuditor
+{
+  public:
+    explicit InvariantAuditor(double rel_tol = 1e-6);
+
+    /** Internal consistency of one result. */
+    AuditReport audit(const SimResult &res) const;
+
+    /** Internal consistency plus design-point recomputations
+     *  (energy breakdown, wall-clock seconds, IPC bound). */
+    AuditReport audit(const SimResult &res,
+                      const MachineConfig &machine) const;
+
+    /** Monotonic timestamp order of a recorded trace. */
+    AuditReport auditTrace(const telemetry::TraceRecorder &trace) const;
+
+    double relTol() const { return relTol_; }
+
+  private:
+    void auditInternal(const SimResult &res, AuditReport &rep) const;
+
+    double relTol_;
+};
+
+} // namespace verify
+} // namespace powerchop
+
+#endif // POWERCHOP_VERIFY_INVARIANT_AUDITOR_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The reference simulator: a deliberately simple re-implementation of
+ * simulate() used as a differential oracle for the optimized core.
+ *
+ * The production loop in sim/simulator.cc earns its speed from three
+ * structural tricks: whole-block burst execution with the per-
+ * instruction head checks hoisted out, a countdown-based sampler
+ * (one decrement-and-test per instruction instead of a modulo), and an
+ * epoch-cached destination pointer for the per-policy MLC access
+ * counters. Each of those is a place where an optimization bug could
+ * silently skew results.
+ *
+ * referenceSimulate() takes the other side of every one of those
+ * trades: it advances strictly one instruction at a time, re-evaluates
+ * the execution mode per instruction, fires the sampler from an
+ * explicit modulo, and re-dispatches the MLC access counter on the
+ * controller's live policy at every access. It shares the component
+ * models (BT, BPU, MLC, VPU, gating controller, PowerChop unit) —
+ * those have their own unit tests — so what the differential check
+ * isolates is exactly the driver loop's bookkeeping.
+ *
+ * The contract is bit-identical results: same (machine, workload,
+ * options) must produce a SimResult whose every field matches
+ * simulate()'s exactly, including floating-point state, because both
+ * loops apply the same arithmetic in the same order. Any divergence,
+ * however small, is a bug in one of the two loops.
+ *
+ * Unsupported instrumentation: opts.metrics and opts.profiler are
+ * ignored (they never feed back into results); opts.audit is ignored
+ * (the oracle is the thing audits are checked against). Traces,
+ * window observers, samplers and cancellation behave as in
+ * simulate().
+ */
+
+#ifndef POWERCHOP_VERIFY_REFERENCE_SIMULATOR_HH
+#define POWERCHOP_VERIFY_REFERENCE_SIMULATOR_HH
+
+#include "sim/simulator.hh"
+
+namespace powerchop
+{
+namespace verify
+{
+
+/**
+ * Run one simulation through the reference (unoptimized) loop.
+ *
+ * @param machine  The design point.
+ * @param workload The application model.
+ * @param opts     Mode and instrumentation options.
+ * @return the measured result, bit-identical to simulate()'s.
+ */
+SimResult referenceSimulate(const MachineConfig &machine,
+                            const WorkloadSpec &workload,
+                            const SimOptions &opts);
+
+} // namespace verify
+} // namespace powerchop
+
+#endif // POWERCHOP_VERIFY_REFERENCE_SIMULATOR_HH

@@ -63,8 +63,12 @@ usage()
         "      [--trace PATH] [--metrics-out PATH]\n"
         "  compare <workload> [--machine server|mobile] [--insns N]\n"
         "  trace <workload> [--out PATH] [--mode MODE] [--insns N]\n"
+        "  verify [--insns N] [--workloads a,b,c] [--machine M]\n"
+        "      [--mode MODE] [--seeds s1,s2] [--goldens DIR]\n"
+        "      [--update-goldens] [--tol T]\n"
         "  --version\n"
-        "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n");
+        "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n"
+        "run/compare/trace accept --audit (invariant-check results)\n");
     return 2;
 }
 
@@ -104,13 +108,24 @@ struct Args
 {
     std::string machine;
     SimMode mode = SimMode::PowerChop;
+    bool modeSet = false;
     InsnCount insns = 10'000'000;
+    bool insnsSet = false;
     double timeout = 0;
     std::string save;
     bool json = false;
     std::string tracePath;
     std::string metricsOut;
     std::string out;
+    bool audit = false;
+
+    /** verify-only options. @{ */
+    std::string workloads;
+    std::string seeds;
+    std::string goldens;
+    bool updateGoldens = false;
+    double tol = 1e-6;
+    /** @} */
 };
 
 Args
@@ -125,11 +140,13 @@ parseOptions(const std::vector<std::string> &rest)
         };
         if (rest[i] == "--machine")
             a.machine = need("--machine");
-        else if (rest[i] == "--mode")
+        else if (rest[i] == "--mode") {
             a.mode = parseMode(need("--mode"));
-        else if (rest[i] == "--insns")
+            a.modeSet = true;
+        } else if (rest[i] == "--insns") {
             a.insns = std::strtoull(need("--insns").c_str(), nullptr, 10);
-        else if (rest[i] == "--timeout")
+            a.insnsSet = true;
+        } else if (rest[i] == "--timeout")
             a.timeout = std::strtod(need("--timeout").c_str(), nullptr);
         else if (rest[i] == "--save")
             a.save = need("--save");
@@ -141,6 +158,18 @@ parseOptions(const std::vector<std::string> &rest)
             a.metricsOut = need("--metrics-out");
         else if (rest[i] == "--out")
             a.out = need("--out");
+        else if (rest[i] == "--audit")
+            a.audit = true;
+        else if (rest[i] == "--workloads")
+            a.workloads = need("--workloads");
+        else if (rest[i] == "--seeds")
+            a.seeds = need("--seeds");
+        else if (rest[i] == "--goldens")
+            a.goldens = need("--goldens");
+        else if (rest[i] == "--update-goldens")
+            a.updateGoldens = true;
+        else if (rest[i] == "--tol")
+            a.tol = std::strtod(need("--tol").c_str(), nullptr);
         else
             throw UsageError(csprintf("unknown option '%s'",
                                       rest[i].c_str()));
@@ -266,6 +295,7 @@ cmdRun(const std::string &name, const Args &a)
     opts.mode = a.mode;
     opts.maxInstructions = a.insns;
     opts.timeoutCycles = a.timeout;
+    opts.audit = a.audit;
 
     telemetry::TraceRecorder trace;
     telemetry::MetricsRegistry metrics;
@@ -295,6 +325,7 @@ cmdTrace(const std::string &name, const Args &a)
     opts.mode = a.mode;
     opts.maxInstructions = a.insns;
     opts.timeoutCycles = a.timeout;
+    opts.audit = a.audit;
 
     telemetry::TraceRecorder trace;
     telemetry::MetricsRegistry metrics;
@@ -317,6 +348,16 @@ cmdCompare(const std::string &name, const Args &a)
     WorkloadSpec w = resolveWorkload(name);
     MachineConfig m = resolveMachine(a, w);
     ComparisonRuns runs = runComparison(m, w, a.insns);
+    if (a.audit) {
+        verify::InvariantAuditor auditor;
+        for (const SimResult *r :
+             {&runs.fullPower, &runs.powerChop, &runs.minPower}) {
+            verify::AuditReport rep = auditor.audit(*r, m);
+            if (!rep.ok())
+                fatal("audit of %s run failed: %s",
+                      simModeName(r->mode), rep.toString().c_str());
+        }
+    }
     printResult(runs.fullPower);
     std::printf("\n");
     printResult(runs.powerChop);
@@ -332,6 +373,128 @@ cmdCompare(const std::string &name, const Args &a)
                 pct(runs.powerChop.leakageReductionVs(runs.fullPower))
                     .c_str());
     return 0;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+cmdVerify(const Args &a)
+{
+    // verify's default budget favours CI latency over figure quality:
+    // 200k instructions crosses many HTB windows and phase changes on
+    // every built-in model but keeps the full matrix in seconds.
+    const InsnCount insns = a.insnsSet ? a.insns : 200'000;
+
+    verify::DifferentialMatrix matrix;
+    matrix.insns = insns;
+    if (!a.workloads.empty())
+        matrix.workloads = splitList(a.workloads);
+    if (!a.machine.empty())
+        matrix.machines = {a.machine};
+    if (a.modeSet)
+        matrix.modes = {a.mode};
+    if (!a.seeds.empty()) {
+        for (const auto &s : splitList(a.seeds))
+            matrix.faultSeeds.push_back(
+                std::strtoull(s.c_str(), nullptr, 10));
+    } else {
+        // Fault-free plus one faulty seed: the differential contract
+        // holds under injected faults too (both loops share the
+        // deterministic per-run fault stream).
+        matrix.faultSeeds = {0, 1009};
+    }
+
+    std::printf("differential: optimized simulate() vs reference "
+                "oracle, %llu insns/case\n",
+                static_cast<unsigned long long>(insns));
+    verify::DifferentialReport report = verify::runDifferentialMatrix(
+        matrix, [](const verify::DifferentialCase &c) {
+            std::printf("  %s\n", c.toString().c_str());
+            std::fflush(stdout);
+        });
+    std::printf("differential: %s\n", report.toString().c_str());
+
+    bool golden_ok = true;
+    if (!a.goldens.empty()) {
+        // Goldens pin fault-free runs only; fault seeds exercise the
+        // differential contract, not the snapshot store.
+        std::vector<std::string> workloads = !matrix.workloads.empty()
+            ? matrix.workloads
+            : std::vector<std::string>{"perlbench", "namd", "canneal",
+                                       "msn"};
+        std::vector<std::string> machines = !matrix.machines.empty()
+            ? matrix.machines
+            : std::vector<std::string>{"server", "mobile"};
+        std::vector<SimMode> modes = !matrix.modes.empty()
+            ? matrix.modes
+            : std::vector<SimMode>{SimMode::FullPower, SimMode::PowerChop,
+                                   SimMode::MinPower, SimMode::TimeoutVpu,
+                                   SimMode::DrowsyMlc};
+        std::size_t updated = 0, checked = 0;
+        for (const auto &wname : workloads) {
+            for (const auto &mname : machines) {
+                for (SimMode mode : modes) {
+                    WorkloadSpec w = findWorkload(wname);
+                    MachineConfig m = mname == "server"
+                        ? serverConfig() : mobileConfig();
+                    SimOptions opts;
+                    opts.mode = mode;
+                    opts.maxInstructions = insns;
+                    opts.audit = true;
+                    SimResult r = simulate(m, w, opts);
+                    const std::string path = a.goldens + "/" +
+                        verify::goldenFileName(wname, mname,
+                                               simModeName(mode));
+                    if (a.updateGoldens) {
+                        verify::saveGolden(path, r.toJson());
+                        ++updated;
+                        continue;
+                    }
+                    verify::FlatJson golden;
+                    if (!verify::loadGolden(path, golden)) {
+                        std::printf("golden MISSING: %s (run with "
+                                    "--update-goldens)\n",
+                                    path.c_str());
+                        golden_ok = false;
+                        continue;
+                    }
+                    verify::GoldenDiff diff = verify::diffGolden(
+                        golden,
+                        verify::parseFlatJson(r.toJson(), "candidate"),
+                        a.tol);
+                    ++checked;
+                    if (!diff.ok()) {
+                        std::printf("golden FAIL: %s: %s\n",
+                                    path.c_str(),
+                                    diff.toString().c_str());
+                        golden_ok = false;
+                    }
+                }
+            }
+        }
+        if (a.updateGoldens)
+            std::printf("goldens: wrote %zu files to %s\n", updated,
+                        a.goldens.c_str());
+        else
+            std::printf("goldens: %zu checked, %s\n", checked,
+                        golden_ok ? "all ok" : "FAILURES");
+    }
+
+    return (report.ok() && golden_ok) ? 0 : 1;
 }
 
 } // namespace
@@ -362,6 +525,14 @@ main(int argc, char **argv)
             return cmdCompare(argv[2], parseOptions(rest));
         if (cmd == "trace" && argc >= 3)
             return cmdTrace(argv[2], parseOptions(rest));
+        if (cmd == "verify") {
+            // verify has no <workload> positional: every argv after
+            // the subcommand is an option.
+            std::vector<std::string> vrest;
+            for (int i = 2; i < argc; ++i)
+                vrest.emplace_back(argv[i]);
+            return cmdVerify(parseOptions(vrest));
+        }
     } catch (const UsageError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return usage();
