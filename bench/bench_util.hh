@@ -17,6 +17,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "powerchop/powerchop.hh"
 
 namespace powerchop
@@ -92,12 +93,7 @@ reportRunner(const std::string &bench_name)
 
     const std::string path =
         envString("POWERCHOP_RUNNER_JSON").value_or("BENCH_runner.json");
-    if (std::FILE *f = std::fopen(path.c_str(), "w")) {
-        std::fprintf(f, "%s\n", rep.toJson(bench_name).c_str());
-        std::fclose(f);
-    } else {
-        warn("cannot write runner report to '%s'", path.c_str());
-    }
+    atomicWriteFileOk(path, rep.toJson(bench_name) + "\n");
 }
 
 /**

@@ -1,0 +1,111 @@
+#include "common/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwIo(const std::string &path, const char *op)
+{
+    throw IoError(csprintf("%s: %s failed: %s", path.c_str(), op,
+                           std::strerror(errno)));
+}
+
+/** Directory part of `path` ("." when the path has no slash). */
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/**
+ * fsync the directory containing the renamed entry so the rename
+ * itself is durable. Some filesystems refuse fsync on a directory fd;
+ * that is not a durability hole we can close, so those errors are
+ * ignored rather than surfaced.
+ */
+void
+syncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        throwIo(tmp, "open");
+
+    const char *p = content.data();
+    std::size_t left = content.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throwIo(tmp, "write");
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throwIo(tmp, "fsync");
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throwIo(tmp, "close");
+    }
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        throwIo(path, "rename");
+    }
+    syncDir(dirOf(path));
+}
+
+bool
+atomicWriteFileOk(const std::string &path,
+                  const std::string &content) noexcept
+{
+    try {
+        atomicWriteFile(path, content);
+        return true;
+    } catch (const IoError &e) {
+        warn("%s", e.what());
+        return false;
+    }
+}
+
+} // namespace powerchop

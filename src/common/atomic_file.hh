@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Crash-safe whole-file writes.
+ *
+ * Every result sink in the repository (golden snapshots, metrics
+ * CSV/JSONL, chrome traces, bench reports, campaign reports) funnels
+ * through atomicWriteFile(): the content is written to a temporary
+ * file in the destination directory, fsync'd, and renamed over the
+ * target, then the directory entry itself is fsync'd. A reader —
+ * including a reader racing a crash — therefore sees either the old
+ * complete file or the new complete file, never a torn prefix, and a
+ * SIGKILL at any point leaves at worst an orphaned `*.tmp.<pid>` file
+ * that the next write cleans up by reusing the name.
+ */
+
+#ifndef POWERCHOP_COMMON_ATOMIC_FILE_HH
+#define POWERCHOP_COMMON_ATOMIC_FILE_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace powerchop
+{
+
+/**
+ * Thrown when a file-system operation in the durable-output layer
+ * fails (open, write, fsync, rename). The message names the path,
+ * the failing operation and the errno text. Deliberately not a
+ * FatalError: an I/O failure is an environment condition the caller
+ * may want to handle (retry, degrade to stdout), not a configuration
+ * mistake.
+ */
+class IoError : public std::runtime_error
+{
+  public:
+    explicit IoError(const std::string &msg) : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * Atomically replace `path` with `content`.
+ *
+ * Write-to-temp + fsync + rename + directory fsync; throws IoError on
+ * any failure (the temp file is unlinked before throwing, so failed
+ * writes leave no partial output behind).
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::string &content);
+
+/**
+ * Non-throwing variant for best-effort sinks (telemetry, bench
+ * reports): on failure a warn() names the path and false is returned;
+ * the caller's results are unaffected.
+ */
+bool atomicWriteFileOk(const std::string &path,
+                       const std::string &content) noexcept;
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_ATOMIC_FILE_HH

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 namespace powerchop
 {
@@ -37,7 +39,107 @@ flushAllSinks()
     std::fflush(nullptr);
 }
 
+/** One registered durable-sink flush hook. */
+struct FlushHook
+{
+    int id = 0;
+    std::string name;
+    std::function<void()> fn;
+    bool armed = false;
+};
+
+/** Hook registry state, guarded by its own mutex (never the output
+ *  mutex: hooks run user code that may warn()). */
+struct FlushHookRegistry
+{
+    std::mutex mutex;
+    std::vector<FlushHook> hooks;
+    int nextId = 1;
+};
+
+FlushHookRegistry &
+flushHooks()
+{
+    static FlushHookRegistry r;
+    return r;
+}
+
 } // namespace
+
+int
+registerFlushHook(const char *name, std::function<void()> fn)
+{
+    FlushHookRegistry &r = flushHooks();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    FlushHook hook;
+    hook.id = r.nextId++;
+    hook.name = name;
+    hook.fn = std::move(fn);
+    r.hooks.push_back(std::move(hook));
+    return r.hooks.back().id;
+}
+
+void
+unregisterFlushHook(int id)
+{
+    FlushHookRegistry &r = flushHooks();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (std::size_t i = 0; i < r.hooks.size(); ++i) {
+        if (r.hooks[i].id == id) {
+            r.hooks.erase(r.hooks.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+void
+armFlushHook(int id)
+{
+    FlushHookRegistry &r = flushHooks();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto &hook : r.hooks) {
+        if (hook.id == id) {
+            hook.armed = true;
+            return;
+        }
+    }
+}
+
+std::size_t
+drainFlushHooks()
+{
+    // Claim the armed hooks under the lock, run them outside it: a
+    // flush action may itself log, and a concurrent drain must not
+    // run the same pending flush twice.
+    std::vector<std::pair<std::string, std::function<void()>>> due;
+    {
+        FlushHookRegistry &r = flushHooks();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        for (auto &hook : r.hooks) {
+            if (hook.armed) {
+                hook.armed = false;
+                due.emplace_back(hook.name, hook.fn);
+            }
+        }
+    }
+
+    std::size_t ran = 0;
+    for (auto &[name, fn] : due) {
+        try {
+            fn();
+            ++ran;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "warn: flush hook '%s' failed: %s\n",
+                         name.c_str(), e.what());
+        } catch (...) {
+            std::fprintf(stderr, "warn: flush hook '%s' failed\n",
+                         name.c_str());
+        }
+    }
+    return ran;
+}
 
 void
 setQuiet(bool q)
@@ -83,6 +185,7 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
+    drainFlushHooks();
     {
         std::lock_guard<std::mutex> lock(outputMutex());
         if (!quietFlag)
@@ -99,6 +202,7 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
+    drainFlushHooks();
     {
         std::lock_guard<std::mutex> lock(outputMutex());
         if (!quietFlag)

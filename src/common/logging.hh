@@ -20,6 +20,8 @@
 #define POWERCHOP_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstddef>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -77,6 +79,43 @@ void setQuiet(bool quiet);
 
 /** @return true if warn()/inform() output is currently suppressed. */
 bool quiet();
+
+/**
+ * Register a durable-sink flush hook.
+ *
+ * Buffered sinks that must survive an abnormal exit (the campaign
+ * journal, trace/metrics writers with pending data) register a hook
+ * here. fatal(), panic() and the campaign's interrupted-exit path
+ * call drainFlushHooks() before reporting, so buffered records reach
+ * disk ahead of any throw/exit.
+ *
+ * A hook starts disarmed and only runs while armed: the owner arms it
+ * when (and only when) it has unflushed data and the drain disarms it
+ * before running it, so each pending flush happens exactly once even
+ * when fatal() fires on the signal path right after an explicit
+ * drain — the second drain sees a disarmed hook and skips it.
+ *
+ * @param name Diagnostic label (reported if the hook itself throws).
+ * @param fn   The flush action; must not call fatal()/panic().
+ * @return an id for armFlushHook()/unregisterFlushHook().
+ */
+int registerFlushHook(const char *name, std::function<void()> fn);
+
+/** Remove a hook (the owner's sink is closing). Unknown ids are
+ *  ignored so owners can unregister unconditionally in destructors. */
+void unregisterFlushHook(int id);
+
+/** Mark a hook as having unflushed data. */
+void armFlushHook(int id);
+
+/**
+ * Run every armed flush hook exactly once (disarming each first).
+ * A hook that throws is reported to stderr and skipped; the drain
+ * continues so one broken sink cannot block the others.
+ *
+ * @return the number of hooks that ran.
+ */
+std::size_t drainFlushHooks();
 
 /**
  * panic() unless the given condition holds.

@@ -25,7 +25,9 @@
 #ifndef POWERCHOP_POWERCHOP_HH
 #define POWERCHOP_POWERCHOP_HH
 
+#include "common/atomic_file.hh"
 #include "common/env.hh"
+#include "common/journal.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -65,6 +67,7 @@
 #include "telemetry/profiler.hh"
 #include "telemetry/trace.hh"
 
+#include "sim/campaign.hh"
 #include "sim/experiment.hh"
 #include "sim/machine_config.hh"
 #include "sim/sim_result.hh"

@@ -1,0 +1,393 @@
+#include "sim/campaign.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+#include "telemetry/trace.hh"
+#include "workload/spec_io.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+/** Process-wide interrupt flag raised by the signal handlers. A
+ *  namespace-scope atomic (zero-initialized before main) so the
+ *  handler never races static-local initialization. */
+std::atomic<bool> g_campaignInterrupt{false};
+
+extern "C" void
+campaignSignalHandler(int sig)
+{
+    // First signal: request a graceful drain. Second signal: the
+    // drain is wedged or the user is insistent — exit immediately
+    // with the conventional fatal-signal status. Both paths are
+    // async-signal-safe (lock-free atomic + _exit).
+    if (g_campaignInterrupt.exchange(true))
+        ::_exit(128 + sig);
+}
+
+/** Canonical text of the SimOptions fields that can change a job's
+ *  result (instrumentation options deliberately excluded: traces,
+ *  metrics and audits never feed back into simulation). */
+std::string
+canonicalOptionsText(const SimOptions &opts)
+{
+    return csprintf(
+        "options-v1\nmode=%s\nmaxInstructions=%llu\nmanageVpu=%d\n"
+        "manageBpu=%d\nmanageMlc=%d\ntimeoutCycles=%.17g\n"
+        "staticPolicy=%d,%d,%u\n",
+        simModeName(opts.mode),
+        static_cast<unsigned long long>(opts.maxInstructions),
+        opts.manageVpu ? 1 : 0, opts.manageBpu ? 1 : 0,
+        opts.manageMlc ? 1 : 0, opts.timeoutCycles,
+        opts.staticPolicy.vpuOn ? 1 : 0,
+        opts.staticPolicy.bpuOn ? 1 : 0,
+        static_cast<unsigned>(opts.staticPolicy.mlc));
+}
+
+/** Create `dir` (and parents), tolerating existing directories. */
+void
+makeDirs(const std::string &dir)
+{
+    std::string prefix;
+    std::size_t start = 0;
+    while (start <= dir.size()) {
+        std::size_t slash = dir.find('/', start);
+        if (slash == std::string::npos)
+            slash = dir.size();
+        prefix = dir.substr(0, slash);
+        start = slash + 1;
+        if (prefix.empty() || prefix == ".")
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+            throw IoError(csprintf("%s: mkdir failed: %s",
+                                   prefix.c_str(),
+                                   std::strerror(errno)));
+        }
+    }
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** Single-line JSON error payload for a non-ok journal record. */
+std::string
+errorPayload(const JobOutcome &outcome)
+{
+    return csprintf("{\"error\":\"%s\",\"attempts\":%u}",
+                    telemetry::jsonEscape(outcome.error).c_str(),
+                    outcome.attempts);
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::string &data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+campaignJobKey(const SimJob &job)
+{
+    std::string text = "powerchop-campaign-job-v1\n";
+    text += "workload:\n";
+    text += formatWorkloadSpec(job.workload);
+    text += "machine:\n";
+    text += job.machine.canonicalText();
+    text += canonicalOptionsText(job.opts);
+    return fnv1a64(text);
+}
+
+bool
+CampaignResult::complete() const
+{
+    if (outcomes.empty())
+        return true;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].status != JobStatus::Ok ||
+            payloads[i].empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+CampaignResult::summary() const
+{
+    std::size_t ok = 0, failed = 0, timed_out = 0, resumable = 0;
+    for (const auto &o : outcomes) {
+        switch (o.status) {
+          case JobStatus::Ok:
+            ++ok;
+            break;
+          case JobStatus::Failed:
+            ++failed;
+            break;
+          case JobStatus::TimedOut:
+            ++timed_out;
+            break;
+          case JobStatus::Skipped:
+          case JobStatus::Interrupted:
+            ++resumable;
+            break;
+        }
+    }
+    std::string s = csprintf(
+        "%zu jobs: %zu replayed from journal, %zu executed; "
+        "%zu ok, %zu failed, %zu timed out, %zu resumable",
+        outcomes.size(), replayed, executed, ok, failed, timed_out,
+        resumable);
+    if (staleRecords > 0)
+        s += csprintf("; %zu stale records rejected", staleRecords);
+    if (corruptedRecords + truncatedRecords > 0) {
+        s += csprintf("; journal recovered around %zu corrupt / %zu "
+                      "torn lines",
+                      corruptedRecords, truncatedRecords);
+    }
+    if (interrupted)
+        s += " [interrupted: resume with --resume]";
+    return s;
+}
+
+std::string
+CampaignResult::reportJson() const
+{
+    std::size_t ok = 0, failed = 0, timed_out = 0, resumable = 0;
+    for (const auto &o : outcomes) {
+        switch (o.status) {
+          case JobStatus::Ok:
+            ++ok;
+            break;
+          case JobStatus::Failed:
+            ++failed;
+            break;
+          case JobStatus::TimedOut:
+            ++timed_out;
+            break;
+          case JobStatus::Skipped:
+          case JobStatus::Interrupted:
+            ++resumable;
+            break;
+        }
+    }
+
+    // Only run-invariant data belongs here: a resumed campaign's
+    // report must be byte-identical to an uninterrupted run's.
+    std::string s = csprintf(
+        "{\"campaign\":{\"jobs\":%zu,\"ok\":%zu,\"failed\":%zu,"
+        "\"timed_out\":%zu,\"resumable\":%zu},\n\"results\":[\n",
+        outcomes.size(), ok, failed, timed_out, resumable);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        s += csprintf("{\"key\":\"%016llx\",\"status\":\"%s\"",
+                      static_cast<unsigned long long>(keys[i]),
+                      jobStatusName(outcomes[i].status));
+        if (outcomes[i].status == JobStatus::Ok &&
+            !payloads[i].empty()) {
+            s += ",\"result\":" + payloads[i];
+        } else if (!outcomes[i].error.empty()) {
+            s += csprintf(
+                ",\"error\":\"%s\"",
+                telemetry::jsonEscape(outcomes[i].error).c_str());
+        }
+        s += "}";
+        if (i + 1 < outcomes.size())
+            s += ",";
+        s += "\n";
+    }
+    s += "]}\n";
+    return s;
+}
+
+std::atomic<bool> &
+campaignInterruptFlag()
+{
+    return g_campaignInterrupt;
+}
+
+void
+installCampaignSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = campaignSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: let blocking waits observe it
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+CampaignResult
+runCampaign(SimJobRunner &runner, const std::vector<SimJob> &jobs,
+            const std::string &dir, const CampaignOptions &opts)
+{
+    CampaignResult result;
+    result.keys.reserve(jobs.size());
+    result.outcomes.resize(jobs.size());
+    result.payloads.resize(jobs.size());
+
+    makeDirs(dir);
+    const std::string journal_path = dir + "/journal.jsonl";
+    const std::string report_path = dir + "/report.json";
+
+    // Content keys. A duplicate key means two spec entries describe
+    // the byte-identical job — refuse rather than journal ambiguity.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::uint64_t key = campaignJobKey(jobs[i]);
+        for (std::size_t j = 0; j < result.keys.size(); ++j) {
+            if (result.keys[j] == key) {
+                fatal("campaign: jobs %zu and %zu have identical "
+                      "content keys (duplicate matrix entry?)",
+                      j, i);
+            }
+        }
+        result.keys.push_back(key);
+    }
+
+    // Replay the journal (resume) or refuse a dirty directory.
+    if (fileExists(journal_path)) {
+        if (!opts.resume) {
+            fatal("campaign: %s already exists; pass --resume to "
+                  "continue it or choose a fresh directory",
+                  journal_path.c_str());
+        }
+        const JournalReplay replay = loadJournal(journal_path);
+        result.corruptedRecords = replay.corrupted;
+        result.truncatedRecords = replay.truncated;
+
+        std::size_t matched = 0;
+        for (const auto &rec : replay.records) {
+            bool found = false;
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                if (result.keys[i] != rec.key)
+                    continue;
+                found = true;
+                // Only completed records satisfy a job; failed and
+                // timed-out records document history but rerun.
+                if (rec.status == jobStatusName(JobStatus::Ok)) {
+                    result.outcomes[i].status = JobStatus::Ok;
+                    result.outcomes[i].attempts = 0; // replayed
+                    result.payloads[i] = rec.payload;
+                    ++result.replayed;
+                }
+                ++matched;
+                break;
+            }
+            if (!found)
+                ++result.staleRecords;
+        }
+        if (result.staleRecords > 0) {
+            warn("campaign: %zu journal records match no current "
+                 "job (spec or machine config changed); they are "
+                 "ignored and the jobs rerun",
+                 result.staleRecords);
+        }
+        (void)matched;
+    }
+
+    // Pending jobs: everything the journal did not satisfy.
+    std::vector<SimJob> pending;
+    std::vector<std::size_t> pendingIndex;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (result.payloads[i].empty()) {
+            pending.push_back(jobs[i]);
+            pendingIndex.push_back(i);
+        }
+    }
+    result.executed = pending.size();
+
+    const std::atomic<bool> *interrupt =
+        opts.interruptFlag ? opts.interruptFlag
+                           : &campaignInterruptFlag();
+
+    if (!pending.empty()) {
+        JournalWriter writer(journal_path);
+
+        std::atomic<std::size_t> done{0};
+        RobustRunOptions robust;
+        robust.timeoutSeconds = opts.timeoutSeconds;
+        robust.maxRetries = opts.maxRetries;
+        robust.cancelFlag = interrupt;
+        robust.drainSeconds = opts.drainSeconds;
+        robust.backoffBaseSeconds = opts.backoffBaseSeconds;
+        robust.backoffMaxSeconds = opts.backoffMaxSeconds;
+        robust.onComplete = [&](std::size_t pi, const SimResult &res,
+                                const JobOutcome &outcome) {
+            // Write-ahead: the record is durable (fsync'd) before
+            // the job counts as done. Resumable states (skipped /
+            // interrupted) journal nothing — they carry no result
+            // and rerun on resume.
+            const std::size_t i = pendingIndex[pi];
+            JournalRecord rec;
+            rec.key = result.keys[i];
+            rec.status = jobStatusName(outcome.status);
+            switch (outcome.status) {
+              case JobStatus::Ok:
+                rec.payload = res.toJson();
+                writer.append(rec);
+                break;
+              case JobStatus::Failed:
+              case JobStatus::TimedOut:
+                rec.payload = errorPayload(outcome);
+                writer.append(rec);
+                break;
+              case JobStatus::Skipped:
+              case JobStatus::Interrupted:
+                break;
+            }
+            if (opts.onProgress)
+                opts.onProgress(done.fetch_add(1) + 1,
+                                pending.size());
+        };
+
+        const RobustBatchResult batch =
+            runner.runRobust(pending, robust);
+
+        for (std::size_t pi = 0; pi < pending.size(); ++pi) {
+            const std::size_t i = pendingIndex[pi];
+            result.outcomes[i] = batch.outcomes[pi];
+            if (batch.outcomes[pi].status == JobStatus::Ok)
+                result.payloads[i] = batch.results[pi].toJson();
+        }
+
+        // Interrupted-exit hygiene: drain the flush hooks exactly
+        // once (the journal disarms after flushing, so a fatal()
+        // fired later cannot double-flush), then close the journal.
+        writer.flush();
+        drainFlushHooks();
+    }
+
+    result.interrupted =
+        interrupt->load(std::memory_order_relaxed) ||
+        std::any_of(result.outcomes.begin(), result.outcomes.end(),
+                    [](const JobOutcome &o) {
+                        return o.status == JobStatus::Skipped ||
+                               o.status == JobStatus::Interrupted;
+                    });
+
+    // The merged report is rebuilt from scratch on every invocation
+    // and written crash-safely: readers never see a torn file.
+    atomicWriteFile(report_path, result.reportJson());
+    return result;
+}
+
+} // namespace powerchop

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Durable simulation campaigns: crash-safe, resumable evaluation
+ * sweeps on top of SimJobRunner.
+ *
+ * The paper's evaluation is a wide matrix — workloads x machines x
+ * modes x fault seeds — and a crash or Ctrl-C at hour N must not
+ * throw away completed points. A campaign gives every job a
+ * deterministic content key (a hash of the workload spec, the full
+ * MachineConfig, the mode and run options, and the instruction
+ * budget) and journals each finished SimResult to an fsync'd
+ * write-ahead JSONL file before counting it done. Resuming replays
+ * the journal, verifies each record's key and checksum, skips every
+ * completed job and re-dispatches only the remainder; the merged
+ * campaign report is bit-identical to an uninterrupted run.
+ *
+ * Shutdown is signal-aware: SIGINT/SIGTERM raise the campaign
+ * interrupt flag, undispatched jobs are skipped, in-flight jobs get a
+ * drain deadline (cooperative cancellation through the existing
+ * SimOptions::cancelFlag), the journal is flushed, and the CLI exits
+ * with a distinct "interrupted, resumable" status.
+ */
+
+#ifndef POWERCHOP_SIM_CAMPAIGN_HH
+#define POWERCHOP_SIM_CAMPAIGN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/journal.hh"
+#include "sim/sim_runner.hh"
+
+namespace powerchop
+{
+
+/**
+ * Deterministic content key of one campaign job: FNV-1a 64 over the
+ * canonical text of (workload spec, machine config, mode, unit
+ * management switches, timeout override, static policy, instruction
+ * budget). Any change to a field that can change the job's result
+ * changes the key, so stale journal records never satisfy a resumed
+ * job they no longer describe.
+ */
+std::uint64_t campaignJobKey(const SimJob &job);
+
+/** FNV-1a 64-bit hash of a byte string (exposed for tests). */
+std::uint64_t fnv1a64(const std::string &data);
+
+/** Campaign execution knobs. */
+struct CampaignOptions
+{
+    /** Resume from an existing journal. Without this flag a campaign
+     *  directory that already holds a journal is refused (fatal), so
+     *  accidental reuse cannot silently mix unrelated sweeps. */
+    bool resume = false;
+
+    /** Per-job stuck-run watchdog in wall-clock seconds; 0 disables.
+     *  An overrunning job is cooperatively cancelled and journaled
+     *  as a timed-out record instead of hanging the campaign. */
+    double timeoutSeconds = 0;
+
+    /** Extra attempts for jobs flagged transient. */
+    unsigned maxRetries = 0;
+
+    /** Grace period for in-flight jobs after an interrupt. */
+    double drainSeconds = 5.0;
+
+    /** Retry-backoff policy passed through to the robust batch. @{ */
+    double backoffBaseSeconds = 0.001;
+    double backoffMaxSeconds = 0.25;
+    /** @} */
+
+    /** Interrupt flag the campaign polls; defaults to the process-
+     *  wide flag raised by installCampaignSignalHandlers(). Tests
+     *  point it at their own flag. */
+    const std::atomic<bool> *interruptFlag = nullptr;
+
+    /** Progress callback: (jobs completed this run, jobs dispatched
+     *  this run). Runs on worker threads; must be thread-safe. */
+    std::function<void(std::size_t, std::size_t)> onProgress;
+};
+
+/** What a campaign invocation accomplished. */
+struct CampaignResult
+{
+    /** One entry per job, in spec order. @{ */
+    std::vector<std::uint64_t> keys;
+    std::vector<JobOutcome> outcomes;
+    /** The job's SimResult JSON ("" when not completed): journal
+     *  payloads for replayed jobs, freshly rendered for executed
+     *  ones — byte-identical either way. */
+    std::vector<std::string> payloads;
+    /** @} */
+
+    /** Jobs satisfied from the journal without re-running. */
+    std::size_t replayed = 0;
+
+    /** Jobs dispatched to the runner this invocation. */
+    std::size_t executed = 0;
+
+    /** Journal records whose key matched no current job (stale:
+     *  the spec or a MachineConfig changed since they were
+     *  written). They are ignored, never merged. */
+    std::size_t staleRecords = 0;
+
+    /** Journal lines dropped as corrupt or torn. */
+    std::size_t corruptedRecords = 0;
+    std::size_t truncatedRecords = 0;
+
+    /** The campaign was interrupted (resumable). */
+    bool interrupted = false;
+
+    /** @return true when every job has an ok result. */
+    bool complete() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+
+    /**
+     * The merged campaign report: job count, ok/failed tallies and
+     * every per-job record (key, status, SimResult JSON) in spec
+     * order. Deliberately excludes run-varying data (timings,
+     * replay/executed split), so an interrupted-and-resumed campaign
+     * renders byte-identically to an uninterrupted one.
+     */
+    std::string reportJson() const;
+};
+
+/**
+ * Run (or resume) a campaign.
+ *
+ * Creates `dir` if needed, replays `dir`/journal.jsonl when resuming,
+ * dispatches the remaining jobs on `runner` with write-ahead
+ * journaling, and atomically rewrites `dir`/report.json from the
+ * merged results.
+ *
+ * @param runner Worker pool to dispatch on.
+ * @param jobs   The full campaign matrix, in canonical order.
+ * @param dir    Campaign state directory (journal + report).
+ * @param opts   Durability / shutdown knobs.
+ * @return the merged result.
+ */
+CampaignResult runCampaign(SimJobRunner &runner,
+                           const std::vector<SimJob> &jobs,
+                           const std::string &dir,
+                           const CampaignOptions &opts = {});
+
+/** The process-wide campaign interrupt flag. */
+std::atomic<bool> &campaignInterruptFlag();
+
+/**
+ * Install SIGINT/SIGTERM handlers that raise the campaign interrupt
+ * flag (first signal: graceful drain; second signal: immediate
+ * _exit(128+sig) for a wedged drain). Idempotent.
+ */
+void installCampaignSignalHandlers();
+
+/** Exit status of a campaign that was interrupted but is cleanly
+ *  resumable with --resume. */
+constexpr int campaignInterruptedExitStatus = 3;
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SIM_CAMPAIGN_HH

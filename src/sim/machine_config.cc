@@ -99,6 +99,143 @@ MachineConfig::validate() const
     telemetry.validate(name);
 }
 
+std::string
+MachineConfig::canonicalText() const
+{
+    std::string s = "machine-config-v1\n";
+    const auto add = [&s](const char *field, double v) {
+        s += csprintf("%s=%.17g\n", field, v);
+    };
+    const auto addU = [&s](const char *field, std::uint64_t v) {
+        s += csprintf("%s=%llu\n", field,
+                      static_cast<unsigned long long>(v));
+    };
+    const auto addS = [&s](const char *field, const std::string &v) {
+        s += csprintf("%s=%s\n", field, v.c_str());
+    };
+
+    addS("name", name);
+
+    addS("core.name", core.name);
+    addU("core.issueWidth", core.issueWidth);
+    add("core.frequencyHz", core.frequencyHz);
+    add("core.mispredictPenalty", core.mispredictPenalty);
+    add("core.btbMissPenalty", core.btbMissPenalty);
+    add("core.mlcHitPenalty", core.mlcHitPenalty);
+    add("core.memoryPenalty", core.memoryPenalty);
+    add("core.streamMissFactor", core.streamMissFactor);
+    add("core.storeStallFraction", core.storeStallFraction);
+    add("core.interpreterCpi", core.interpreterCpi);
+    add("core.translationCost", core.translationCost);
+    addU("core.hotThreshold", core.hotThreshold);
+
+    addU("bpu.largeKind", static_cast<unsigned>(bpu.largeKind));
+    addU("bpu.large.localHistoryEntries",
+         bpu.large.localHistoryEntries);
+    addU("bpu.large.localHistoryBits", bpu.large.localHistoryBits);
+    addU("bpu.large.localPatternEntries",
+         bpu.large.localPatternEntries);
+    addU("bpu.large.globalEntries", bpu.large.globalEntries);
+    addU("bpu.large.globalHistoryBits", bpu.large.globalHistoryBits);
+    addU("bpu.large.chooserEntries", bpu.large.chooserEntries);
+    addU("bpu.largeBtbEntries", bpu.largeBtbEntries);
+    addU("bpu.smallPredictorEntries", bpu.smallPredictorEntries);
+    addU("bpu.smallBtbEntries", bpu.smallBtbEntries);
+    addU("bpu.btbAssoc", bpu.btbAssoc);
+
+    addU("l1.sizeBytes", l1.sizeBytes);
+    addU("l1.assoc", l1.assoc);
+    addU("l1.lineBytes", l1.lineBytes);
+    addU("mlc.sizeBytes", mlc.sizeBytes);
+    addU("mlc.assoc", mlc.assoc);
+    addU("mlc.lineBytes", mlc.lineBytes);
+
+    addU("vpu.width", vpu.width);
+    addU("vpu.numRegisters", vpu.numRegisters);
+    add("vpu.emulationExpansion", vpu.emulationExpansion);
+
+    addU("bt.hotThreshold", bt.hotThreshold);
+    add("bt.translationCost", bt.translationCost);
+    addU("bt.translator.maxTraceBlocks",
+         bt.translator.maxTraceBlocks);
+    add("bt.nucleus.pvtMissTrapCycles", bt.nucleus.pvtMissTrapCycles);
+    add("bt.nucleus.translationTrapCycles",
+        bt.nucleus.translationTrapCycles);
+    add("bt.nucleus.otherTrapCycles", bt.nucleus.otherTrapCycles);
+    addU("bt.regionCacheCapacity", bt.regionCacheCapacity);
+
+    addU("powerChop.htb.entries", powerChop.htb.entries);
+    addU("powerChop.htb.windowSize", powerChop.htb.windowSize);
+    addU("powerChop.pvt.entries", powerChop.pvt.entries);
+    addU("powerChop.pvt.ageBits", powerChop.pvt.ageBits);
+    add("powerChop.cde.thresholdVpu", powerChop.cde.thresholdVpu);
+    add("powerChop.cde.thresholdBpu", powerChop.cde.thresholdBpu);
+    add("powerChop.cde.thresholdMlc1", powerChop.cde.thresholdMlc1);
+    add("powerChop.cde.thresholdMlc2", powerChop.cde.thresholdMlc2);
+    addU("powerChop.cde.enableQuarterWays",
+         powerChop.cde.enableQuarterWays ? 1 : 0);
+    add("powerChop.cde.thresholdMlcQuarter",
+        powerChop.cde.thresholdMlcQuarter);
+    addU("powerChop.cde.profilingWindows",
+         powerChop.cde.profilingWindows);
+    add("powerChop.cde.workCycles", powerChop.cde.workCycles);
+    addU("powerChop.qos.enabled", powerChop.qos.enabled ? 1 : 0);
+    add("powerChop.qos.slowdownThreshold",
+        powerChop.qos.slowdownThreshold);
+    addU("powerChop.qos.violationWindows",
+         powerChop.qos.violationWindows);
+    addU("powerChop.qos.cooldownWindows",
+         powerChop.qos.cooldownWindows);
+    add("powerChop.qos.referenceDecay", powerChop.qos.referenceDecay);
+
+    add("penalties.mlcSwitchCycles", penalties.mlcSwitchCycles);
+    add("penalties.vpuSwitchCycles", penalties.vpuSwitchCycles);
+    add("penalties.bpuSwitchCycles", penalties.bpuSwitchCycles);
+    add("penalties.vpuSaveRestoreCycles",
+        penalties.vpuSaveRestoreCycles);
+    add("penalties.mlcWritebackCyclesPerLine",
+        penalties.mlcWritebackCyclesPerLine);
+
+    add("timeout.timeoutCycles", timeout.timeoutCycles);
+    add("timeout.switchCycles", timeout.switchCycles);
+    add("timeout.saveRestoreCycles", timeout.saveRestoreCycles);
+
+    add("drowsy.intervalCycles", drowsy.intervalCycles);
+    add("drowsy.wakePenaltyCycles", drowsy.wakePenaltyCycles);
+    add("drowsy.drowsyLeakageFraction", drowsy.drowsyLeakageFraction);
+
+    addS("power.name", power.name);
+    add("power.frequencyHz", power.frequencyHz);
+    for (unsigned u = 0; u < numUnits; ++u) {
+        const Unit unit = static_cast<Unit>(u);
+        const std::string base =
+            std::string("power.") + unitName(unit) + ".";
+        add((base + "areaMm2").c_str(), power.unit(unit).areaMm2);
+        add((base + "leakage").c_str(), power.unit(unit).leakage);
+        add((base + "energyPerEvent").c_str(),
+            power.unit(unit).energyPerEvent);
+        add((base + "peakDynamic").c_str(),
+            power.unit(unit).peakDynamic);
+    }
+    add("power.gating.sleepTransistorRatio",
+        power.gating.sleepTransistorRatio);
+    add("power.gating.switchingFactor", power.gating.switchingFactor);
+    add("power.gating.gatedLeakageFraction",
+        power.gating.gatedLeakageFraction);
+    add("power.mlcEnergyFloor", power.mlcEnergyFloor);
+
+    addU("faults.enabled", faults.enabled ? 1 : 0);
+    addU("faults.seed", faults.seed);
+    add("faults.policyCorruptRate", faults.policyCorruptRate);
+    add("faults.htbDropRate", faults.htbDropRate);
+    add("faults.htbAliasRate", faults.htbAliasRate);
+    add("faults.controllerFlipRate", faults.controllerFlipRate);
+    add("faults.wakeupStretchRate", faults.wakeupStretchRate);
+    add("faults.wakeupStretchFactor", faults.wakeupStretchFactor);
+
+    return s;
+}
+
 MachineConfig
 serverConfig()
 {

@@ -55,6 +55,16 @@ struct MachineConfig
      *  this before building the machine, and each violation is a
      *  fatal() naming the offending field. */
     void validate() const;
+
+    /**
+     * Canonical field-by-field text rendering of every parameter
+     * that can change simulation results — the campaign layer hashes
+     * it into job content keys, so resuming with ANY edited knob
+     * rejects the stale journal records by key mismatch. Telemetry
+     * parameters are deliberately excluded: they only shape
+     * observability and results are bit-identical either way.
+     */
+    std::string canonicalText() const;
 };
 
 /**

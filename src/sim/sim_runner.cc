@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <ctime>
+#include <limits>
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace powerchop
 {
@@ -65,8 +67,34 @@ jobStatusName(JobStatus s)
         return "failed";
       case JobStatus::TimedOut:
         return "timed-out";
+      case JobStatus::Skipped:
+        return "skipped";
+      case JobStatus::Interrupted:
+        return "interrupted";
     }
     panic("unknown JobStatus %d", static_cast<int>(s));
+}
+
+double
+retryBackoffSeconds(const RobustRunOptions &opts,
+                    std::size_t jobIndex, unsigned attempt)
+{
+    if (attempt <= 1 || opts.backoffBaseSeconds <= 0)
+        return 0;
+    // Bounded exponential growth...
+    double delay = opts.backoffBaseSeconds;
+    for (unsigned a = 2; a < attempt && delay < opts.backoffMaxSeconds;
+         ++a) {
+        delay *= 2;
+    }
+    if (delay > opts.backoffMaxSeconds)
+        delay = opts.backoffMaxSeconds;
+    // ...plus seeded jitter: a pure function of (seed, job, attempt),
+    // so totals reproduce exactly across runs and worker counts.
+    Rng rng(opts.backoffSeed ^
+            (static_cast<std::uint64_t>(jobIndex) * 0x9e3779b97f4a7c15ull +
+             attempt));
+    return delay + delay * opts.backoffJitterFraction * rng.uniform();
 }
 
 std::size_t
@@ -98,6 +126,26 @@ RobustBatchResult::timedOutCount() const
 }
 
 std::size_t
+RobustBatchResult::skippedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const JobOutcome &o) {
+                          return o.status == JobStatus::Skipped;
+                      }));
+}
+
+std::size_t
+RobustBatchResult::interruptedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const JobOutcome &o) {
+                          return o.status == JobStatus::Interrupted;
+                      }));
+}
+
+std::size_t
 RobustBatchResult::degradedCount() const
 {
     std::size_t n = 0;
@@ -113,9 +161,17 @@ RobustBatchResult::degradedCount() const
 std::string
 RobustBatchResult::summary() const
 {
-    return csprintf("%zu ok, %zu failed, %zu timed out, %zu degraded",
-                    okCount(), failedCount(), timedOutCount(),
-                    degradedCount());
+    std::string s =
+        csprintf("%zu ok, %zu failed, %zu timed out, %zu degraded",
+                 okCount(), failedCount(), timedOutCount(),
+                 degradedCount());
+    // Cancellation states appear only when a batch was actually
+    // cancelled, keeping pre-existing summaries byte-identical.
+    if (resumableCount() > 0) {
+        s += csprintf(", %zu skipped, %zu interrupted",
+                      skippedCount(), interruptedCount());
+    }
+    return s;
 }
 
 std::string
@@ -128,11 +184,18 @@ RunnerReport::toString() const
                  jobsPerSecond(), speedup());
     // Robust-batch tallies are appended only when such a batch ran,
     // keeping fault-free bench output byte-identical.
-    if (okJobs + failedJobs + timedOutJobs > 0) {
+    if (okJobs + failedJobs + timedOutJobs + skippedJobs +
+            interruptedJobs > 0) {
         s += csprintf("; robust: %zu ok, %zu failed, %zu timed out, "
                       "%zu degraded, %zu retries",
                       okJobs, failedJobs, timedOutJobs, degradedJobs,
                       retries);
+        if (skippedJobs + interruptedJobs > 0) {
+            s += csprintf(", %zu skipped, %zu interrupted",
+                          skippedJobs, interruptedJobs);
+        }
+        if (backoffSeconds > 0)
+            s += csprintf(", %.3fs backoff", backoffSeconds);
     }
     if (!stages.empty()) {
         s += "; stages:";
@@ -156,12 +219,20 @@ RunnerReport::toJson(const std::string &name) const
                  name.c_str(), jobs, threads, wallSeconds, busySeconds,
                  static_cast<unsigned long long>(instructions), mips(),
                  jobsPerSecond(), speedup());
-    if (okJobs + failedJobs + timedOutJobs > 0) {
+    if (okJobs + failedJobs + timedOutJobs + skippedJobs +
+            interruptedJobs > 0) {
         s += csprintf(",\"ok_jobs\":%zu,\"failed_jobs\":%zu,"
                       "\"timed_out_jobs\":%zu,\"degraded_jobs\":%zu,"
                       "\"retries\":%zu",
                       okJobs, failedJobs, timedOutJobs, degradedJobs,
                       retries);
+        if (skippedJobs + interruptedJobs > 0) {
+            s += csprintf(",\"skipped_jobs\":%zu,"
+                          "\"interrupted_jobs\":%zu",
+                          skippedJobs, interruptedJobs);
+        }
+        if (backoffSeconds > 0)
+            s += csprintf(",\"backoff_seconds\":%.6f", backoffSeconds);
     }
     if (!stages.empty()) {
         s += ",\"stages\":{";
@@ -345,22 +416,53 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
             .count();
     };
 
-    // Deadlines are enforced by a polling watchdog rather than by
-    // preempting workers: the simulator checks its cancel flag at
-    // block boundaries, so a ~10ms poll adds at most that much slack
-    // to the configured timeout.
+    const auto batchCancelled = [&] {
+        return opts.cancelFlag &&
+               opts.cancelFlag->load(std::memory_order_relaxed);
+    };
+
+    // Deadlines and the post-cancel drain are enforced by a polling
+    // watchdog rather than by preempting workers: the simulator
+    // checks its cancel flag at block boundaries, so a ~10ms poll
+    // adds at most that much slack to the configured limits. The
+    // watchdog also turns a stuck job into a journaled timeout
+    // record instead of hanging the campaign.
     std::atomic<bool> watchdog_stop{false};
     std::thread watchdog;
-    if (opts.timeoutSeconds > 0) {
+    if (opts.timeoutSeconds > 0 || opts.cancelFlag) {
         watchdog = std::thread([&] {
+            const std::int64_t drain_ns =
+                static_cast<std::int64_t>(opts.drainSeconds * 1e9);
+            std::int64_t cancel_seen_ns = -1;
             while (!watchdog_stop.load(std::memory_order_relaxed)) {
                 const std::int64_t now = nowNs();
-                for (auto &slot : slots) {
-                    const std::int64_t deadline =
-                        slot.deadlineNs.load(std::memory_order_relaxed);
-                    if (deadline >= 0 && now >= deadline)
-                        slot.cancel.store(true,
-                                          std::memory_order_relaxed);
+
+                // Batch cancellation: give in-flight jobs the drain
+                // grace period, then cancel whatever is still
+                // running.
+                if (batchCancelled()) {
+                    if (cancel_seen_ns < 0)
+                        cancel_seen_ns = now;
+                    if (now >= cancel_seen_ns + drain_ns) {
+                        for (auto &slot : slots) {
+                            if (slot.deadlineNs.load(
+                                    std::memory_order_relaxed) >= 0) {
+                                slot.cancel.store(
+                                    true, std::memory_order_relaxed);
+                            }
+                        }
+                    }
+                }
+
+                if (opts.timeoutSeconds > 0) {
+                    for (auto &slot : slots) {
+                        const std::int64_t deadline =
+                            slot.deadlineNs.load(
+                                std::memory_order_relaxed);
+                        if (deadline >= 0 && now >= deadline)
+                            slot.cancel.store(
+                                true, std::memory_order_relaxed);
+                    }
                 }
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(10));
@@ -377,6 +479,17 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
         JobOutcome &outcome = batch.outcomes[i];
         Slot &slot = slots[i];
 
+        // A cancelled batch stops dispatching: undispatched jobs are
+        // Skipped (resumable), drained immediately.
+        if (batchCancelled()) {
+            outcome.status = JobStatus::Skipped;
+            outcome.error = "batch cancelled before start";
+            outcome.attempts = 0;
+            if (opts.onComplete)
+                opts.onComplete(i, batch.results[i], outcome);
+            return;
+        }
+
         const unsigned max_attempts =
             1 + (job.transient ? opts.maxRetries : 0);
         for (unsigned attempt = 1; attempt <= max_attempts;
@@ -385,9 +498,15 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
 
             SimOptions run_opts = job.opts;
             run_opts.audit = run_opts.audit || audit;
-            if (opts.timeoutSeconds > 0) {
-                slot.cancel.store(false, std::memory_order_relaxed);
-                slot.deadlineNs.store(nowNs() + timeout_ns,
+            slot.cancel.store(false, std::memory_order_relaxed);
+            if (opts.timeoutSeconds > 0 || opts.cancelFlag) {
+                // The deadline slot doubles as the "in flight" mark
+                // the drain logic keys off; with no per-job timeout
+                // it is set far enough out to never fire on its own.
+                const std::int64_t deadline = opts.timeoutSeconds > 0
+                    ? nowNs() + timeout_ns
+                    : std::numeric_limits<std::int64_t>::max();
+                slot.deadlineNs.store(deadline,
                                       std::memory_order_relaxed);
                 run_opts.cancelFlag = &slot.cancel;
             }
@@ -404,9 +523,12 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
                 outcome.status = JobStatus::Ok;
                 outcome.error.clear();
             } catch (const SimCancelledError &e) {
-                // A deadline is a property of the job, not of the
-                // attempt's luck — never retry a timeout.
-                outcome.status = JobStatus::TimedOut;
+                // Distinguish why the flag rose: a batch cancel
+                // leaves the job resumable, a per-job deadline is a
+                // property of the job and is never retried.
+                outcome.status = batchCancelled()
+                    ? JobStatus::Interrupted
+                    : JobStatus::TimedOut;
                 outcome.error = e.what();
             } catch (const std::exception &e) {
                 outcome.status = JobStatus::Failed;
@@ -418,10 +540,29 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
             slot.deadlineNs.store(-1, std::memory_order_relaxed);
 
             if (outcome.status != JobStatus::Failed ||
-                attempt == max_attempts) {
+                attempt == max_attempts || batchCancelled()) {
                 break;
             }
+
+            // Bounded exponential backoff before the re-attempt. The
+            // charged delay is computed, never measured, so reports
+            // reproduce bit-identically across worker counts; the
+            // actual wait is sliced so a batch cancel is honoured
+            // promptly.
+            const double delay =
+                retryBackoffSeconds(opts, i, attempt + 1);
+            outcome.backoffSeconds += delay;
+            double remaining = delay;
+            while (remaining > 0 && !batchCancelled()) {
+                const double slice = std::min(remaining, 0.01);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(slice));
+                remaining -= slice;
+            }
         }
+
+        if (opts.onComplete)
+            opts.onComplete(i, batch.results[i], outcome);
     });
 
     if (watchdog.joinable()) {
@@ -435,8 +576,13 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
         report_.failedJobs += batch.failedCount();
         report_.timedOutJobs += batch.timedOutCount();
         report_.degradedJobs += batch.degradedCount();
-        for (const auto &o : batch.outcomes)
-            report_.retries += o.attempts - 1;
+        report_.skippedJobs += batch.skippedCount();
+        report_.interruptedJobs += batch.interruptedCount();
+        for (const auto &o : batch.outcomes) {
+            if (o.attempts > 1)
+                report_.retries += o.attempts - 1;
+            report_.backoffSeconds += o.backoffSeconds;
+        }
     }
     return batch;
 }

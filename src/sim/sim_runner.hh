@@ -53,9 +53,11 @@ struct SimJob
 /** Terminal state of one job in a robust batch. */
 enum class JobStatus : std::uint8_t
 {
-    Ok,       ///< Completed; its SimResult is valid.
-    Failed,   ///< Threw on every allowed attempt; result is empty.
-    TimedOut, ///< Cancelled by the per-job deadline; result is empty.
+    Ok,          ///< Completed; its SimResult is valid.
+    Failed,      ///< Threw on every allowed attempt; result is empty.
+    TimedOut,    ///< Cancelled by the per-job deadline; result is empty.
+    Skipped,     ///< Batch cancelled before the job started (resumable).
+    Interrupted, ///< In-flight when the batch was cancelled (resumable).
 };
 
 /** @return a display name for a job status. */
@@ -69,8 +71,15 @@ struct JobOutcome
     /** The final attempt's exception message (Failed/TimedOut). */
     std::string error;
 
-    /** Attempts consumed (> 1 only for retried transient jobs). */
+    /** Attempts consumed (> 1 only for retried transient jobs;
+     *  0 for Skipped jobs, which never started). */
     unsigned attempts = 1;
+
+    /** Total retry-backoff delay charged before re-attempts.
+     *  Deterministic (computed, not measured): it depends only on
+     *  the batch's backoff policy, the job index and the attempt
+     *  count, never on wall-clock randomness or worker count. */
+    double backoffSeconds = 0;
 };
 
 /** Error-handling knobs of a robust batch. */
@@ -83,7 +92,46 @@ struct RobustRunOptions
 
     /** Extra attempts granted to jobs flagged transient. */
     unsigned maxRetries = 0;
+
+    /** Retry backoff: before re-attempt n (n >= 2) the worker waits
+     *  backoffBaseSeconds * 2^(n-2), capped at backoffMaxSeconds,
+     *  plus a deterministic jitter in [0, backoffJitterFraction *
+     *  delay) seeded from (backoffSeed, job index, attempt) — no
+     *  wall-clock randomness, so retried faulted runs report
+     *  identical backoff totals for any worker count. A base of 0
+     *  disables waiting entirely. @{ */
+    double backoffBaseSeconds = 0.001;
+    double backoffMaxSeconds = 0.25;
+    double backoffJitterFraction = 0.25;
+    std::uint64_t backoffSeed = 0;
+    /** @} */
+
+    /** Batch-wide cooperative cancellation (signal-aware shutdown):
+     *  when the flag rises mid-batch, jobs not yet dispatched report
+     *  Skipped immediately, in-flight jobs get drainSeconds to
+     *  finish and are then cancelled, reporting Interrupted. Both
+     *  states are resumable — a campaign reruns them on --resume. */
+    const std::atomic<bool> *cancelFlag = nullptr;
+
+    /** Grace period granted to in-flight jobs after cancelFlag
+     *  rises; 0 cancels them at the next block boundary. */
+    double drainSeconds = 0;
+
+    /** Invoked on the worker thread as each job reaches a terminal
+     *  state (the campaign layer journals results through this).
+     *  Must be thread-safe; a throwing callback fails the batch. */
+    std::function<void(std::size_t, const SimResult &,
+                       const JobOutcome &)>
+        onComplete;
 };
+
+/**
+ * The deterministic backoff delay charged before attempt `attempt`
+ * of job `jobIndex` (attempt 1 is the initial try: delay 0).
+ * Exposed for tests and report auditing.
+ */
+double retryBackoffSeconds(const RobustRunOptions &opts,
+                           std::size_t jobIndex, unsigned attempt);
 
 /** Results of a robust batch: one result + one outcome per job, in
  *  submission order. Failed/timed-out jobs leave a default
@@ -96,6 +144,14 @@ struct RobustBatchResult
     std::size_t okCount() const;
     std::size_t failedCount() const;
     std::size_t timedOutCount() const;
+    std::size_t skippedCount() const;
+    std::size_t interruptedCount() const;
+
+    /** Jobs in a resumable (not permanently failed) non-ok state. */
+    std::size_t resumableCount() const
+    {
+        return skippedCount() + interruptedCount();
+    }
 
     /** Jobs that completed but tripped the QoS watchdog into safe
      *  mode at least once (bounded, observable degradation). */
@@ -138,6 +194,13 @@ struct RunnerReport
     std::size_t timedOutJobs = 0;
     std::size_t degradedJobs = 0;
     std::size_t retries = 0;
+
+    /** Batch-cancellation tallies (resumable jobs) and the summed
+     *  deterministic retry-backoff delay; rendered only when
+     *  non-zero, keeping pre-existing reports byte-identical. */
+    std::size_t skippedJobs = 0;
+    std::size_t interruptedJobs = 0;
+    double backoffSeconds = 0;
     /** @} */
 
     /** Wall-clock stage breakdown (translate / simulate / retry),

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -275,15 +276,9 @@ bool
 writeChromeTrace(const std::string &path,
                  const std::vector<const TraceRecorder *> &runs)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        warn("cannot write trace to '%s'", path.c_str());
-        return false;
-    }
-    const std::string json = chromeTraceJson(runs);
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    return true;
+    // Crash-safe replace: a trace viewer pointed at the path never
+    // loads a half-written JSON array.
+    return atomicWriteFileOk(path, chromeTraceJson(runs));
 }
 
 } // namespace telemetry

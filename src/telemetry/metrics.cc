@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "core/gating_controller.hh"
 #include "core/htb.hh"
@@ -133,14 +134,10 @@ bool
 writeFile(const std::string &path, const std::string &content,
           const char *what)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        warn("cannot write %s to '%s'", what, path.c_str());
-        return false;
-    }
-    std::fwrite(content.data(), 1, content.size(), f);
-    std::fclose(f);
-    return true;
+    // Crash-safe: readers see the old file or the new one, never a
+    // torn mix. atomicWriteFileOk warns (naming the path) on error.
+    (void)what;
+    return atomicWriteFileOk(path, content);
 }
 
 } // namespace

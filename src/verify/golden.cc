@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -215,10 +216,9 @@ loadGolden(const std::string &path, FlatJson &out)
 void
 saveGolden(const std::string &path, const std::string &json_text)
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        fatal("saveGolden: cannot write %s", path.c_str());
-    out << json_text << "\n";
+    // Crash-safe replace: an interrupted save can never leave a
+    // truncated golden that silently passes or garbles comparisons.
+    atomicWriteFile(path, json_text + "\n");
 }
 
 std::vector<GoldenMismatch>

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -271,12 +272,8 @@ formatWorkloadSpec(const WorkloadSpec &w)
 void
 saveWorkloadSpec(const WorkloadSpec &w, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot write workload spec '%s'", path.c_str());
-    out << formatWorkloadSpec(w);
-    if (!out)
-        fatal("write to '%s' failed", path.c_str());
+    // Crash-safe replace; IoError carries the path and errno text.
+    atomicWriteFile(path, formatWorkloadSpec(w));
 }
 
 } // namespace powerchop

@@ -11,6 +11,14 @@
  *   trace <workload> [options]   Simulate and write a Chrome
  *                                trace-event JSON timeline (opens in
  *                                Perfetto / chrome://tracing).
+ *   campaign <dir> [options]     Run a durable sweep into <dir>:
+ *                                every finished job is journaled
+ *                                (write-ahead, fsync'd) before it
+ *                                counts, SIGINT/SIGTERM drain
+ *                                gracefully, and --resume skips all
+ *                                journaled work. Exit 0 = complete,
+ *                                3 = interrupted (resumable),
+ *                                1 = permanent failures.
  *
  * `<workload>` is either a built-in model name or a path to a spec
  * file (containing '/' or ending in .wl).
@@ -66,6 +74,10 @@ usage()
         "  verify [--insns N] [--workloads a,b,c] [--machine M]\n"
         "      [--mode MODE] [--seeds s1,s2] [--goldens DIR]\n"
         "      [--update-goldens] [--tol T]\n"
+        "  campaign <dir> [--workloads a,b,c] [--machine M]\n"
+        "      [--modes m1,m2] [--insns N] [--resume] [--inspect]\n"
+        "      [--timeout-seconds S] [--drain-seconds S]\n"
+        "      [--retries N]\n"
         "  --version\n"
         "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n"
         "run/compare/trace accept --audit (invariant-check results)\n");
@@ -126,6 +138,16 @@ struct Args
     bool updateGoldens = false;
     double tol = 1e-6;
     /** @} */
+
+    /** campaign-only options. @{ */
+    std::string modes;
+    bool resume = false;
+    bool inspect = false;
+    double timeoutSeconds = 0;
+    double drainSeconds =
+        envDouble("POWERCHOP_DRAIN_SECONDS", 0, 3600).value_or(5.0);
+    unsigned retries = 0;
+    /** @} */
 };
 
 Args
@@ -170,6 +192,21 @@ parseOptions(const std::vector<std::string> &rest)
             a.updateGoldens = true;
         else if (rest[i] == "--tol")
             a.tol = std::strtod(need("--tol").c_str(), nullptr);
+        else if (rest[i] == "--modes")
+            a.modes = need("--modes");
+        else if (rest[i] == "--resume")
+            a.resume = true;
+        else if (rest[i] == "--inspect")
+            a.inspect = true;
+        else if (rest[i] == "--timeout-seconds")
+            a.timeoutSeconds =
+                std::strtod(need("--timeout-seconds").c_str(), nullptr);
+        else if (rest[i] == "--drain-seconds")
+            a.drainSeconds =
+                std::strtod(need("--drain-seconds").c_str(), nullptr);
+        else if (rest[i] == "--retries")
+            a.retries = static_cast<unsigned>(
+                std::strtoul(need("--retries").c_str(), nullptr, 10));
         else
             throw UsageError(csprintf("unknown option '%s'",
                                       rest[i].c_str()));
@@ -497,6 +534,82 @@ cmdVerify(const Args &a)
     return (report.ok() && golden_ok) ? 0 : 1;
 }
 
+int
+cmdCampaign(const std::string &dir, const Args &a)
+{
+    if (a.inspect) {
+        // Summarize the journal without dispatching anything.
+        const JournalReplay replay = loadJournal(dir + "/journal.jsonl");
+        std::printf("journal: %zu lines, %zu live records "
+                    "(%zu corrupt, %zu torn, %zu superseded)\n",
+                    replay.lines, replay.records.size(),
+                    replay.corrupted, replay.truncated,
+                    replay.duplicates);
+        for (const auto &rec : replay.records) {
+            std::printf("  %016llx %s\n",
+                        static_cast<unsigned long long>(rec.key),
+                        rec.status.c_str());
+        }
+        return 0;
+    }
+
+    // The matrix, in canonical order (workload-major): the same
+    // defaults as verify's golden sweep.
+    const std::vector<std::string> workloads = !a.workloads.empty()
+        ? splitList(a.workloads)
+        : std::vector<std::string>{"perlbench", "namd", "canneal",
+                                   "msn"};
+    const std::vector<std::string> machines = !a.machine.empty()
+        ? std::vector<std::string>{a.machine}
+        : std::vector<std::string>{"server", "mobile"};
+    std::vector<SimMode> modes;
+    if (!a.modes.empty()) {
+        for (const auto &m : splitList(a.modes))
+            modes.push_back(parseMode(m));
+    } else if (a.modeSet) {
+        modes = {a.mode};
+    } else {
+        modes = {SimMode::FullPower, SimMode::PowerChop,
+                 SimMode::MinPower, SimMode::TimeoutVpu,
+                 SimMode::DrowsyMlc};
+    }
+    const InsnCount insns = a.insnsSet ? a.insns : 200'000;
+
+    std::vector<SimJob> jobs;
+    for (const auto &wname : workloads) {
+        for (const auto &mname : machines) {
+            for (SimMode mode : modes) {
+                SimJob job;
+                job.workload = resolveWorkload(wname);
+                job.machine = mname == "server" ? serverConfig()
+                                                : mobileConfig();
+                job.opts.mode = mode;
+                job.opts.maxInstructions = insns;
+                job.opts.timeoutCycles = a.timeout;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+
+    installCampaignSignalHandlers();
+    SimJobRunner runner;
+    CampaignOptions copts;
+    copts.resume = a.resume;
+    copts.timeoutSeconds = a.timeoutSeconds;
+    copts.maxRetries = a.retries;
+    copts.drainSeconds = a.drainSeconds;
+    copts.onProgress = [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "[campaign %zu/%zu]\n", done, total);
+    };
+
+    const CampaignResult res = runCampaign(runner, jobs, dir, copts);
+    std::printf("campaign: %s\n", res.summary().c_str());
+    std::printf("report: %s/report.json\n", dir.c_str());
+    if (res.interrupted)
+        return campaignInterruptedExitStatus;
+    return res.complete() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -525,6 +638,8 @@ main(int argc, char **argv)
             return cmdCompare(argv[2], parseOptions(rest));
         if (cmd == "trace" && argc >= 3)
             return cmdTrace(argv[2], parseOptions(rest));
+        if (cmd == "campaign" && argc >= 3)
+            return cmdCampaign(argv[2], parseOptions(rest));
         if (cmd == "verify") {
             // verify has no <workload> positional: every argv after
             // the subcommand is an option.
