@@ -83,6 +83,11 @@ progress(std::size_t job, std::size_t total, const std::string &msg)
  * it as JSON so the perf trajectory is tracked across changes. Every
  * bench calls this once after its tables are printed.
  *
+ * The JSON sink is a trajectory: each report is appended as a new
+ * entry of a JSON array (a pre-existing single-object file is wrapped,
+ * not clobbered), so successive bench runs accumulate a MIPS history
+ * that perf work can be judged against.
+ *
  * @param bench_name Label stored in the JSON report.
  */
 inline void
@@ -93,7 +98,7 @@ reportRunner(const std::string &bench_name)
 
     const std::string path =
         envString("POWERCHOP_RUNNER_JSON").value_or("BENCH_runner.json");
-    atomicWriteFileOk(path, rep.toJson(bench_name) + "\n");
+    appendJsonArrayEntryOk(path, rep.toJson(bench_name));
 }
 
 /**

@@ -1,5 +1,7 @@
 #include "bt/bt_system.hh"
 
+#include <algorithm>
+
 namespace powerchop
 {
 
@@ -8,23 +10,23 @@ BtSystem::BtSystem(const Program &program, const BtParams &params)
       interpreter_(params.hotThreshold),
       translator_(program, params.translator),
       regionCache_(params.regionCacheCapacity),
-      nucleus_(params.nucleus)
+      nucleus_(params.nucleus),
+      byBlock_(program.numBlocks(), nullptr),
+      headPc_(program.numBlocks(), 0)
 {
+    for (BlockId b = 0; b < program.numBlocks(); ++b)
+        headPc_[b] = program.block(b).head;
 }
 
 RegionEntry
-BtSystem::enterRegion(BlockId head)
+BtSystem::enterRegionSlow(BlockId head)
 {
-    RegionEntry entry;
-    const Addr head_pc = program_.block(head).head;
+    // byBlock_ mirrors the cache exactly, so a null entry means the
+    // map has no translation either: only the miss counter moves.
+    regionCache_.noteMiss();
 
-    Translation *t = regionCache_.lookup(head_pc);
-    if (t) {
-        ++t->execCount;
-        entry.mode = ExecMode::Translated;
-        entry.translation = t;
-        return entry;
-    }
+    RegionEntry entry;
+    const Addr head_pc = headPc_[head];
 
     entry.mode = ExecMode::Interpreted;
     bool became_hot = interpreter_.recordExecution(head_pc);
@@ -32,7 +34,12 @@ BtSystem::enterRegion(BlockId head)
         entry.extraCycles +=
             nucleus_.takeInterrupt(InterruptKind::Translation);
         entry.extraCycles += params_.translationCost;
-        regionCache_.insert(translator_.translate(head));
+        const std::uint64_t flushes_before = regionCache_.flushes();
+        Translation *resident =
+            regionCache_.insert(translator_.translate(head));
+        if (regionCache_.flushes() != flushes_before)
+            std::fill(byBlock_.begin(), byBlock_.end(), nullptr);
+        byBlock_[head] = resident;
         interpreter_.forget(head_pc);
         // The current pass still interprets; the next entry runs the
         // translation.

@@ -66,10 +66,35 @@ class BtSystem
      * fall back to interpretation, and translate regions that just
      * crossed the hotness threshold.
      *
+     * The resident-translation case takes an inline fast path through
+     * a direct per-block index (byBlock_) that mirrors the region
+     * cache's contents; counters advance exactly as a map lookup
+     * would, so stats are identical.
+     *
      * @param head The block whose head is being entered.
      * @return how this region executes and any stall cycles.
      */
-    RegionEntry enterRegion(BlockId head);
+    RegionEntry
+    enterRegion(BlockId head)
+    {
+        if (Translation *t = byBlock_[head]) {
+            regionCache_.noteHit();
+            ++t->execCount;
+            RegionEntry entry;
+            entry.mode = ExecMode::Translated;
+            entry.translation = t;
+            return entry;
+        }
+        return enterRegionSlow(head);
+    }
+
+    /** Route pre-derived translation metadata (translation_cache.hh)
+     *  to the translator; nullptr reverts to CFG walking. */
+    void
+    setTranslationMetadata(const TranslationMetadataSet *set)
+    {
+        translator_.setPrebuilt(set);
+    }
 
     const RegionCache &regionCache() const { return regionCache_; }
     const Interpreter &interpreter() const { return interpreter_; }
@@ -78,12 +103,21 @@ class BtSystem
     const Nucleus &nucleus() const { return nucleus_; }
 
   private:
+    /** The interpreted/translating path of enterRegion(). */
+    RegionEntry enterRegionSlow(BlockId head);
+
     const Program &program_;
     BtParams params_;
     Interpreter interpreter_;
     Translator translator_;
     RegionCache regionCache_;
     Nucleus nucleus_;
+
+    /** Direct per-block mirror of the region cache's residents,
+     *  cleared whenever a capacity insert flushes the cache. */
+    std::vector<Translation *> byBlock_;
+    /** Head PC of every block, flattened from the program. */
+    std::vector<Addr> headPc_;
 };
 
 } // namespace powerchop

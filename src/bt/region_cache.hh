@@ -34,6 +34,22 @@ class RegionCache
     Translation *lookup(Addr head_pc);
 
     /**
+     * Counter-only lookup outcomes, for callers that resolve the
+     * translation through an external index (BtSystem keeps a direct
+     * per-block map): exactly the bookkeeping lookup() would have
+     * performed, without the hash probe. @{
+     */
+    void
+    noteHit()
+    {
+        ++lookups_;
+        ++hits_;
+    }
+
+    void noteMiss() { ++lookups_; }
+    /** @} */
+
+    /**
      * Insert a translation.
      *
      * If at capacity, the whole cache is flushed first (Transmeta-

@@ -1,0 +1,90 @@
+#include "bt/translation_cache.hh"
+
+#include "common/hash.hh"
+
+namespace powerchop
+{
+
+TranslationMetadataSet
+buildTranslationMetadata(const Program &program,
+                         const TranslatorParams &params)
+{
+    TranslationMetadataSet set;
+    set.maxTraceBlocks = params.maxTraceBlocks;
+    set.byBlock.resize(program.numBlocks());
+
+    for (BlockId head = 0; head < program.numBlocks(); ++head) {
+        TranslationProto &p = set.byBlock[head];
+        p.headPc = program.block(head).head;
+
+        // Mirror of Translator::translate()'s successor walk; the
+        // translator asserts the mirrored fields agree in debug
+        // builds.
+        BlockId cur = head;
+        for (unsigned n = 0; n < params.maxTraceBlocks; ++n) {
+            const BasicBlock &bb = program.block(cur);
+            p.blocks.push_back(cur);
+            p.staticInsts += static_cast<unsigned>(bb.insts.size());
+            if (bb.simdCount > 0)
+                p.hasSimd = true;
+
+            BlockId next = bb.takenSucc;
+            if (next == invalidBlockId || next == head)
+                break;
+            cur = next;
+        }
+    }
+    return set;
+}
+
+std::shared_ptr<const TranslationMetadataSet>
+TranslationMetadataCache::acquire(std::uint64_t workloadKey,
+                                  const Program &program,
+                                  const TranslatorParams &params)
+{
+    // Fold the trace parameter into the key: the same workload under
+    // machines with different trace lengths yields different sets.
+    std::uint64_t key = fnv1a64Continue(
+        fnv1a64Continue(fnv1a64Basis, &workloadKey, sizeof(workloadKey)),
+        &params.maxTraceBlocks, sizeof(params.maxTraceBlocks));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        ++hits_;
+        return it->second;
+    }
+
+    // Build under the lock: concurrent first arrivals for the same
+    // key serialize on exactly one build instead of racing N.
+    auto set = std::make_shared<TranslationMetadataSet>(
+        buildTranslationMetadata(program, params));
+    map_.emplace(key, set);
+    ++misses_;
+    return set;
+}
+
+std::uint64_t
+TranslationMetadataCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+TranslationMetadataCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+TranslationMetadataCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace powerchop

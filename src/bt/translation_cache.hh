@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-workload translation metadata, shared across simulation jobs.
+ *
+ * A translation's content — its head PC, the decoded trace of guest
+ * blocks, its static instruction count and SIMD coverage — is a pure
+ * function of the guest Program and the trace-formation parameters.
+ * The Program in turn is a deterministic function of the workload
+ * spec (including its seed). Every job of a batch that runs the same
+ * workload therefore re-derives identical metadata.
+ *
+ * TranslationMetadataCache memoizes that derivation: the first job of
+ * a (workload content key, trace params) pair builds the full
+ * metadata set under the cache mutex (so concurrent first arrivals
+ * cost exactly one build) and later jobs share it. The Translator
+ * copies prototypes out of the shared set instead of re-walking the
+ * CFG; runtime-dependent state (translation ids are assigned from
+ * head PCs, execution counts start at zero) is untouched, so results
+ * are bit-identical to uncached runs at any worker count.
+ */
+
+#ifndef POWERCHOP_BT_TRANSLATION_CACHE_HH
+#define POWERCHOP_BT_TRANSLATION_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bt/translator.hh"
+#include "isa/program.hh"
+
+namespace powerchop
+{
+
+/** Content prototype of the translation headed at one block. */
+struct TranslationProto
+{
+    Addr headPc = 0;
+    std::vector<BlockId> blocks;
+    unsigned staticInsts = 0;
+    bool hasSimd = false;
+};
+
+/** The pre-derived translation metadata of one guest program:
+ *  prototypes for every possible trace head, indexed by BlockId. */
+struct TranslationMetadataSet
+{
+    std::vector<TranslationProto> byBlock;
+
+    /** Trace-formation parameter the set was built under; a set only
+     *  substitutes for walks with the same parameter. */
+    unsigned maxTraceBlocks = 1;
+};
+
+/**
+ * Build the metadata set for a program: the same successor walk
+ * Translator::translate() performs, run once per head up front.
+ */
+TranslationMetadataSet
+buildTranslationMetadata(const Program &program,
+                         const TranslatorParams &params);
+
+/**
+ * Thread-safe cache of TranslationMetadataSets keyed by workload
+ * content key + trace params. Owned by the job runner; shared by the
+ * jobs of its batches through SimOptions::translationCache.
+ */
+class TranslationMetadataCache
+{
+  public:
+    /**
+     * Fetch (or build-and-insert) the metadata set for a workload.
+     *
+     * @param workloadKey Content key of the workload spec (see
+     *                    workloadContentKey()).
+     * @param program     The workload's guest program.
+     * @param params      Trace-formation parameters.
+     * @return a shared, immutable metadata set.
+     */
+    std::shared_ptr<const TranslationMetadataSet>
+    acquire(std::uint64_t workloadKey, const Program &program,
+            const TranslatorParams &params);
+
+    /** Acquisitions served from the cache. */
+    std::uint64_t hits() const;
+
+    /** Acquisitions that had to build (== distinct keys seen). */
+    std::uint64_t misses() const;
+
+    /** Drop all cached sets and zero the counters. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const TranslationMetadataSet>>
+        map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_BT_TRANSLATION_CACHE_HH

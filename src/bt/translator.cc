@@ -1,5 +1,6 @@
 #include "bt/translator.hh"
 
+#include "bt/translation_cache.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -13,9 +14,34 @@ Translator::Translator(const Program &program,
         fatal("translator maxTraceBlocks must be non-zero");
 }
 
+void
+Translator::setPrebuilt(const TranslationMetadataSet *set)
+{
+    if (set && set->maxTraceBlocks != params_.maxTraceBlocks)
+        fatal("translation metadata built for maxTraceBlocks=%u, "
+              "translator configured with %u",
+              set->maxTraceBlocks, params_.maxTraceBlocks);
+    if (set && set->byBlock.size() != program_.numBlocks())
+        fatal("translation metadata covers %zu blocks, program has %zu",
+              set->byBlock.size(), program_.numBlocks());
+    prebuilt_ = set;
+}
+
 std::unique_ptr<Translation>
 Translator::translate(BlockId head)
 {
+    if (prebuilt_) {
+        const TranslationProto &p = prebuilt_->byBlock[head];
+        auto t = std::make_unique<Translation>();
+        t->headPc = p.headPc;
+        t->id = Translation::idFor(p.headPc);
+        t->blocks = p.blocks;
+        t->staticInsts = p.staticInsts;
+        t->hasSimd = p.hasSimd;
+        ++made_;
+        return t;
+    }
+
     auto t = std::make_unique<Translation>();
     const BasicBlock &hb = program_.block(head);
     t->headPc = hb.head;

@@ -21,6 +21,8 @@
 namespace powerchop
 {
 
+struct TranslationMetadataSet;
+
 /** Translator configuration. */
 struct TranslatorParams
 {
@@ -50,11 +52,21 @@ class Translator
      */
     std::unique_ptr<Translation> translate(BlockId head);
 
+    /**
+     * Use pre-derived translation metadata (bt/translation_cache.hh):
+     * translate() copies the head's prototype instead of re-walking
+     * the CFG. The set must match this translator's program and trace
+     * parameters and outlive the translator. nullptr reverts to
+     * walking.
+     */
+    void setPrebuilt(const TranslationMetadataSet *set);
+
     std::uint64_t translationsMade() const { return made_; }
 
   private:
     const Program &program_;
     TranslatorParams params_;
+    const TranslationMetadataSet *prebuilt_ = nullptr;
     std::uint64_t made_ = 0;
 };
 

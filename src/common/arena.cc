@@ -1,0 +1,74 @@
+#include "common/arena.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+Arena::Arena(std::size_t chunkBytes)
+    : chunkBytes_(chunkBytes ? chunkBytes : 64 * 1024)
+{
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        panic("arena alignment %zu is not a power of two", align);
+
+    if (chunks_.empty())
+        grow(bytes + align);
+
+    Chunk *c = &chunks_[cur_];
+    std::size_t offset = (c->used + align - 1) & ~(align - 1);
+    if (offset + bytes > c->size) {
+        grow(bytes + align);
+        c = &chunks_[cur_];
+        offset = (c->used + align - 1) & ~(align - 1);
+    }
+
+    c->used = offset + bytes;
+    allocated_ += bytes;
+    return c->data.get() + offset;
+}
+
+void
+Arena::grow(std::size_t bytes)
+{
+    // Reuse a recycled chunk (after reset()) when one is big enough;
+    // otherwise append a fresh chunk sized for the request.
+    for (std::size_t i = cur_ + (chunks_.empty() ? 0 : 1);
+         i < chunks_.size(); ++i) {
+        if (chunks_[i].used == 0 && chunks_[i].size >= bytes) {
+            std::swap(chunks_[cur_ + 1], chunks_[i]);
+            ++cur_;
+            return;
+        }
+    }
+
+    Chunk c;
+    c.size = bytes > chunkBytes_ ? bytes : chunkBytes_;
+    c.data = std::make_unique<std::byte[]>(c.size);
+    chunks_.push_back(std::move(c));
+    cur_ = chunks_.size() - 1;
+}
+
+void
+Arena::reset()
+{
+    for (Chunk &c : chunks_)
+        c.used = 0;
+    cur_ = 0;
+    allocated_ = 0;
+}
+
+std::size_t
+Arena::bytesReserved() const
+{
+    std::size_t total = 0;
+    for (const Chunk &c : chunks_)
+        total += c.size;
+    return total;
+}
+
+} // namespace powerchop

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bump (arena) allocator for per-job transient state.
+ *
+ * A simulation job builds thousands of small, same-lifetime objects —
+ * decoded block streams, generator tables, scratch buffers — that are
+ * all discarded together when the job ends. Allocating them
+ * individually scatters them across the heap (poor locality in the hot
+ * loop) and pays a malloc round-trip each. The arena hands out
+ * pointer-bumped storage from large chunks instead: allocation is a
+ * few arithmetic ops, everything lands contiguously in allocation
+ * order, and the whole arena is released at once.
+ *
+ * Only trivially-destructible types may be placed in an arena (the
+ * arena never runs destructors); allocateArray() enforces this at
+ * compile time.
+ */
+
+#ifndef POWERCHOP_COMMON_ARENA_HH
+#define POWERCHOP_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace powerchop
+{
+
+/**
+ * A growable bump allocator.
+ *
+ * Storage comes from fixed-size chunks; requests larger than the chunk
+ * size get a dedicated oversized chunk. reset() recycles the chunks
+ * for reuse without returning them to the system.
+ */
+class Arena
+{
+  public:
+    /** @param chunkBytes Default chunk size for new chunks. */
+    explicit Arena(std::size_t chunkBytes = 64 * 1024);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate raw storage.
+     *
+     * @param bytes Size in bytes (0 returns a valid unique pointer).
+     * @param align Alignment; must be a power of two.
+     * @return pointer to uninitialized storage, never nullptr.
+     */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /**
+     * Allocate an uninitialized array of a trivially-destructible
+     * type. The caller constructs the elements (trivial types can
+     * simply be assigned).
+     */
+    template <typename T>
+    T *
+    allocateArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena storage is released without destructors");
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Copy a sequence into arena storage.
+     *
+     * @return pointer to the arena-resident copy (nullptr-free even
+     *         for n == 0).
+     */
+    template <typename T>
+    T *
+    copyArray(const T *src, std::size_t n)
+    {
+        T *dst = allocateArray<T>(n);
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = src[i];
+        return dst;
+    }
+
+    /** Discard all allocations; chunks are kept for reuse. */
+    void reset();
+
+    /** Total bytes handed out since construction/reset (sums the
+     *  aligned request sizes, not chunk capacity). */
+    std::size_t bytesAllocated() const { return allocated_; }
+
+    /** Total bytes of chunk capacity currently held. */
+    std::size_t bytesReserved() const;
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    /** Make `cur_` a chunk with at least `bytes` free capacity. */
+    void grow(std::size_t bytes);
+
+    std::size_t chunkBytes_;
+    std::vector<Chunk> chunks_;
+    /** Index of the chunk allocations bump from; chunks before it are
+     *  full (or were skipped by an oversized request). */
+    std::size_t cur_ = 0;
+    std::size_t allocated_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_ARENA_HH

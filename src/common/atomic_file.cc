@@ -108,4 +108,79 @@ atomicWriteFileOk(const std::string &path,
     }
 }
 
+namespace
+{
+
+/** Slurp `path`; empty string when it does not exist. */
+std::string
+readWhole(const std::string &path)
+{
+    std::string out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+std::string::size_type
+firstNonSpace(const std::string &s)
+{
+    return s.find_first_not_of(" \t\r\n");
+}
+
+std::string::size_type
+lastNonSpace(const std::string &s)
+{
+    return s.find_last_not_of(" \t\r\n");
+}
+
+} // namespace
+
+bool
+appendJsonArrayEntryOk(const std::string &path,
+                       const std::string &entry) noexcept
+{
+    try {
+        const std::string old = readWhole(path);
+        const auto first = firstNonSpace(old);
+        const auto last = lastNonSpace(old);
+
+        std::string body;
+        if (first == std::string::npos) {
+            // Missing or empty file: start a fresh trajectory.
+            body = entry;
+        } else if (old[first] == '[' && old[last] == ']') {
+            // Existing array: splice the entry before the closing
+            // bracket (an empty array gains its first entry).
+            std::string inner =
+                old.substr(first + 1, last - first - 1);
+            const auto b = inner.find_first_not_of(" \t\r\n");
+            if (b == std::string::npos) {
+                body = entry;
+            } else {
+                const auto e = inner.find_last_not_of(" \t\r\n");
+                body = inner.substr(b, e - b + 1) + ",\n" + entry;
+            }
+        } else if (old[first] == '{' && old[last] == '}') {
+            // Legacy single-report file: keep it as the first entry.
+            body = old.substr(first, last - first + 1) + ",\n" + entry;
+        } else {
+            warn("%s: not a JSON array or object; refusing to append",
+                 path.c_str());
+            return false;
+        }
+
+        atomicWriteFile(path, "[\n" + body + "\n]\n");
+        return true;
+    } catch (const IoError &e) {
+        warn("%s", e.what());
+        return false;
+    }
+}
+
 } // namespace powerchop

@@ -56,6 +56,25 @@ void atomicWriteFile(const std::string &path,
 bool atomicWriteFileOk(const std::string &path,
                        const std::string &content) noexcept;
 
+/**
+ * Append one JSON value to a JSON-array trajectory file, atomically.
+ *
+ * The file always holds a well-formed JSON array, one entry per line.
+ * A missing or empty file becomes `[entry]`; an existing array gains
+ * the entry at its end; a legacy file holding a bare object (the old
+ * overwrite-style report) is wrapped into an array first, so history
+ * is kept rather than clobbered. The rewrite goes through
+ * atomicWriteFile(), so a crash never leaves a torn trajectory.
+ *
+ * Best-effort like atomicWriteFileOk(): on I/O failure (or a file
+ * whose contents are neither an array nor an object) a warn() names
+ * the path and false is returned.
+ *
+ * @param entry A serialized JSON value (object, typically).
+ */
+bool appendJsonArrayEntryOk(const std::string &path,
+                            const std::string &entry) noexcept;
+
 } // namespace powerchop
 
 #endif // POWERCHOP_COMMON_ATOMIC_FILE_HH

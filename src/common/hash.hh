@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Content hashing shared across subsystems.
+ *
+ * FNV-1a is used wherever a stable, dependency-free 64-bit content key
+ * is needed: campaign job identities (crash-safe journal/resume) and
+ * per-workload translation-metadata cache keys. It lives in common/ so
+ * that layers below sim/ (bt/, workload/) can key on it without a
+ * dependency inversion.
+ */
+
+#ifndef POWERCHOP_COMMON_HASH_HH
+#define POWERCHOP_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace powerchop
+{
+
+/** FNV-1a offset basis / prime (64-bit). @{ */
+constexpr std::uint64_t fnv1a64Basis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnv1a64Prime = 0x100000001b3ull;
+/** @} */
+
+/** Continue an FNV-1a hash over a byte sequence. */
+inline std::uint64_t
+fnv1a64Continue(std::uint64_t h, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= fnv1a64Prime;
+    }
+    return h;
+}
+
+/** FNV-1a hash of a string's bytes. */
+inline std::uint64_t
+fnv1a64(const std::string &data)
+{
+    return fnv1a64Continue(fnv1a64Basis, data.data(), data.size());
+}
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_HASH_HH

@@ -1,0 +1,50 @@
+#include "common/malloc_tuning.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace powerchop
+{
+
+namespace
+{
+
+bool
+tuningDisabledByEnv()
+{
+    const char *v = std::getenv("POWERCHOP_NO_MALLOC_TUNING");
+    return v && *v && std::strcmp(v, "0") != 0;
+}
+
+void
+applyTuning()
+{
+    if (tuningDisabledByEnv())
+        return;
+#if defined(__GLIBC__)
+    // Keep per-job table allocations (predictors, cache line arrays)
+    // on the heap and resident across jobs instead of handing them
+    // back to the kernel after every simulate() call. 64 MiB is far
+    // above any single table yet small against the simulator's
+    // steady-state footprint.
+    constexpr int keep_bytes = 64 * 1024 * 1024;
+    mallopt(M_TRIM_THRESHOLD, keep_bytes);
+    mallopt(M_MMAP_THRESHOLD, keep_bytes);
+#endif
+}
+
+} // namespace
+
+void
+tuneAllocatorForSimulation()
+{
+    static std::once_flag once;
+    std::call_once(once, applyTuning);
+}
+
+} // namespace powerchop

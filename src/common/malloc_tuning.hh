@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Process-level allocator tuning for simulation workloads.
+ *
+ * Every simulate() call builds and tears down ~1.5 MB of predictor
+ * and cache tables. With glibc's default thresholds those blocks are
+ * returned to the kernel on free (heap trim / mmap churn), so the
+ * next job re-faults every page: construction measures 4-6x slower
+ * than the actual table-fill work. Raising the trim and mmap
+ * thresholds keeps the pages resident between jobs.
+ *
+ * Allocator tuning never affects simulation semantics — results are
+ * bit-identical with or without it. Set POWERCHOP_NO_MALLOC_TUNING=1
+ * to leave the allocator at its defaults.
+ */
+
+#ifndef POWERCHOP_COMMON_MALLOC_TUNING_HH
+#define POWERCHOP_COMMON_MALLOC_TUNING_HH
+
+namespace powerchop
+{
+
+/**
+ * Apply the simulation-friendly allocator thresholds once per
+ * process (subsequent calls are no-ops). Safe to call from any
+ * thread; no-op on non-glibc platforms or when
+ * POWERCHOP_NO_MALLOC_TUNING is set to a non-zero value.
+ */
+void tuneAllocatorForSimulation();
+
+} // namespace powerchop
+
+#endif // POWERCHOP_COMMON_MALLOC_TUNING_HH

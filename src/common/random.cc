@@ -20,12 +20,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t s)
@@ -40,38 +34,10 @@ Rng::seed(std::uint64_t s)
         word = splitmix64(s);
 }
 
-std::uint64_t
-Rng::next()
+void
+Rng::belowZeroBound()
 {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 random mantissa bits -> double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t
-Rng::below(std::uint64_t bound)
-{
-    if (bound == 0)
-        panic("Rng::below called with zero bound");
-    // Multiply-shift bounded generation (Lemire); bias is negligible
-    // for simulation bounds (< 2^32).
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    panic("Rng::below called with zero bound");
 }
 
 std::int64_t
@@ -81,16 +47,6 @@ Rng::range(std::int64_t lo, std::int64_t hi)
         panic("Rng::range called with lo > hi");
     const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(below(span));
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
 }
 
 double

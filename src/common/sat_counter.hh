@@ -29,8 +29,9 @@ class SatCounter
      * @param initial Initial counter value (clamped to range).
      */
     explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
-        : maxVal_((1u << bits) - 1),
-          val_(initial > maxVal_ ? maxVal_ : initial)
+        : maxVal_(static_cast<std::uint8_t>((1u << bits) - 1)),
+          val_(static_cast<std::uint8_t>(
+              initial > maxVal_ ? maxVal_ : initial))
     {
         if (bits == 0 || bits > 8)
             panic("SatCounter width %u out of range", bits);
@@ -61,16 +62,20 @@ class SatCounter
     /** @return true if the counter is in its upper half ("taken"). */
     bool isSet() const { return val_ > maxVal_ / 2; }
 
+    // Predictor tables hold tens of thousands of these, so the
+    // counter packs into two bytes: 4x denser tables construct
+    // faster and stay hotter in the host cache.
+
     /** Reset to a given value (clamped). */
     void
     reset(unsigned v = 0)
     {
-        val_ = v > maxVal_ ? maxVal_ : v;
+        val_ = static_cast<std::uint8_t>(v > maxVal_ ? maxVal_ : v);
     }
 
   private:
-    unsigned maxVal_;
-    unsigned val_;
+    std::uint8_t maxVal_;
+    std::uint8_t val_;
 };
 
 } // namespace powerchop

@@ -65,6 +65,22 @@ class PerfMonitor
     }
 
     /**
+     * Count a burst of committed instructions at once. The counters
+     * are only read at window edges (block heads), never inside a
+     * burst, so bulk accumulation is exactly equivalent to per-
+     * instruction onCommit() calls.
+     *
+     * @param insns Instructions committed (all classes).
+     * @param simd  SIMD instructions among them.
+     */
+    void
+    onCommitBulk(std::uint64_t insns, std::uint64_t simd)
+    {
+        insns_ += insns;
+        simd_ += simd;
+    }
+
+    /**
      * Snapshot the window's profile and reset all window counters
      * (both local and in the monitored units).
      */

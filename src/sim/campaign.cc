@@ -95,17 +95,6 @@ errorPayload(const JobOutcome &outcome)
 } // namespace
 
 std::uint64_t
-fnv1a64(const std::string &data)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : data) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-std::uint64_t
 campaignJobKey(const SimJob &job)
 {
     std::string text = "powerchop-campaign-job-v1\n";

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hh"
 #include "common/journal.hh"
 #include "sim/sim_runner.hh"
 
@@ -45,9 +46,6 @@ namespace powerchop
  * job they no longer describe.
  */
 std::uint64_t campaignJobKey(const SimJob &job);
-
-/** FNV-1a 64-bit hash of a byte string (exposed for tests). */
-std::uint64_t fnv1a64(const std::string &data);
 
 /** Campaign execution knobs. */
 struct CampaignOptions

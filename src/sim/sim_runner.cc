@@ -197,6 +197,13 @@ RunnerReport::toString() const
         if (backoffSeconds > 0)
             s += csprintf(", %.3fs backoff", backoffSeconds);
     }
+    if (translationCacheHits + translationCacheMisses > 0) {
+        s += csprintf("; trans-meta cache: %llu hits, %llu misses",
+                      static_cast<unsigned long long>(
+                          translationCacheHits),
+                      static_cast<unsigned long long>(
+                          translationCacheMisses));
+    }
     if (!stages.empty()) {
         s += "; stages:";
         for (const auto &st : stages) {
@@ -233,6 +240,14 @@ RunnerReport::toJson(const std::string &name) const
         }
         if (backoffSeconds > 0)
             s += csprintf(",\"backoff_seconds\":%.6f", backoffSeconds);
+    }
+    if (translationCacheHits + translationCacheMisses > 0) {
+        s += csprintf(",\"translation_cache_hits\":%llu,"
+                      "\"translation_cache_misses\":%llu",
+                      static_cast<unsigned long long>(
+                          translationCacheHits),
+                      static_cast<unsigned long long>(
+                          translationCacheMisses));
     }
     if (!stages.empty()) {
         s += ",\"stages\":{";
@@ -383,9 +398,13 @@ SimJobRunner::run(const std::vector<SimJob> &jobs)
     runTasks(jobs.size(), [&](std::size_t i) {
         SimOptions run_opts = jobs[i].opts;
         run_opts.audit = run_opts.audit || audit;
+        if (!run_opts.translationCache)
+            run_opts.translationCache = &transCache_;
         results[i] =
             simulate(jobs[i].machine, jobs[i].workload, run_opts);
     });
+    report_.translationCacheHits = transCache_.hits();
+    report_.translationCacheMisses = transCache_.misses();
     return results;
 }
 
@@ -498,6 +517,8 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
 
             SimOptions run_opts = job.opts;
             run_opts.audit = run_opts.audit || audit;
+            if (!run_opts.translationCache)
+                run_opts.translationCache = &transCache_;
             slot.cancel.store(false, std::memory_order_relaxed);
             if (opts.timeoutSeconds > 0 || opts.cancelFlag) {
                 // The deadline slot doubles as the "in flight" mark
@@ -583,6 +604,8 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
                 report_.retries += o.attempts - 1;
             report_.backoffSeconds += o.backoffSeconds;
         }
+        report_.translationCacheHits = transCache_.hits();
+        report_.translationCacheMisses = transCache_.misses();
     }
     return batch;
 }

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bt/translation_cache.hh"
 #include "sim/simulator.hh"
 #include "telemetry/profiler.hh"
 
@@ -203,6 +204,16 @@ struct RunnerReport
     double backoffSeconds = 0;
     /** @} */
 
+    /** Translation-metadata cache traffic (bt/translation_cache.hh)
+     *  across the runner's batches: misses count per-workload
+     *  derivations performed, hits count derivations shared. Both
+     *  deterministic for a given job list at any worker count;
+     *  rendered only when the cache saw traffic, keeping reports
+     *  from cache-less drivers byte-identical. @{ */
+    std::uint64_t translationCacheHits = 0;
+    std::uint64_t translationCacheMisses = 0;
+    /** @} */
+
     /** Wall-clock stage breakdown (translate / simulate / retry),
      *  populated only when POWERCHOP_PROFILE enables the runner's
      *  stage profiler; toString()/toJson() render it only when
@@ -307,6 +318,12 @@ class SimJobRunner
     /** Cumulative report over all batches run so far. */
     const RunnerReport &report() const { return report_; }
 
+    /** The runner's shared translation-metadata cache, wired into
+     *  every job that didn't bring its own (SimOptions::
+     *  translationCache). Exposed so drivers can clear it between
+     *  unrelated experiment sets. */
+    TranslationMetadataCache &translationCache() { return transCache_; }
+
     /** The stage profiler snapshotted into the runner report — the
      *  process-global profiler (enabled by POWERCHOP_PROFILE), which
      *  simulate() records into unless a job attached its own. */
@@ -332,6 +349,7 @@ class SimJobRunner
     bool stopping_ = false;
 
     RunnerReport report_;
+    TranslationMetadataCache transCache_;
     telemetry::StageProfiler &profiler_ =
         telemetry::StageProfiler::global();
 };

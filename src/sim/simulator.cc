@@ -4,13 +4,16 @@
 #include <limits>
 #include <optional>
 
+#include "bt/translation_cache.hh"
 #include "common/logging.hh"
+#include "common/malloc_tuning.hh"
 #include "core/drowsy_mlc.hh"
 #include "core/perf_monitor.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/profiler.hh"
 #include "telemetry/trace.hh"
 #include "verify/invariant_auditor.hh"
+#include "workload/spec_io.hh"
 
 namespace powerchop
 {
@@ -33,6 +36,11 @@ SimResult
 simulate(const MachineConfig &machine, const WorkloadSpec &workload,
          const SimOptions &opts)
 {
+    // First call per process: stop the allocator from returning the
+    // per-job tables to the kernel between jobs (common/malloc_tuning
+    // .hh); purely a host-side tweak, results are unaffected.
+    tuneAllocatorForSimulation();
+
     machine.validate();
     if (opts.maxInstructions == 0)
         fatal("simulate: zero instruction budget");
@@ -45,6 +53,18 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     WorkloadGenerator gen(workload);
     BtParams bt_params = machine.bt;
     BtSystem bt(gen.program(), bt_params);
+
+    // Shared translation metadata: jobs of the same workload in a
+    // batch derive the trace metadata once and share it. Purely a
+    // build-cost optimization — the translator produces bit-identical
+    // translations either way.
+    std::shared_ptr<const TranslationMetadataSet> trans_meta;
+    if (opts.translationCache) {
+        trans_meta = opts.translationCache->acquire(
+            workloadContentKey(workload), gen.program(),
+            bt_params.translator);
+        bt.setTranslationMetadata(trans_meta.get());
+    }
     BpuComplex bpu(machine.bpu);
     MemHierarchy mem(machine.l1, machine.mlc);
     Vpu vpu(machine.vpu);
@@ -185,25 +205,43 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
     };
 
     translate_timer.stop();
+
+    // Decode every block into its structure-of-arrays slot stream
+    // (workload/block_batch.hh), attributed to its own stage.
+    {
+        telemetry::ScopedStageTimer decode_timer(profiler, "decode");
+        gen.prepareBatches();
+    }
+
     telemetry::ScopedStageTimer simulate_timer(profiler, "simulate");
 
     // The loop runs one basic block per iteration: the head work
     // (trace matching, region entry, baseline gater ticks) happens
-    // once per block, then the block body executes as a burst with no
-    // per-instruction head checks. The generator is at a block head
-    // whenever control reaches the top of this loop.
+    // once per block, then the block body executes as a burst over
+    // its pre-decoded slot stream with no per-instruction dispatch.
+    // The generator is at a block head whenever control reaches the
+    // top of this loop.
     const InsnCount max_insns = opts.maxInstructions;
     const std::atomic<bool> *cancel = opts.cancelFlag;
-    InsnCount n = 0;
-    while (n < max_insns) {
+
+    // In-burst cancellation poll period: block heads poll the flag
+    // anyway, this bounds the latency inside giant blocks.
+    constexpr InsnCount cancel_check_interval = 64 * 1024;
+    InsnCount until_cancel = cancel_check_interval;
+    auto check_cancel = [&](InsnCount done) {
         if (cancel && cancel->load(std::memory_order_relaxed)) {
             throw SimCancelledError(csprintf(
                 "simulate(%s on %s): cancelled after %llu of %llu "
                 "instructions",
                 workload.name.c_str(), machine.name.c_str(),
-                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(done),
                 static_cast<unsigned long long>(max_insns)));
         }
+    };
+
+    InsnCount n = 0;
+    while (n < max_insns) {
+        check_cancel(n);
         {
             const BlockId blk = gen.currentBlock();
 
@@ -252,20 +290,81 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
         const double insn_cycles =
             interpreting ? core.interpreterCpi : slot;
 
-        InsnCount burst = gen.blockInsnsRemaining();
+        // The burst executes the pre-decoded slot stream directly
+        // (workload/block_batch.hh). Program order is preserved slot
+        // by slot — every RNG draw, FP cycle add, cache access and
+        // predictor update happens in exactly the order the pull-model
+        // generator produced — so results stay bit-identical to
+        // referenceSimulate().
+        const DecodedBlock &db = gen.decodedBlock(gen.currentBlock());
+        const InsnCount remaining_in_block = gen.blockInsnsRemaining();
+        InsnCount burst = remaining_in_block;
         if (burst > max_insns - n)
             burst = max_insns - n;
         insns_since_head += burst;
+        const bool full_block = (burst == remaining_in_block);
 
-        for (const InsnCount end = n + burst; n < end; ++n) {
-            const DynInst &di = gen.next();
-            const OpClass op = di.op();
-            monitor.onCommit(op);
+        // Offset into the block when resuming mid-block (only after a
+        // clamped burst, which ends the run; kept for correctness).
+        InsnCount skip = db.numInsns - remaining_in_block;
+
+        InsnCount left = burst;
+        std::uint64_t simd_committed = 0;
+
+        const DecodedSlot *s = db.slots;
+        const DecodedSlot *const s_end = db.slots + db.numSlots;
+        for (; s != s_end && left != 0; ++s) {
+            if (s->kind == SlotKind::AluRun) {
+                // Fast path: a run of issue-slot-only instructions.
+                // The cycle adds stay serial per instruction (FP
+                // accumulation order is part of the bit-exact spec);
+                // the sampler and cancellation countdowns split the
+                // run only when they actually expire inside it.
+                InsnCount m = s->count;
+                if (skip != 0) {
+                    if (skip >= m) {
+                        skip -= m;
+                        continue;
+                    }
+                    m -= skip;
+                    skip = 0;
+                }
+                if (m > left)
+                    m = left;
+                left -= m;
+                while (m != 0) {
+                    InsnCount chunk = m;
+                    if (chunk > until_sample)
+                        chunk = until_sample;
+                    if (chunk > until_cancel)
+                        chunk = until_cancel;
+                    for (InsnCount k = 0; k != chunk; ++k)
+                        cycles += insn_cycles;
+                    n += chunk;
+                    m -= chunk;
+                    until_sample -= chunk;
+                    until_cancel -= chunk;
+                    if (until_sample == 0) {
+                        opts.sampler(n, cycles);
+                        until_sample = sample_interval;
+                    }
+                    if (until_cancel == 0) {
+                        until_cancel = cancel_check_interval;
+                        check_cancel(n);
+                    }
+                }
+                continue;
+            }
+
+            if (skip != 0) {
+                --skip;
+                continue;
+            }
 
             cycles += insn_cycles;
 
-            switch (op) {
-              case OpClass::SimdOp: {
+            switch (s->kind) {
+              case SlotKind::Simd: {
                 if (use_timeout)
                     cycles += timeout.onSimdUse(cycles);
                 double slots = vpu.executeSimd();
@@ -276,12 +375,14 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                     cycles += (slots - 1.0) * slot;
                     act.instructions += slots - 1.0;
                 }
+                ++simd_committed;
                 break;
               }
-              case OpClass::Load:
-              case OpClass::Store: {
-                const bool is_store = (op == OpClass::Store);
-                MemAccessResult r = mem.access(di.effAddr, is_store);
+              case SlotKind::Load:
+              case SlotKind::Store: {
+                const bool is_store = (s->kind == SlotKind::Store);
+                const Addr eff_addr = gen.batchMemAddr();
+                MemAccessResult r = mem.access(eff_addr, is_store);
                 double scale = is_store ? core.storeStallFraction : 1.0;
                 if (r.level == MemLevel::Mlc) {
                     cycles += core.mlcHitPenalty * scale;
@@ -289,7 +390,7 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                         cycles +=
                             machine.drowsy.wakePenaltyCycles * scale;
                 } else if (r.level == MemLevel::Memory) {
-                    Addr line = di.effAddr >> line_shift;
+                    Addr line = eff_addr >> line_shift;
                     Addr delta = line > last_miss_line
                         ? line - last_miss_line : last_miss_line - line;
                     bool streamed = delta <= 2;
@@ -320,18 +421,12 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                 }
                 break;
               }
-              case OpClass::Branch: {
-                if (di.isTerminator) {
-                    // Region-chaining jump: direct-chained in the
-                    // region cache; only a changed target costs a
-                    // fetch bubble.
-                    BpuOutcome o =
-                        bpu.predictIndirect(di.pc(), di.target);
-                    if (o.targetMiss)
-                        cycles += core.btbMissPenalty;
-                    break;
-                }
-                BpuOutcome o = bpu.predict(di.pc(), di.taken, di.target);
+              case SlotKind::Branch: {
+                // Internal conditional branch: outcome from its
+                // process, target a short forward skip.
+                const bool taken = gen.batchBranchOutcome(*s);
+                BpuOutcome o = bpu.predict(s->pc, taken,
+                                           s->pc + 2 * guestInsnBytes);
                 ++branch_lookups;
                 if (bpu.largeOn())
                     ++bpu_large_lookups;
@@ -343,16 +438,51 @@ simulate(const MachineConfig &machine, const WorkloadSpec &workload,
                 }
                 break;
               }
-              case OpClass::IntAlu:
-              case OpClass::FpAlu:
-                break;
+              case SlotKind::AluRun:
+                break;  // handled above
             }
 
+            ++n;
+            --left;
             if (--until_sample == 0) {
-                opts.sampler(n + 1, cycles);
+                opts.sampler(n, cycles);
                 until_sample = sample_interval;
             }
+            if (--until_cancel == 0) {
+                until_cancel = cancel_check_interval;
+                check_cancel(n);
+            }
         }
+
+        if (left != 0) {
+            // The terminator — reached exactly when the burst covers
+            // the rest of the block. Region-chaining jump: direct-
+            // chained in the region cache; only a changed target
+            // costs a fetch bubble. batchFinishBlock() draws the
+            // next-block pick after the body's address draws, as the
+            // pull model does, and rolls the schedule.
+            cycles += insn_cycles;
+            const Addr target = gen.batchFinishBlock();
+            BpuOutcome o = bpu.predictIndirect(db.termPc, target);
+            if (o.targetMiss)
+                cycles += core.btbMissPenalty;
+            ++n;
+            --left;
+            if (--until_sample == 0) {
+                opts.sampler(n, cycles);
+                until_sample = sample_interval;
+            }
+            if (--until_cancel == 0) {
+                until_cancel = cancel_check_interval;
+                check_cancel(n);
+            }
+        } else if (!full_block) {
+            gen.batchConsumePartial(burst);
+        }
+
+        // Window counters are only read at block heads, so the whole
+        // burst commits in one bulk update.
+        monitor.onCommitBulk(burst, simd_committed);
     }
 
     simulate_timer.stop();

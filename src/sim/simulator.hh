@@ -33,6 +33,8 @@ class MetricsRegistry;
 class StageProfiler;
 } // namespace telemetry
 
+class TranslationMetadataCache;
+
 /**
  * Thrown by simulate() when its cancel flag is raised mid-run (the
  * robust job runner uses this for per-job wall-clock timeouts).
@@ -81,12 +83,25 @@ struct SimOptions
     std::function<void(InsnCount, Cycles)> sampler;
 
     /**
-     * Optional cooperative-cancellation flag, polled once per basic
-     * block. When another thread sets it, simulate() stops at the
-     * next block boundary by throwing SimCancelledError. The flag
-     * must outlive the call.
+     * Optional cooperative-cancellation flag, polled at every basic-
+     * block head and additionally every ~64K instructions inside a
+     * burst (so giant blocks cannot defer cancellation indefinitely).
+     * When another thread sets it, simulate() stops at the next poll
+     * by throwing SimCancelledError. The flag must outlive the call.
      */
     const std::atomic<bool> *cancelFlag = nullptr;
+
+    /**
+     * Optional shared cache of per-workload translation metadata
+     * (bt/translation_cache.hh). When set, simulate() acquires the
+     * workload's pre-derived metadata set (building it on first use)
+     * and routes it to the translator, so jobs of the same workload
+     * within a batch share one derivation. Results are bit-identical
+     * with or without the cache, at any worker count. The cache must
+     * outlive the call; SimJobRunner wires its own cache in here when
+     * the job didn't bring one.
+     */
+    TranslationMetadataCache *translationCache = nullptr;
 
     /**
      * Optional trace recorder (see telemetry/trace.hh). When set,

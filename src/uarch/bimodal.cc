@@ -14,28 +14,6 @@ BimodalPredictor::BimodalPredictor(unsigned entries)
               entries);
 }
 
-std::size_t
-BimodalPredictor::index(Addr pc) const
-{
-    return (pc >> 2) & mask_;
-}
-
-bool
-BimodalPredictor::lookup(Addr pc)
-{
-    return table_[index(pc)].isSet();
-}
-
-void
-BimodalPredictor::train(Addr pc, bool taken)
-{
-    SatCounter &ctr = table_[index(pc)];
-    if (taken)
-        ctr.increment();
-    else
-        ctr.decrement();
-}
-
 void
 BimodalPredictor::reset()
 {

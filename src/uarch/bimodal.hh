@@ -30,12 +30,38 @@ class BimodalPredictor : public DirectionPredictor
 
     unsigned numEntries() const { return table_.size(); }
 
+    /**
+     * Non-virtual inline predict-and-train for the BPU complex's hot
+     * path; identical to predictAndTrain() through the virtuals.
+     */
+    bool
+    predictAndTrainFast(Addr pc, bool taken)
+    {
+        SatCounter &ctr = table_[index(pc)];
+        const bool pred = ctr.isSet();
+        noteOutcome(pred, taken);
+        if (taken)
+            ctr.increment();
+        else
+            ctr.decrement();
+        return pred;
+    }
+
   protected:
-    bool lookup(Addr pc) override;
-    void train(Addr pc, bool taken) override;
+    bool lookup(Addr pc) override { return table_[index(pc)].isSet(); }
+
+    void
+    train(Addr pc, bool taken) override
+    {
+        SatCounter &ctr = table_[index(pc)];
+        if (taken)
+            ctr.increment();
+        else
+            ctr.decrement();
+    }
 
   private:
-    std::size_t index(Addr pc) const;
+    std::size_t index(Addr pc) const { return (pc >> 2) & mask_; }
 
     std::vector<SatCounter> table_;
     std::size_t mask_;

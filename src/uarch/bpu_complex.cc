@@ -49,47 +49,12 @@ BpuComplex::BpuComplex(const BpuParams &params)
       largeBtb_(params.largeBtbEntries, params.btbAssoc),
       smallBtb_(params.smallBtbEntries, params.btbAssoc)
 {
-}
-
-BpuOutcome
-BpuComplex::predict(Addr pc, bool taken, Addr target)
-{
-    ++branches_;
-
-    // Both predictors observe every branch so that profiling windows
-    // can compare their accuracies; this mirrors the paper's use of
-    // hardware performance monitors for MisPred_Large/MisPred_Small.
-    bool large_pred = large_->predictAndTrain(pc, taken);
-    shadowLarge_->predictAndTrain(pc, taken);
-    bool small_pred = small_.predictAndTrain(pc, taken);
-
-    BpuOutcome out;
-    bool active_pred = largeOn_ ? large_pred : small_pred;
-    out.directionMispredict = (active_pred != taken);
-
-    if (taken) {
-        bool large_hit = largeBtb_.predictAndUpdate(pc, target);
-        bool small_hit = smallBtb_.predictAndUpdate(pc, target);
-        out.targetMiss = largeOn_ ? !large_hit : !small_hit;
+    if (params.largeKind == LargePredictorKind::Tournament) {
+        tournamentLarge_ =
+            static_cast<TournamentPredictor *>(large_.get());
+        tournamentShadow_ =
+            static_cast<TournamentPredictor *>(shadowLarge_.get());
     }
-
-    if (out.directionMispredict)
-        ++activeMispredicts_;
-    if (out.targetMiss)
-        ++activeTargetMisses_;
-    return out;
-}
-
-BpuOutcome
-BpuComplex::predictIndirect(Addr pc, Addr target)
-{
-    BpuOutcome out;
-    bool large_hit = largeBtb_.predictAndUpdate(pc, target);
-    bool small_hit = smallBtb_.predictAndUpdate(pc, target);
-    out.targetMiss = largeOn_ ? !large_hit : !small_hit;
-    if (out.targetMiss)
-        ++activeTargetMisses_;
-    return out;
 }
 
 void

@@ -80,12 +80,51 @@ class BpuComplex
      * while the large unit is physically gated its shadow stats are
      * still defined because profiling windows only run when it is on).
      *
+     * The default tournament organization takes a devirtualized
+     * inline path (predictAndTrainFast); other organizations go
+     * through the DirectionPredictor interface. Results are identical
+     * either way.
+     *
      * @param pc     Branch PC.
      * @param taken  Resolved direction.
      * @param target Resolved target (used when taken).
      * @return the active predictor's outcome quality.
      */
-    BpuOutcome predict(Addr pc, bool taken, Addr target);
+    BpuOutcome
+    predict(Addr pc, bool taken, Addr target)
+    {
+        ++branches_;
+
+        // Both predictors observe every branch so that profiling
+        // windows can compare their accuracies; this mirrors the
+        // paper's use of hardware performance monitors for
+        // MisPred_Large/MisPred_Small.
+        bool large_pred;
+        if (tournamentLarge_) {
+            large_pred = tournamentLarge_->predictAndTrainFast(pc, taken);
+            tournamentShadow_->predictAndTrainFast(pc, taken);
+        } else {
+            large_pred = large_->predictAndTrain(pc, taken);
+            shadowLarge_->predictAndTrain(pc, taken);
+        }
+        bool small_pred = small_.predictAndTrainFast(pc, taken);
+
+        BpuOutcome out;
+        bool active_pred = largeOn_ ? large_pred : small_pred;
+        out.directionMispredict = (active_pred != taken);
+
+        if (taken) {
+            bool large_hit = largeBtb_.predictAndUpdate(pc, target);
+            bool small_hit = smallBtb_.predictAndUpdate(pc, target);
+            out.targetMiss = largeOn_ ? !large_hit : !small_hit;
+        }
+
+        if (out.directionMispredict)
+            ++activeMispredicts_;
+        if (out.targetMiss)
+            ++activeTargetMisses_;
+        return out;
+    }
 
     /**
      * Predict an indirect region-chaining jump: BTB target prediction
@@ -95,7 +134,17 @@ class BpuComplex
      * @param target Resolved target.
      * @return targetMiss set when the active BTB lacked the target.
      */
-    BpuOutcome predictIndirect(Addr pc, Addr target);
+    BpuOutcome
+    predictIndirect(Addr pc, Addr target)
+    {
+        BpuOutcome out;
+        bool large_hit = largeBtb_.predictAndUpdate(pc, target);
+        bool small_hit = smallBtb_.predictAndUpdate(pc, target);
+        out.targetMiss = largeOn_ ? !large_hit : !small_hit;
+        if (out.targetMiss)
+            ++activeTargetMisses_;
+        return out;
+    }
 
     /** Gate the large side off: timing falls back to the small
      *  predictor and all large-side state is lost. */
@@ -130,6 +179,11 @@ class BpuComplex
     std::unique_ptr<DirectionPredictor> large_;
     /** Never-reset shadow of the large predictor; profiling only. */
     std::unique_ptr<DirectionPredictor> shadowLarge_;
+    /** Concrete aliases of large_/shadowLarge_ when the organization
+     *  is the default tournament; enables the inline fast path. @{ */
+    TournamentPredictor *tournamentLarge_ = nullptr;
+    TournamentPredictor *tournamentShadow_ = nullptr;
+    /** @} */
     BimodalPredictor small_;
     Btb largeBtb_;
     Btb smallBtb_;

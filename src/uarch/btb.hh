@@ -36,7 +36,54 @@ class Btb
      * @param target Actual resolved target.
      * @return true if the BTB held the correct target (hit).
      */
-    bool predictAndUpdate(Addr pc, Addr target);
+    bool
+    predictAndUpdate(Addr pc, Addr target)
+    {
+        ++lookups_;
+        ++tick_;
+
+        const std::size_t set = (pc >> 2) & (numSets_ - 1);
+        Entry *base = &table_[set * assoc_];
+
+        // Full match scan first, then victim selection: prefer the
+        // first invalid way, else the LRU way.
+        Entry *match = nullptr;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.pc == pc) {
+                match = &e;
+                break;
+            }
+        }
+        Entry *victim = &base[0];
+        if (!match) {
+            for (unsigned w = 0; w < assoc_; ++w) {
+                Entry &e = base[w];
+                if (!e.valid) {
+                    victim = &e;
+                    break;
+                }
+                if (e.lruStamp < victim->lruStamp)
+                    victim = &e;
+            }
+        }
+
+        bool hit = false;
+        if (match) {
+            hit = (match->target == target);
+            match->target = target;
+            match->lruStamp = tick_;
+        } else {
+            victim->valid = true;
+            victim->pc = pc;
+            victim->target = target;
+            victim->lruStamp = tick_;
+        }
+
+        if (!hit)
+            ++misses_;
+        return hit;
+    }
 
     /** Drop all entries (state loss from power gating). */
     void reset();

@@ -21,90 +21,20 @@ SetAssocCache::SetAssocCache(const CacheParams &params)
         fatal("cache set count (%u) must be a power of two", numSets_);
 
     activeWays_ = params.assoc;
-    lines_.resize(lines);
-}
-
-std::size_t
-SetAssocCache::setIndex(Addr addr) const
-{
-    return (addr / params_.lineBytes) & (numSets_ - 1);
-}
-
-Addr
-SetAssocCache::tagOf(Addr addr) const
-{
-    return (addr / params_.lineBytes) >> floorLog2(numSets_);
-}
-
-CacheAccessResult
-SetAssocCache::access(Addr addr, bool write)
-{
-    ++tick_;
-    ++windowAccesses_;
-
-    const std::size_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    Line *base = &lines_[set * params_.assoc];
-
-    // Full match scan first, then victim selection: prefer the first
-    // invalid way, else the LRU way among the active ways.
-    Line *match = nullptr;
-    for (unsigned w = 0; w < activeWays_; ++w) {
-        Line &l = base[w];
-        if (l.valid && l.tag == tag) {
-            match = &l;
-            break;
-        }
-    }
-    Line *victim = &base[0];
-    if (!match) {
-        for (unsigned w = 0; w < activeWays_; ++w) {
-            Line &l = base[w];
-            if (!l.valid) {
-                victim = &l;
-                break;
-            }
-            if (l.lruStamp < victim->lruStamp)
-                victim = &l;
-        }
-    }
-
-    CacheAccessResult res;
-    if (match) {
-        res.hit = true;
-        ++hits_;
-        ++windowHits_;
-        if (match->drowsy) {
-            match->drowsy = false;
-            res.wokeDrowsy = true;
-            ++drowsyWakes_;
-        }
-        match->lruStamp = tick_;
-        if (write)
-            match->dirty = true;
-        return res;
-    }
-
-    ++misses_;
-    if (victim->valid && victim->dirty) {
-        res.dirtyEviction = true;
-        ++writebacks_;
-    }
-    victim->valid = true;
-    victim->dirty = write;
-    victim->drowsy = false;
-    victim->tag = tag;
-    victim->lruStamp = tick_;
-    return res;
+    lineShift_ = floorLog2(params.lineBytes);
+    setShift_ = floorLog2(numSets_);
+    tags_.assign(lines, 0);
+    flags_.assign(lines, 0);
+    lru_.assign(lines, 0);
 }
 
 std::uint64_t
 SetAssocCache::drowseAll()
 {
     std::uint64_t slept = 0;
-    for (auto &l : lines_) {
-        if (l.valid && !l.drowsy) {
-            l.drowsy = true;
+    for (auto &f : flags_) {
+        if ((f & (kValid | kDrowsy)) == kValid) {
+            f = static_cast<std::uint8_t>(f | kDrowsy);
             ++slept;
         }
     }
@@ -115,8 +45,8 @@ std::uint64_t
 SetAssocCache::awakeLineCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &l : lines_)
-        if (l.valid && !l.drowsy)
+    for (auto f : flags_)
+        if ((f & (kValid | kDrowsy)) == kValid)
             ++n;
     return n;
 }
@@ -132,16 +62,15 @@ SetAssocCache::setActiveWays(unsigned ways)
         // Ways [ways, activeWays_) power down: dirty lines are written
         // back to the LLC, clean lines are simply lost.
         for (unsigned set = 0; set < numSets_; ++set) {
-            Line *base = &lines_[static_cast<std::size_t>(set) *
-                                 params_.assoc];
+            std::uint8_t *base =
+                &flags_[static_cast<std::size_t>(set) * params_.assoc];
             for (unsigned w = ways; w < activeWays_; ++w) {
-                Line &l = base[w];
-                if (l.valid && l.dirty) {
+                std::uint8_t &f = base[w];
+                if ((f & (kValid | kDirty)) == (kValid | kDirty)) {
                     ++dirty_writebacks;
                     ++writebacks_;
                 }
-                l.valid = false;
-                l.dirty = false;
+                f = static_cast<std::uint8_t>(f & ~(kValid | kDirty));
             }
         }
     }
@@ -154,13 +83,12 @@ std::uint64_t
 SetAssocCache::invalidateAll()
 {
     std::uint64_t dirty = 0;
-    for (auto &l : lines_) {
-        if (l.valid && l.dirty) {
+    for (auto &f : flags_) {
+        if ((f & (kValid | kDirty)) == (kValid | kDirty)) {
             ++dirty;
             ++writebacks_;
         }
-        l.valid = false;
-        l.dirty = false;
+        f = static_cast<std::uint8_t>(f & ~(kValid | kDirty));
     }
     return dirty;
 }
@@ -169,8 +97,8 @@ std::uint64_t
 SetAssocCache::validLineCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &l : lines_)
-        if (l.valid)
+    for (auto f : flags_)
+        if (f & kValid)
             ++n;
     return n;
 }

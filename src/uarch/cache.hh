@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/intmath.hh"
 #include "common/types.hh"
 
 namespace powerchop
@@ -51,6 +52,10 @@ class SetAssocCache
 
     /**
      * Access one address.
+     *
+     * Defined inline below: the access path is the single hottest
+     * function of the whole simulator (every load/store runs it one
+     * to three times), so it must inline into the simulation loop.
      *
      * @param addr  Byte address.
      * @param write true for stores (sets the dirty bit).
@@ -119,22 +124,41 @@ class SetAssocCache
     /** @} */
 
   private:
-    struct Line
+    /** Per-line state flags, packed for the tag-scan path. */
+    enum LineFlag : std::uint8_t
     {
-        bool valid = false;
-        bool dirty = false;
-        bool drowsy = false;
-        Addr tag = 0;
-        std::uint64_t lruStamp = 0;
+        kValid = 1u << 0,
+        kDirty = 1u << 1,
+        kDrowsy = 1u << 2,
     };
 
-    std::size_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    // Line size and set count are powers of two (checked at
+    // construction), so indexing is shifts and masks; a division per
+    // access would dominate the lookup cost.
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> lineShift_) & (numSets_ - 1);
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return (addr >> lineShift_) >> setShift_;
+    }
 
     CacheParams params_;
     unsigned numSets_;
     unsigned activeWays_;
-    std::vector<Line> lines_;
+    unsigned lineShift_ = 0;
+    unsigned setShift_ = 0;
+
+    // Structure-of-arrays line state: the hit path scans only tags_
+    // (one host cache line covers a whole 8-way set) and flags_;
+    // lru_ is touched on the hit update and the victim scan.
+    std::vector<Addr> tags_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<std::uint64_t> lru_;
     std::uint64_t tick_ = 0;
 
     std::uint64_t hits_ = 0;
@@ -144,6 +168,69 @@ class SetAssocCache
     std::uint64_t windowHits_ = 0;
     std::uint64_t windowAccesses_ = 0;
 };
+
+inline CacheAccessResult
+SetAssocCache::access(Addr addr, bool write)
+{
+    ++tick_;
+    ++windowAccesses_;
+
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::size_t base = set * params_.assoc;
+    const Addr *tags = &tags_[base];
+    std::uint8_t *flags = &flags_[base];
+
+    // Full match scan first, then victim selection: prefer the first
+    // invalid way, else the LRU way among the active ways.
+    const unsigned ways = activeWays_;
+    unsigned match = ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if ((flags[w] & kValid) && tags[w] == tag) {
+            match = w;
+            break;
+        }
+    }
+
+    CacheAccessResult res;
+    if (match != ways) {
+        res.hit = true;
+        ++hits_;
+        ++windowHits_;
+        if (flags[match] & kDrowsy) {
+            flags[match] = static_cast<std::uint8_t>(
+                flags[match] & ~kDrowsy);
+            res.wokeDrowsy = true;
+            ++drowsyWakes_;
+        }
+        lru_[base + match] = tick_;
+        if (write)
+            flags[match] = flags[match] | kDirty;
+        return res;
+    }
+
+    const std::uint64_t *lru = &lru_[base];
+    unsigned victim = 0;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!(flags[w] & kValid)) {
+            victim = w;
+            break;
+        }
+        if (lru[w] < lru[victim])
+            victim = w;
+    }
+
+    ++misses_;
+    if ((flags[victim] & (kValid | kDirty)) == (kValid | kDirty)) {
+        res.dirtyEviction = true;
+        ++writebacks_;
+    }
+    flags[victim] = static_cast<std::uint8_t>(
+        kValid | (write ? kDirty : 0));
+    tags_[base + victim] = tag;
+    lru_[base + victim] = tick_;
+    return res;
+}
 
 } // namespace powerchop
 

@@ -89,6 +89,22 @@ class DirectionPredictor
     /** @} */
 
   protected:
+    /**
+     * Accuracy bookkeeping shared with the concrete predictors'
+     * non-virtual fast paths: exactly the counter updates
+     * predictAndTrain() performs between lookup() and train().
+     */
+    void
+    noteOutcome(bool pred, bool taken)
+    {
+        ++lookups_;
+        ++windowLookups_;
+        if (pred != taken) {
+            ++mispredicts_;
+            ++windowMispredicts_;
+        }
+    }
+
     /** @return the predicted direction for pc. */
     virtual bool lookup(Addr pc) = 0;
 

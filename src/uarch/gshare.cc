@@ -16,29 +16,6 @@ GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
         fatal("gshare history bits (%u) out of range", history_bits);
 }
 
-std::size_t
-GsharePredictor::index(Addr pc) const
-{
-    return (history_ ^ (pc >> 2)) & mask_;
-}
-
-bool
-GsharePredictor::lookup(Addr pc)
-{
-    return table_[index(pc)].isSet();
-}
-
-void
-GsharePredictor::train(Addr pc, bool taken)
-{
-    SatCounter &ctr = table_[index(pc)];
-    if (taken)
-        ctr.increment();
-    else
-        ctr.decrement();
-    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
-}
-
 void
 GsharePredictor::reset()
 {

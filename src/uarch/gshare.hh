@@ -34,12 +34,38 @@ class GsharePredictor : public DirectionPredictor
     /** @return the current global history register. */
     std::uint64_t history() const { return history_; }
 
+    /**
+     * Non-virtual inline lookup/train, used by the tournament
+     * predictor's hot path; identical to the virtual overrides. @{
+     */
+    bool
+    peekFast(Addr pc) const
+    {
+        return table_[index(pc)].isSet();
+    }
+
+    void
+    learnFast(Addr pc, bool taken)
+    {
+        SatCounter &ctr = table_[index(pc)];
+        if (taken)
+            ctr.increment();
+        else
+            ctr.decrement();
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+    }
+    /** @} */
+
   protected:
-    bool lookup(Addr pc) override;
-    void train(Addr pc, bool taken) override;
+    bool lookup(Addr pc) override { return peekFast(pc); }
+    void train(Addr pc, bool taken) override { learnFast(pc, taken); }
 
   private:
-    std::size_t index(Addr pc) const;
+    std::size_t
+    index(Addr pc) const
+    {
+        return (history_ ^ (pc >> 2)) & mask_;
+    }
 
     std::vector<SatCounter> table_;
     std::size_t mask_;

@@ -21,40 +21,6 @@ LocalPredictor::LocalPredictor(unsigned history_entries,
         fatal("local history bits (%u) out of range", history_bits);
 }
 
-std::size_t
-LocalPredictor::historyIndex(Addr pc) const
-{
-    return (pc >> 2) & historyMask_;
-}
-
-std::size_t
-LocalPredictor::patternIndex(Addr pc) const
-{
-    // Hash the local history with the PC so unrelated branches with
-    // the same history do not fully alias.
-    std::uint32_t hist = historyTable_[historyIndex(pc)];
-    return (hist ^ ((pc >> 2) * 0x9e3779b1u)) & patternMask_;
-}
-
-bool
-LocalPredictor::lookup(Addr pc)
-{
-    return patternTable_[patternIndex(pc)].isSet();
-}
-
-void
-LocalPredictor::train(Addr pc, bool taken)
-{
-    SatCounter &ctr = patternTable_[patternIndex(pc)];
-    if (taken)
-        ctr.increment();
-    else
-        ctr.decrement();
-
-    std::uint32_t &hist = historyTable_[historyIndex(pc)];
-    hist = ((hist << 1) | (taken ? 1u : 0u)) & localHistMask_;
-}
-
 void
 LocalPredictor::reset()
 {

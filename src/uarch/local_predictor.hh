@@ -36,13 +36,49 @@ class LocalPredictor : public DirectionPredictor
 
     void reset() override;
 
+    /**
+     * Non-virtual inline lookup/train, used by the tournament
+     * predictor's hot path; identical to the virtual overrides. @{
+     */
+    bool
+    peekFast(Addr pc) const
+    {
+        return patternTable_[patternIndex(pc)].isSet();
+    }
+
+    void
+    learnFast(Addr pc, bool taken)
+    {
+        SatCounter &ctr = patternTable_[patternIndex(pc)];
+        if (taken)
+            ctr.increment();
+        else
+            ctr.decrement();
+
+        std::uint32_t &hist = historyTable_[historyIndex(pc)];
+        hist = ((hist << 1) | (taken ? 1u : 0u)) & localHistMask_;
+    }
+    /** @} */
+
   protected:
-    bool lookup(Addr pc) override;
-    void train(Addr pc, bool taken) override;
+    bool lookup(Addr pc) override { return peekFast(pc); }
+    void train(Addr pc, bool taken) override { learnFast(pc, taken); }
 
   private:
-    std::size_t historyIndex(Addr pc) const;
-    std::size_t patternIndex(Addr pc) const;
+    std::size_t
+    historyIndex(Addr pc) const
+    {
+        return (pc >> 2) & historyMask_;
+    }
+
+    std::size_t
+    patternIndex(Addr pc) const
+    {
+        // Hash the local history with the PC so unrelated branches
+        // with the same history do not fully alias.
+        std::uint32_t hist = historyTable_[historyIndex(pc)];
+        return (hist ^ ((pc >> 2) * 0x9e3779b1u)) & patternMask_;
+    }
 
     std::vector<std::uint32_t> historyTable_;
     std::vector<SatCounter> patternTable_;

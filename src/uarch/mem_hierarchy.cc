@@ -8,29 +8,6 @@ MemHierarchy::MemHierarchy(const CacheParams &l1, const CacheParams &mlc)
 {
 }
 
-MemAccessResult
-MemHierarchy::access(Addr addr, bool write)
-{
-    MemAccessResult res;
-
-    CacheAccessResult l1r = l1_.access(addr, write);
-    if (l1r.hit) {
-        res.level = MemLevel::L1;
-        return res;
-    }
-
-    // L1 victim write-backs also pass through the MLC; modelling them
-    // as MLC writes keeps dirty state in the MLC realistic.
-    CacheAccessResult l2r = mlc_.access(addr, write || l1r.dirtyEviction);
-    // The shadow tag array sees the same filtered stream but is never
-    // gated; its hits feed criticality profiling.
-    shadowMlc_.access(addr, false);
-    res.level = l2r.hit ? MemLevel::Mlc : MemLevel::Memory;
-    res.mlcWriteback = l2r.dirtyEviction;
-    res.mlcWokeDrowsy = l2r.wokeDrowsy;
-    return res;
-}
-
 std::uint64_t
 MemHierarchy::setMlcActiveWays(unsigned ways)
 {

@@ -21,38 +21,6 @@ TournamentPredictor::TournamentPredictor(const TournamentParams &params)
         fatal("tournament chooser entries must be a power of two");
 }
 
-std::size_t
-TournamentPredictor::chooserIndex(Addr pc) const
-{
-    return (pc >> 2) & chooserMask_;
-}
-
-bool
-TournamentPredictor::lookup(Addr pc)
-{
-    lastLocalPred_ = local_.peek(pc);
-    lastGlobalPred_ = global_.peek(pc);
-    bool use_global = chooser_[chooserIndex(pc)].isSet();
-    return use_global ? lastGlobalPred_ : lastLocalPred_;
-}
-
-void
-TournamentPredictor::train(Addr pc, bool taken)
-{
-    // Train the chooser only when the components disagree.
-    bool local_right = (lastLocalPred_ == taken);
-    bool global_right = (lastGlobalPred_ == taken);
-    if (local_right != global_right) {
-        SatCounter &c = chooser_[chooserIndex(pc)];
-        if (global_right)
-            c.increment();
-        else
-            c.decrement();
-    }
-    local_.learn(pc, taken);
-    global_.learn(pc, taken);
-}
-
 void
 TournamentPredictor::reset()
 {

@@ -32,7 +32,7 @@ struct TournamentParams
 };
 
 /** Tournament predictor in the Alpha 21264 style. */
-class TournamentPredictor : public DirectionPredictor
+class TournamentPredictor final : public DirectionPredictor
 {
   public:
     explicit TournamentPredictor(const TournamentParams &params = {});
@@ -41,33 +41,59 @@ class TournamentPredictor : public DirectionPredictor
 
     const TournamentParams &params() const { return params_; }
 
+    /**
+     * Non-virtual inline predict-and-train for the BPU complex's hot
+     * path; identical to predictAndTrain() through the virtuals.
+     */
+    bool
+    predictAndTrainFast(Addr pc, bool taken)
+    {
+        const bool pred = lookupFast(pc);
+        noteOutcome(pred, taken);
+        trainFast(pc, taken);
+        return pred;
+    }
+
   protected:
-    bool lookup(Addr pc) override;
-    void train(Addr pc, bool taken) override;
+    bool lookup(Addr pc) override { return lookupFast(pc); }
+    void train(Addr pc, bool taken) override { trainFast(pc, taken); }
 
   private:
-    /** Thin subclasses exposing lookup/train to the container. */
-    class OpenLocal : public LocalPredictor
+    std::size_t
+    chooserIndex(Addr pc) const
     {
-      public:
-        using LocalPredictor::LocalPredictor;
-        bool peek(Addr pc) { return lookup(pc); }
-        void learn(Addr pc, bool t) { train(pc, t); }
-    };
+        return (pc >> 2) & chooserMask_;
+    }
 
-    class OpenGshare : public GsharePredictor
+    bool
+    lookupFast(Addr pc)
     {
-      public:
-        using GsharePredictor::GsharePredictor;
-        bool peek(Addr pc) { return lookup(pc); }
-        void learn(Addr pc, bool t) { train(pc, t); }
-    };
+        lastLocalPred_ = local_.peekFast(pc);
+        lastGlobalPred_ = global_.peekFast(pc);
+        bool use_global = chooser_[chooserIndex(pc)].isSet();
+        return use_global ? lastGlobalPred_ : lastLocalPred_;
+    }
 
-    std::size_t chooserIndex(Addr pc) const;
+    void
+    trainFast(Addr pc, bool taken)
+    {
+        // Train the chooser only when the components disagree.
+        bool local_right = (lastLocalPred_ == taken);
+        bool global_right = (lastGlobalPred_ == taken);
+        if (local_right != global_right) {
+            SatCounter &c = chooser_[chooserIndex(pc)];
+            if (global_right)
+                c.increment();
+            else
+                c.decrement();
+        }
+        local_.learnFast(pc, taken);
+        global_.learnFast(pc, taken);
+    }
 
     TournamentParams params_;
-    OpenLocal local_;
-    OpenGshare global_;
+    LocalPredictor local_;
+    GsharePredictor global_;
     /** Chooser: high half selects the global component. */
     std::vector<SatCounter> chooser_;
     std::size_t chooserMask_;

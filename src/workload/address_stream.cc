@@ -5,8 +5,22 @@
 namespace powerchop
 {
 
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
 AddressStream::AddressStream(const AddressStreamSpec &spec)
-    : spec_(spec), cursor_(0), hotCursor_(0)
+    : spec_(spec), cursor_(0), hotCursor_(0),
+      wsLines_(spec.workingSetBytes / spec.strideBytes),
+      hotMask_(isPow2(spec.hotRegionBytes) ? spec.hotRegionBytes - 1 : 0),
+      wsMask_(isPow2(spec.workingSetBytes) ? spec.workingSetBytes - 1 : 0)
 {
     if (spec_.workingSetBytes < spec_.strideBytes)
         fatal("working set (%llu B) smaller than stride",
@@ -20,38 +34,6 @@ AddressStream::reset()
 {
     cursor_ = 0;
     hotCursor_ = 0;
-}
-
-Addr
-AddressStream::next(Rng &rng)
-{
-    if (rng.bernoulli(spec_.hotRegionFrac)) {
-        // Stack-like traffic: small region, sequential-ish, always
-        // resident in L1. The hot region sits just below the phase's
-        // data region.
-        hotCursor_ = (hotCursor_ + spec_.strideBytes) % spec_.hotRegionBytes;
-        return spec_.base - spec_.hotRegionBytes + hotCursor_;
-    }
-
-    const std::uint64_t ws = spec_.workingSetBytes;
-    if (rng.bernoulli(spec_.randomFrac)) {
-        std::uint64_t line = rng.below(ws / spec_.strideBytes);
-        std::uint64_t off = spec_.streaming
-            ? (cursor_ / ws) * ws  // random within the current window
-            : 0;
-        return spec_.base + off + line * spec_.strideBytes;
-    }
-
-    Addr a;
-    if (spec_.streaming) {
-        // Forward walk without reuse; wrap at 1 GiB to keep addresses
-        // bounded while never re-touching lines soon enough to hit.
-        a = spec_.base + (cursor_ % (1ull << 30));
-    } else {
-        a = spec_.base + (cursor_ % ws);
-    }
-    cursor_ += spec_.strideBytes;
-    return a;
 }
 
 } // namespace powerchop

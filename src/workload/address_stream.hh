@@ -65,7 +65,8 @@ class AddressStream
   public:
     explicit AddressStream(const AddressStreamSpec &spec);
 
-    /** @return the effective address of the next memory reference. */
+    /** @return the effective address of the next memory reference.
+     *  Defined inline below: one call per dynamic load/store. */
     Addr next(Rng &rng);
 
     const AddressStreamSpec &spec() const { return spec_; }
@@ -80,7 +81,53 @@ class AddressStream
     std::uint64_t cursor_;
     /** Cursor within the hot region. */
     std::uint64_t hotCursor_;
+
+    /** Precomputed per-access constants: the working set in stride
+     *  lines, and wrap masks (size - 1) when the respective region
+     *  size is a power of two, 0 to fall back to the modulo. The
+     *  masked and modulo forms produce identical addresses; the mask
+     *  just avoids a hardware divide per reference. @{ */
+    std::uint64_t wsLines_;
+    std::uint64_t hotMask_;
+    std::uint64_t wsMask_;
+    /** @} */
 };
+
+inline Addr
+AddressStream::next(Rng &rng)
+{
+    if (rng.bernoulli(spec_.hotRegionFrac)) {
+        // Stack-like traffic: small region, sequential-ish, always
+        // resident in L1. The hot region sits just below the phase's
+        // data region.
+        std::uint64_t hc = hotCursor_ + spec_.strideBytes;
+        hotCursor_ = hotMask_ ? (hc & hotMask_)
+                              : (hc % spec_.hotRegionBytes);
+        return spec_.base - spec_.hotRegionBytes + hotCursor_;
+    }
+
+    const std::uint64_t ws = spec_.workingSetBytes;
+    if (rng.bernoulli(spec_.randomFrac)) {
+        std::uint64_t line = rng.below(wsLines_);
+        std::uint64_t off = 0;
+        if (spec_.streaming) {
+            // Random within the current window.
+            off = wsMask_ ? (cursor_ & ~wsMask_) : (cursor_ / ws) * ws;
+        }
+        return spec_.base + off + line * spec_.strideBytes;
+    }
+
+    Addr a;
+    if (spec_.streaming) {
+        // Forward walk without reuse; wrap at 1 GiB to keep addresses
+        // bounded while never re-touching lines soon enough to hit.
+        a = spec_.base + (cursor_ & ((1ull << 30) - 1));
+    } else {
+        a = spec_.base + (wsMask_ ? (cursor_ & wsMask_) : cursor_ % ws);
+    }
+    cursor_ += spec_.strideBytes;
+    return a;
+}
 
 } // namespace powerchop
 

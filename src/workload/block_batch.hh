@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Structure-of-arrays view of a basic block for the hot loop.
+ *
+ * The pull-model generator (WorkloadGenerator::next()) re-derives the
+ * same static facts for every dynamic instruction: the block lookup,
+ * the op-class dispatch, the terminator test, and — for internal
+ * branches — a hash-map probe for the branch's outcome process. All of
+ * that is a pure function of the block, so the generator materializes
+ * each block ONCE into a flat slot stream at decode time and the
+ * simulator iterates the stream directly:
+ *
+ *  - Runs of issue-slot-only ops (IntAlu/FpAlu) collapse into a single
+ *    AluRun slot: the simulator's fast path executes the whole run
+ *    with zero per-instruction dispatch.
+ *  - Memory, SIMD and internal-branch ops keep one slot each; branch
+ *    slots carry resolved pointers to their outcome process and
+ *    runtime state, eliminating the per-execution map probes.
+ *  - The terminator is implicit (every block ends with the
+ *    region-chaining jump); DecodedBlock carries its PC.
+ *
+ * Only static structure is pre-decoded. Effective addresses and branch
+ * outcomes still come from the generator's RNG streams at execution
+ * time, in exact program order, so the dynamic stream is bit-identical
+ * to the one next() produces.
+ *
+ * Slot arrays live in the generator's arena (common/arena.hh):
+ * contiguous in decode order, freed wholesale with the job.
+ */
+
+#ifndef POWERCHOP_WORKLOAD_BLOCK_BATCH_HH
+#define POWERCHOP_WORKLOAD_BLOCK_BATCH_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "workload/branch_behavior.hh"
+
+namespace powerchop
+{
+
+/** What one decoded slot executes. */
+enum class SlotKind : std::uint8_t
+{
+    AluRun,  ///< `count` consecutive IntAlu/FpAlu instructions.
+    Load,    ///< One load (effective address drawn at execution).
+    Store,   ///< One store.
+    Simd,    ///< One SIMD op.
+    Branch,  ///< One internal conditional branch (not the terminator).
+};
+
+/** One slot of a decoded block's instruction stream. */
+struct DecodedSlot
+{
+    SlotKind kind = SlotKind::AluRun;
+
+    /** Instructions covered: the run length for AluRun, 1 otherwise. */
+    std::uint32_t count = 1;
+
+    /** Branch only: the branch PC (predictor index). */
+    Addr pc = 0;
+
+    /** Branch only: the branch's static outcome process. */
+    const BranchBehavior *behavior = nullptr;
+
+    /** Branch only: the branch's mutable runtime state. */
+    BranchRuntime *runtime = nullptr;
+};
+
+/** The decoded (structure-of-arrays) form of one basic block. */
+struct DecodedBlock
+{
+    /** Slots in program order, covering the body (terminator
+     *  excluded). Arena-resident; owned by the generator. */
+    const DecodedSlot *slots = nullptr;
+    std::uint32_t numSlots = 0;
+
+    /** Total instructions including the terminator. */
+    std::uint32_t numInsns = 0;
+
+    /** PC of the terminating region-chaining jump. */
+    Addr termPc = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_WORKLOAD_BLOCK_BATCH_HH

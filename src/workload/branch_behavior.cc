@@ -35,31 +35,4 @@ BranchOutcomeEngine::reset(std::uint64_t seed)
     rng_.seed(seed);
 }
 
-bool
-BranchOutcomeEngine::nextOutcome(const BranchBehavior &b, BranchRuntime &rt)
-{
-    bool taken = false;
-    switch (b.kind) {
-      case BranchKind::Biased:
-        taken = rng_.bernoulli(b.biasTaken);
-        break;
-      case BranchKind::Pattern:
-        taken = (b.patternBits >> rt.patternPos) & 1u;
-        rt.patternPos = (rt.patternPos + 1) % b.patternLen;
-        break;
-      case BranchKind::GlobalCorrelated:
-        taken = std::popcount(globalHist_ & b.historyMask) & 1u;
-        break;
-      case BranchKind::Random:
-        taken = rng_.bernoulli(0.5);
-        break;
-    }
-
-    if (b.noise > 0.0 && rng_.bernoulli(b.noise))
-        taken = !taken;
-
-    globalHist_ = (globalHist_ << 1) | (taken ? 1u : 0u);
-    return taken;
-}
-
 } // namespace powerchop

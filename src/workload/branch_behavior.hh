@@ -22,6 +22,7 @@
 #ifndef POWERCHOP_WORKLOAD_BRANCH_BEHAVIOR_HH
 #define POWERCHOP_WORKLOAD_BRANCH_BEHAVIOR_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "common/random.hh"
@@ -86,6 +87,7 @@ class BranchOutcomeEngine
      * Produce the next outcome of a branch.
      *
      * Updates both the branch's runtime state and the global history.
+     * Defined inline below: one call per dynamic conditional branch.
      *
      * @param behavior The branch's static outcome process.
      * @param rt       The branch's mutable runtime state.
@@ -103,6 +105,33 @@ class BranchOutcomeEngine
     std::uint64_t globalHist_;
     Rng rng_;
 };
+
+inline bool
+BranchOutcomeEngine::nextOutcome(const BranchBehavior &b, BranchRuntime &rt)
+{
+    bool taken = false;
+    switch (b.kind) {
+      case BranchKind::Biased:
+        taken = rng_.bernoulli(b.biasTaken);
+        break;
+      case BranchKind::Pattern:
+        taken = (b.patternBits >> rt.patternPos) & 1u;
+        rt.patternPos = (rt.patternPos + 1) % b.patternLen;
+        break;
+      case BranchKind::GlobalCorrelated:
+        taken = std::popcount(globalHist_ & b.historyMask) & 1u;
+        break;
+      case BranchKind::Random:
+        taken = rng_.bernoulli(0.5);
+        break;
+    }
+
+    if (b.noise > 0.0 && rng_.bernoulli(b.noise))
+        taken = !taken;
+
+    globalHist_ = (globalHist_ << 1) | (taken ? 1u : 0u);
+    return taken;
+}
 
 } // namespace powerchop
 

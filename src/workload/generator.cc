@@ -46,6 +46,7 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadSpec &spec)
     curPhaseIdx_ = spec_.schedule[0].phase;
     curBlock_ = phaseStates_[curPhaseIdx_]->hotBlocks[0];
     instPos_ = 0;
+    curMem_ = phaseStates_[curPhaseIdx_]->mem.get();
 }
 
 WorkloadGenerator::~WorkloadGenerator() = default;
@@ -301,6 +302,7 @@ WorkloadGenerator::advanceSchedule()
         // the block boundary keeps translations whole.
         curBlock_ = phaseStates_[curPhaseIdx_]->hotBlocks[0];
         instPos_ = 0;
+        curMem_ = phaseStates_[curPhaseIdx_]->mem.get();
     }
 }
 
@@ -314,9 +316,16 @@ WorkloadGenerator::pickNextBlock()
         return st.coldBlocks[rng_.below(st.coldBlocks.size())];
     }
 
+    // First cdf entry >= u (what lower_bound returns). The hotness
+    // weights decay geometrically, so a front-to-back scan usually
+    // stops within the first few entries — faster than binary search
+    // on these small, mass-concentrated tables.
     double u = rng_.uniform();
-    auto it = std::lower_bound(st.hotCdf.begin(), st.hotCdf.end(), u);
-    std::size_t idx = static_cast<std::size_t>(it - st.hotCdf.begin());
+    const double *cdf = st.hotCdf.data();
+    const std::size_t entries = st.hotCdf.size();
+    std::size_t idx = 0;
+    while (idx < entries && cdf[idx] < u)
+        ++idx;
     if (idx >= st.hotBlocks.size())
         idx = st.hotBlocks.size() - 1;
     return st.hotBlocks[idx];
@@ -377,6 +386,116 @@ WorkloadGenerator::next()
         schedRemaining_ = 1;  // stretch to the block boundary
 
     return out_;
+}
+
+void
+WorkloadGenerator::prepareBatches()
+{
+    if (!decoded_.empty())
+        return;
+    decoded_.resize(program_->numBlocks());
+    heads_.resize(program_->numBlocks());
+    for (BlockId b = 0; b < program_->numBlocks(); ++b)
+        heads_[b] = program_->block(b).head;
+
+    std::vector<DecodedSlot> slots;
+    for (unsigned pi = 0; pi < phaseStates_.size(); ++pi) {
+        PhaseState &st = *phaseStates_[pi];
+        std::vector<BlockId> ids = st.hotBlocks;
+        ids.insert(ids.end(), st.coldBlocks.begin(),
+                   st.coldBlocks.end());
+
+        for (BlockId id : ids) {
+            const BasicBlock &bb = program_->block(id);
+            slots.clear();
+
+            // Body slots (terminator excluded): collapse IntAlu/FpAlu
+            // runs, resolve branch behavior/runtime pointers once.
+            // unordered_map values have stable addresses, so the
+            // pointers stay valid for the generator's lifetime.
+            for (std::size_t k = 0; k + 1 < bb.insts.size(); ++k) {
+                const StaticInst &si = bb.insts[k];
+                DecodedSlot s;
+                switch (si.op) {
+                  case OpClass::IntAlu:
+                  case OpClass::FpAlu:
+                    if (!slots.empty() &&
+                        slots.back().kind == SlotKind::AluRun) {
+                        ++slots.back().count;
+                        continue;
+                    }
+                    s.kind = SlotKind::AluRun;
+                    break;
+                  case OpClass::Load:
+                    s.kind = SlotKind::Load;
+                    break;
+                  case OpClass::Store:
+                    s.kind = SlotKind::Store;
+                    break;
+                  case OpClass::SimdOp:
+                    s.kind = SlotKind::Simd;
+                    break;
+                  case OpClass::Branch: {
+                    s.kind = SlotKind::Branch;
+                    s.pc = si.pc;
+                    auto beh_it = st.behaviors.find(si.pc);
+                    if (beh_it == st.behaviors.end())
+                        panic("internal branch 0x%llx has no behavior",
+                              static_cast<unsigned long long>(si.pc));
+                    s.behavior = &beh_it->second;
+                    s.runtime = &st.runtime[si.pc];
+                    break;
+                  }
+                }
+                slots.push_back(s);
+            }
+
+            DecodedBlock &db = decoded_[id];
+            db.slots = arena_.copyArray(slots.data(), slots.size());
+            db.numSlots = static_cast<std::uint32_t>(slots.size());
+            db.numInsns = static_cast<std::uint32_t>(bb.insts.size());
+            db.termPc = bb.terminator().pc;
+        }
+    }
+}
+
+Addr
+WorkloadGenerator::batchFinishBlock()
+{
+    // Executed since the block was entered, terminator included.
+    const InsnCount executed = decoded_[curBlock_].numInsns - instPos_;
+
+    // The terminator's next-block pick draws from rng_ after the
+    // body's address draws and while the old phase is still current —
+    // the same order next() produces.
+    BlockId next_b = pickNextBlock();
+    Addr target = heads_[next_b];
+    curBlock_ = next_b;
+    emitted_ += executed;
+    instPos_ = 0;
+
+    // Collapse the per-instruction schedule decrements: the stretch
+    // rule in next() pins schedRemaining_ at 1 until the block
+    // boundary, so a block-granular equivalent is: advance iff the
+    // entry had <= `executed` instructions left.
+    if (schedRemaining_ <= executed) {
+        schedRemaining_ = 0;
+        advanceSchedule();
+    } else {
+        schedRemaining_ -= executed;
+    }
+    return target;
+}
+
+void
+WorkloadGenerator::batchConsumePartial(InsnCount insns)
+{
+    emitted_ += insns;
+    instPos_ += insns;
+    // Same stretch-rule collapse as batchFinishBlock(), mid-block: a
+    // spent schedule entry waits at 1 for the block boundary.
+    schedRemaining_ =
+        schedRemaining_ <= insns ? 1 : schedRemaining_ - insns;
 }
 
 } // namespace powerchop

@@ -21,8 +21,11 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/random.hh"
 #include "isa/program.hh"
+#include "workload/address_stream.hh"
+#include "workload/block_batch.hh"
 #include "workload/branch_behavior.hh"
 #include "workload/workload.hh"
 
@@ -75,8 +78,64 @@ class WorkloadGenerator
     InsnCount
     blockInsnsRemaining() const
     {
-        return program_->block(curBlock_).insts.size() - instPos_;
+        return (decoded_.empty()
+                    ? program_->block(curBlock_).insts.size()
+                    : decoded_[curBlock_].numInsns) -
+            instPos_;
     }
+
+    // --- Batch (structure-of-arrays) execution API ----------------------
+    //
+    // The simulator's hot loop consumes whole blocks through this API
+    // instead of pulling DynInsts one at a time. The dynamic stream is
+    // bit-identical to next()'s: static structure is pre-decoded, but
+    // every RNG draw (addresses, branch outcomes, next-block picks)
+    // happens at consumption time in exact program order. The two
+    // styles may even be interleaved (block-aligned): next() and the
+    // batch calls maintain the same cursor state.
+
+    /**
+     * Decode every block into its flat slot stream (block_batch.hh).
+     * Idempotent; must be called before the other batch calls. Split
+     * out of the constructor so callers can attribute its cost to a
+     * separate profiling stage.
+     */
+    void prepareBatches();
+
+    /** @return the decoded form of a block (prepareBatches first). */
+    const DecodedBlock &
+    decodedBlock(BlockId id) const
+    {
+        return decoded_[id];
+    }
+
+    /** @return the next memory effective address (one per Load/Store
+     *  slot, consumed in program order). */
+    Addr batchMemAddr() { return curMem_->next(rng_); }
+
+    /** @return the next outcome of an internal branch slot. */
+    bool
+    batchBranchOutcome(const DecodedSlot &slot)
+    {
+        return branchEngine_.nextOutcome(*slot.behavior, *slot.runtime);
+    }
+
+    /**
+     * Execute the current block's terminator and complete the block:
+     * picks the next block, rolls the schedule (collapsing the
+     * per-instruction decrements of every instruction executed since
+     * the block was entered), and applies any phase change.
+     *
+     * @return the terminator's taken target (the next block's head).
+     */
+    Addr batchFinishBlock();
+
+    /**
+     * Account for a partial burst: `insns` body instructions consumed
+     * (terminator not reached). Used when the instruction budget
+     * clamps a burst mid-block.
+     */
+    void batchConsumePartial(InsnCount insns);
 
   private:
     /** Per-phase runtime state. */
@@ -99,6 +158,22 @@ class WorkloadGenerator
     /** Per-phase state: block lists, weights, address stream, branch
      *  runtime state. */
     std::vector<std::unique_ptr<PhaseState>> phaseStates_;
+
+    /** Arena holding the decoded slot streams (and other same-lifetime
+     *  decode tables); freed wholesale with the generator. */
+    Arena arena_;
+
+    /** Decoded form of every block, indexed by BlockId; empty until
+     *  prepareBatches(). */
+    std::vector<DecodedBlock> decoded_;
+
+    /** Head PC of every block, flattened so the hot batch paths skip
+     *  the Program::block indirection; filled by prepareBatches(). */
+    std::vector<Addr> heads_;
+
+    /** The current phase's address stream (kept in sync with
+     *  curPhaseIdx_ so the batch memory path is one indirect call). */
+    AddressStream *curMem_ = nullptr;
 
     // Schedule cursor.
     unsigned schedPos_ = 0;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/atomic_file.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -267,6 +268,12 @@ formatWorkloadSpec(const WorkloadSpec &w)
     for (const auto &e : w.schedule)
         out << w.phases[e.phase].name << " " << e.insns << "\n";
     return out.str();
+}
+
+std::uint64_t
+workloadContentKey(const WorkloadSpec &spec)
+{
+    return fnv1a64("powerchop-workload-v1\n" + formatWorkloadSpec(spec));
 }
 
 void

@@ -30,6 +30,7 @@
 #ifndef POWERCHOP_WORKLOAD_SPEC_IO_HH
 #define POWERCHOP_WORKLOAD_SPEC_IO_HH
 
+#include <cstdint>
 #include <string>
 
 #include "workload/workload.hh"
@@ -57,6 +58,15 @@ WorkloadSpec loadWorkloadSpec(const std::string &path);
 
 /** Render a spec to its text form (parseWorkloadSpec round-trips). */
 std::string formatWorkloadSpec(const WorkloadSpec &spec);
+
+/**
+ * Deterministic 64-bit content key of a workload spec: FNV-1a over
+ * the canonical text form. Two specs share a key iff every field that
+ * shapes the generated program (including the seed) is equal, so the
+ * key can index caches of per-workload derived state (e.g. the
+ * translation-metadata cache) safely.
+ */
+std::uint64_t workloadContentKey(const WorkloadSpec &spec);
 
 /** Write a spec to a file; calls fatal() on I/O failure. */
 void saveWorkloadSpec(const WorkloadSpec &spec, const std::string &path);

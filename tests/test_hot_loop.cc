@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests for the structure-of-arrays hot loop: burst-boundary edges
+ * the batch rewrite is most likely to break (budget clamps mid-block,
+ * sampleInterval == 1, trace side-exits around a clamp, every
+ * SimMode), bounded in-burst cancellation latency, the per-job arena
+ * allocator, the shared translation-metadata cache, and the JSON
+ * trajectory sink the perf numbers are recorded through.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.hh"
+#include "common/atomic_file.hh"
+#include "sim/experiment.hh"
+#include "sim/sim_runner.hh"
+#include "sim/simulator.hh"
+#include "verify/golden.hh"
+#include "verify/reference_simulator.hh"
+#include "workload/suites.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+/** Small two-phase workload exercising every slot kind. */
+WorkloadSpec
+mixedWorkload(unsigned seed = 11)
+{
+    WorkloadSpec w;
+    w.name = "hotloop-" + std::to_string(seed);
+    w.seed = seed;
+    PhaseSpec compute;
+    compute.name = "compute";
+    compute.simdFrac = 0.08;
+    compute.branchFrac = 0.07;
+    PhaseSpec memory;
+    memory.name = "memory";
+    memory.memFrac = 0.34;
+    memory.mem.workingSetBytes = 512 * 1024;
+    memory.mem.hotRegionFrac = 0.7;
+    memory.mem.randomFrac = 0.4;
+    w.phases = {compute, memory};
+    w.schedule = {{0, 50'000}, {1, 70'000}};
+    return w;
+}
+
+/** A workload whose blocks dwarf the in-burst cancel poll period. */
+WorkloadSpec
+giantBlockWorkload()
+{
+    WorkloadSpec w;
+    w.name = "giant-block";
+    w.seed = 3;
+    PhaseSpec p;
+    p.name = "huge";
+    // Body lengths are normal(avg, avg/4) built from three uniforms,
+    // so lengths stay within avg +- 0.75 avg: every block is at least
+    // 200K instructions, more than three cancel poll periods.
+    p.avgBlockLen = 800'000;
+    p.memFrac = 0.2;
+    p.branchFrac = 0.02;
+    w.phases = {p};
+    w.schedule = {{0, 10'000'000}};
+    return w;
+}
+
+const SimMode kAllModes[] = {SimMode::FullPower, SimMode::PowerChop,
+                             SimMode::MinPower, SimMode::TimeoutVpu};
+
+/** Bit-exact differential between simulate() and the reference. */
+void
+expectBitIdentical(const MachineConfig &machine, const WorkloadSpec &w,
+                   const SimOptions &opts, const std::string &what)
+{
+    SimResult fast = simulate(machine, w, opts);
+    SimResult ref = verify::referenceSimulate(machine, w, opts);
+    auto mismatches = verify::compareResults(fast, ref, 0.0);
+    EXPECT_TRUE(mismatches.empty())
+        << what << ": " << mismatches.size() << " mismatching fields, "
+        << "first: " << mismatches.front().key << " ("
+        << mismatches.front().detail << ")";
+}
+
+TEST(BurstBoundary, BudgetClampsMidBlockEveryMode)
+{
+    // Budgets chosen to land inside block bodies (blocks average 14
+    // instructions, so any budget not a multiple of the dynamic block
+    // lengths clamps a burst mid-block), including the degenerate 1-
+    // and near-burst-period cases.
+    const InsnCount budgets[] = {1, 7, 997, 65'535, 65'537, 100'003};
+    const WorkloadSpec w = mixedWorkload();
+    for (SimMode mode : kAllModes) {
+        for (InsnCount budget : budgets) {
+            SimOptions opts;
+            opts.mode = mode;
+            opts.maxInstructions = budget;
+            expectBitIdentical(serverConfig(), w, opts,
+                               "mode " +
+                                   std::to_string(static_cast<int>(
+                                       mode)) +
+                                   " budget " + std::to_string(budget));
+        }
+    }
+}
+
+TEST(BurstBoundary, SampleIntervalOne)
+{
+    // sampleInterval == 1 forces the sampler countdown to expire on
+    // every single instruction — the burst splitter's worst case. The
+    // streams must match the reference sample for sample.
+    const WorkloadSpec w = mixedWorkload(7);
+    for (SimMode mode : {SimMode::FullPower, SimMode::PowerChop}) {
+        std::vector<std::pair<InsnCount, Cycles>> fast_samples;
+        std::vector<std::pair<InsnCount, Cycles>> ref_samples;
+
+        SimOptions opts;
+        opts.mode = mode;
+        opts.maxInstructions = 30'011;  // prime: ends mid-block
+        opts.sampleInterval = 1;
+        opts.sampler = [&](InsnCount n, Cycles c) {
+            fast_samples.emplace_back(n, c);
+        };
+        SimResult fast = simulate(serverConfig(), w, opts);
+
+        opts.sampler = [&](InsnCount n, Cycles c) {
+            ref_samples.emplace_back(n, c);
+        };
+        SimResult ref =
+            verify::referenceSimulate(serverConfig(), w, opts);
+
+        EXPECT_TRUE(verify::compareResults(fast, ref, 0.0).empty());
+        ASSERT_EQ(fast_samples.size(), ref_samples.size());
+        ASSERT_EQ(fast_samples.size(), opts.maxInstructions);
+        EXPECT_EQ(fast_samples, ref_samples);
+    }
+}
+
+TEST(BurstBoundary, SamplerPeriodStraddlesBlocks)
+{
+    // A sample period that is coprime to typical block lengths fires
+    // at every possible offset within a burst.
+    const WorkloadSpec w = mixedWorkload(13);
+    SimOptions opts;
+    opts.mode = SimMode::PowerChop;
+    opts.maxInstructions = 120'000;
+    opts.sampleInterval = 17;
+    std::vector<std::pair<InsnCount, Cycles>> fast_samples;
+    std::vector<std::pair<InsnCount, Cycles>> ref_samples;
+    opts.sampler = [&](InsnCount n, Cycles c) {
+        fast_samples.emplace_back(n, c);
+    };
+    SimResult fast = simulate(mobileConfig(), w, opts);
+    opts.sampler = [&](InsnCount n, Cycles c) {
+        ref_samples.emplace_back(n, c);
+    };
+    SimResult ref = verify::referenceSimulate(mobileConfig(), w, opts);
+    EXPECT_TRUE(verify::compareResults(fast, ref, 0.0).empty());
+    EXPECT_EQ(fast_samples, ref_samples);
+}
+
+TEST(BurstBoundary, TraceSideExitNearClamp)
+{
+    // Clamp the run right around region-trace boundaries: with
+    // budgets swept across a window the final burst ends mid-trace,
+    // immediately after a side-exit, or exactly on a head, in some
+    // run of this sweep. Suite workloads get hot multi-block traces.
+    const WorkloadSpec w = findWorkload("gobmk");
+    for (InsnCount budget = 80'000; budget < 80'040; ++budget) {
+        SimOptions opts;
+        opts.mode = SimMode::PowerChop;
+        opts.maxInstructions = budget;
+        expectBitIdentical(serverConfig(), w, opts,
+                           "budget " + std::to_string(budget));
+    }
+}
+
+TEST(Cancellation, InBurstPollBoundsLatency)
+{
+    // A block hundreds of thousands of instructions long must not
+    // defer a cancel to its end: the burst re-checks the flag every
+    // ~64K instructions.
+    const WorkloadSpec w = giantBlockWorkload();
+    std::atomic<bool> cancel{false};
+    constexpr InsnCount trigger_at = 50'000;
+
+    SimOptions opts;
+    opts.mode = SimMode::FullPower;
+    opts.maxInstructions = 10'000'000;
+    opts.cancelFlag = &cancel;
+    opts.sampleInterval = trigger_at;
+    opts.sampler = [&](InsnCount n, Cycles) {
+        if (n >= trigger_at)
+            cancel.store(true, std::memory_order_relaxed);
+    };
+
+    try {
+        simulate(serverConfig(), w, opts);
+        FAIL() << "simulate() completed despite the cancel flag";
+    } catch (const SimCancelledError &e) {
+        // "... cancelled after N of M instructions"
+        const std::string msg = e.what();
+        const auto pos = msg.find("after ");
+        ASSERT_NE(pos, std::string::npos) << msg;
+        const InsnCount done =
+            std::strtoull(msg.c_str() + pos + 6, nullptr, 10);
+        // Thrown after the flag went up...
+        EXPECT_GE(done, trigger_at) << msg;
+        // ...within one poll period (64K) plus slack — far inside the
+        // first giant block, so the poll demonstrably ran mid-burst.
+        EXPECT_LE(done, trigger_at + 2 * 64 * 1024) << msg;
+    }
+}
+
+TEST(Arena, AlignmentAndGrowth)
+{
+    Arena arena(256);  // tiny chunks force growth
+
+    auto *a = static_cast<char *>(arena.allocate(3, 1));
+    auto *b = arena.allocateArray<std::uint64_t>(4);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::uint64_t),
+              0u);
+    a[0] = 'x';
+    b[3] = 42;
+
+    // Oversized request: larger than the chunk size still succeeds.
+    auto *big = arena.allocateArray<std::uint32_t>(1024);
+    for (std::size_t i = 0; i < 1024; ++i)
+        big[i] = static_cast<std::uint32_t>(i);
+    EXPECT_EQ(big[1023], 1023u);
+
+    EXPECT_GE(arena.bytesAllocated(), 3 + 4 * 8 + 1024 * 4);
+    EXPECT_GE(arena.bytesReserved(), arena.bytesAllocated());
+}
+
+TEST(Arena, CopyArrayAndReset)
+{
+    Arena arena;
+    const std::uint16_t src[] = {1, 2, 3, 5, 8};
+    std::uint16_t *copy = arena.copyArray(src, 5);
+    EXPECT_NE(copy, src);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(copy[i], src[i]);
+
+    const std::size_t reserved = arena.bytesReserved();
+    arena.reset();
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+    // Chunks are recycled, not returned.
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+    auto *again = arena.allocateArray<std::uint16_t>(5);
+    again[0] = 9;
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+}
+
+TEST(TranslationCache, HitsAcrossSameWorkloadJobs)
+{
+    // Four jobs of the same workload in one batch: the first derives
+    // the metadata, the rest must hit the shared cache — with results
+    // bit-identical to an uncached standalone run.
+    const WorkloadSpec w = mixedWorkload(21);
+    SimOptions base;
+    base.mode = SimMode::PowerChop;
+    base.maxInstructions = 60'000;
+
+    std::vector<SimJob> jobs(4);
+    for (auto &j : jobs) {
+        j.machine = serverConfig();
+        j.workload = w;
+        j.opts = base;
+    }
+
+    SimJobRunner runner(2);
+    std::vector<SimResult> batch = runner.run(jobs);
+
+    const RunnerReport &rep = runner.report();
+    EXPECT_GE(rep.translationCacheHits, 3u);
+    EXPECT_GE(rep.translationCacheMisses, 1u);
+
+    SimResult standalone = simulate(serverConfig(), w, base);
+    for (const auto &r : batch)
+        EXPECT_TRUE(verify::compareResults(r, standalone, 0.0).empty());
+}
+
+TEST(TranslationCache, WorkerCountIndependent)
+{
+    // The cache must not perturb results at any worker count.
+    const WorkloadSpec apps[] = {mixedWorkload(31), mixedWorkload(32)};
+    std::vector<SimJob> jobs;
+    for (const auto &w : apps) {
+        for (SimMode mode : kAllModes) {
+            SimJob j;
+            j.machine = mobileConfig();
+            j.workload = w;
+            j.opts.mode = mode;
+            j.opts.maxInstructions = 50'000;
+            jobs.push_back(std::move(j));
+        }
+    }
+
+    SimJobRunner serial(1);
+    SimJobRunner parallel(3);
+    std::vector<SimResult> a = serial.run(jobs);
+    std::vector<SimResult> b = parallel.run(jobs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(verify::compareResults(a[i], b[i], 0.0).empty())
+            << "job " << i;
+}
+
+/** Temp file removed on scope exit. */
+class ScopedPath
+{
+  public:
+    explicit ScopedPath(const std::string &p) : path_(p)
+    {
+        std::remove(path_.c_str());
+    }
+    ~ScopedPath() { std::remove(path_.c_str()); }
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::string out;
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        char buf[512];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            out.append(buf, n);
+        std::fclose(f);
+    }
+    return out;
+}
+
+TEST(Trajectory, AppendCreatesAndGrowsArray)
+{
+    ScopedPath p("hotloop_traj_test.json");
+
+    ASSERT_TRUE(appendJsonArrayEntryOk(p.str(), "{\"mips\":34.0}"));
+    EXPECT_EQ(slurp(p.str()), "[\n{\"mips\":34.0}\n]\n");
+
+    ASSERT_TRUE(appendJsonArrayEntryOk(p.str(), "{\"mips\":85.0}"));
+    EXPECT_EQ(slurp(p.str()),
+              "[\n{\"mips\":34.0},\n{\"mips\":85.0}\n]\n");
+}
+
+TEST(Trajectory, LegacySingleObjectIsWrappedNotClobbered)
+{
+    ScopedPath p("hotloop_traj_legacy.json");
+    ASSERT_TRUE(
+        atomicWriteFileOk(p.str(), "{\"bench\":\"old\",\"mips\":30}\n"));
+
+    ASSERT_TRUE(appendJsonArrayEntryOk(p.str(), "{\"mips\":85.0}"));
+    EXPECT_EQ(slurp(p.str()),
+              "[\n{\"bench\":\"old\",\"mips\":30},\n{\"mips\":85.0}\n]\n");
+}
+
+TEST(Trajectory, RefusesGarbageFile)
+{
+    ScopedPath p("hotloop_traj_bad.json");
+    ASSERT_TRUE(atomicWriteFileOk(p.str(), "not json at all"));
+    EXPECT_FALSE(appendJsonArrayEntryOk(p.str(), "{}"));
+    // The garbage file is left untouched for inspection.
+    EXPECT_EQ(slurp(p.str()), "not json at all");
+}
+
+} // namespace
