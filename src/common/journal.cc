@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/atomic_file.hh"
@@ -161,9 +162,25 @@ loadJournal(const std::string &path)
 {
     JournalReplay replay;
 
+    // Open failure is NOT an empty journal: resuming against a wrong
+    // path must fail loudly, not silently rerun everything. The stat
+    // also rejects non-regular files — ifstream "opens" a directory
+    // without error and would read it as an empty journal.
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+        throw IoError(csprintf("%s: cannot open journal: %s",
+                               path.c_str(), std::strerror(errno)));
+    }
+    if (!S_ISREG(st.st_mode)) {
+        throw IoError(csprintf("%s: journal is not a regular file",
+                               path.c_str()));
+    }
+
     std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return replay; // no journal yet: a fresh campaign
+    if (!in) {
+        throw IoError(csprintf("%s: cannot open journal: %s",
+                               path.c_str(), std::strerror(errno)));
+    }
 
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -209,6 +226,15 @@ loadJournal(const std::string &path)
         }
     }
     return replay;
+}
+
+JournalReplay
+loadJournalIfPresent(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0 && errno == ENOENT)
+        return JournalReplay{}; // no journal yet: a fresh campaign
+    return loadJournal(path);
 }
 
 JournalWriter::JournalWriter(const std::string &path) : path_(path)

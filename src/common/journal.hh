@@ -78,11 +78,25 @@ struct JournalReplay
 };
 
 /**
- * Read and validate a journal. A missing file is an empty replay (a
- * fresh campaign), not an error; unreadable content degrades to
- * re-running jobs, never to refusing the campaign.
+ * Read and validate a journal.
+ *
+ * A file that cannot be opened — missing, permission-denied, a
+ * directory — throws IoError naming the path and errno text. This is
+ * deliberately distinct from an *empty* journal (a valid, zero-record
+ * replay): conflating the two once made `--resume` on a mistyped
+ * directory silently re-run the whole campaign. Unreadable *content*
+ * still degrades gracefully (corrupt lines are skipped, the torn
+ * final line is dropped); only failure to open the file is loud.
  */
 JournalReplay loadJournal(const std::string &path);
+
+/**
+ * Variant for call sites where "no journal yet" is an expected state
+ * (a fresh campaign directory, a shard whose worker never started):
+ * a missing file returns an empty replay; every other open failure
+ * still throws IoError like loadJournal().
+ */
+JournalReplay loadJournalIfPresent(const std::string &path);
 
 /**
  * Append-only journal writer with per-record durability.

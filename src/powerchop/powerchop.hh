@@ -26,11 +26,13 @@
 #define POWERCHOP_POWERCHOP_HH
 
 #include "common/atomic_file.hh"
+#include "common/clock.hh"
 #include "common/env.hh"
 #include "common/journal.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
+#include "common/subprocess.hh"
 #include "common/types.hh"
 
 #include "isa/instruction.hh"
@@ -70,6 +72,7 @@
 #include "sim/campaign.hh"
 #include "sim/experiment.hh"
 #include "sim/machine_config.hh"
+#include "sim/shard_supervisor.hh"
 #include "sim/sim_result.hh"
 #include "sim/sim_runner.hh"
 #include "sim/simulator.hh"

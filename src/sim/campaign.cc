@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 
 #include <sys/stat.h>
@@ -54,28 +55,6 @@ canonicalOptionsText(const SimOptions &opts)
         static_cast<unsigned>(opts.staticPolicy.mlc));
 }
 
-/** Create `dir` (and parents), tolerating existing directories. */
-void
-makeDirs(const std::string &dir)
-{
-    std::string prefix;
-    std::size_t start = 0;
-    while (start <= dir.size()) {
-        std::size_t slash = dir.find('/', start);
-        if (slash == std::string::npos)
-            slash = dir.size();
-        prefix = dir.substr(0, slash);
-        start = slash + 1;
-        if (prefix.empty() || prefix == ".")
-            continue;
-        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
-            throw IoError(csprintf("%s: mkdir failed: %s",
-                                   prefix.c_str(),
-                                   std::strerror(errno)));
-        }
-    }
-}
-
 bool
 fileExists(const std::string &path)
 {
@@ -93,6 +72,80 @@ errorPayload(const JobOutcome &outcome)
 }
 
 } // namespace
+
+bool
+parseErrorPayload(const std::string &payload, std::string &error,
+                  unsigned &attempts)
+{
+    // Inverse of errorPayload(): {"error":"<escaped>","attempts":N}.
+    std::size_t pos = 0;
+    if (payload.compare(pos, 10, "{\"error\":\"") != 0)
+        return false;
+    pos += 10;
+
+    std::string text;
+    while (pos < payload.size() && payload[pos] != '"') {
+        char c = payload[pos++];
+        if (c != '\\') {
+            text += c;
+            continue;
+        }
+        if (pos >= payload.size())
+            return false;
+        const char esc = payload[pos++];
+        switch (esc) {
+          case '"':
+            text += '"';
+            break;
+          case '\\':
+            text += '\\';
+            break;
+          case 'n':
+            text += '\n';
+            break;
+          case 't':
+            text += '\t';
+            break;
+          case 'u': {
+            std::uint64_t code = 0;
+            if (pos + 4 > payload.size())
+                return false;
+            for (int i = 0; i < 4; ++i) {
+                const char h = payload[pos++];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<std::uint64_t>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<std::uint64_t>(h - 'a' + 10);
+                else
+                    return false;
+            }
+            text += static_cast<char>(code);
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+
+    const std::string tail = ",\"attempts\":";
+    if (payload.compare(pos, 1, "\"") != 0)
+        return false;
+    ++pos;
+    if (payload.compare(pos, tail.size(), tail) != 0)
+        return false;
+    pos += tail.size();
+    char *end = nullptr;
+    const unsigned long n =
+        std::strtoul(payload.c_str() + pos, &end, 10);
+    if (end == payload.c_str() + pos ||
+        std::string(end) != "}") {
+        return false;
+    }
+    error = std::move(text);
+    attempts = static_cast<unsigned>(n);
+    return true;
+}
 
 std::uint64_t
 campaignJobKey(const SimJob &job)
@@ -153,6 +206,11 @@ CampaignResult::summary() const
                       "torn lines",
                       corruptedRecords, truncatedRecords);
     }
+    if (workerCrashes + workerRestarts + redispatches > 0) {
+        s += csprintf("; supervisor: %zu worker crashes, %zu "
+                      "restarts, %zu re-dispatches",
+                      workerCrashes, workerRestarts, redispatches);
+    }
     if (interrupted)
         s += " [interrupted: resume with --resume]";
     return s;
@@ -207,6 +265,27 @@ CampaignResult::reportJson() const
     return s;
 }
 
+void
+makeCampaignDirs(const std::string &dir)
+{
+    std::string prefix;
+    std::size_t start = 0;
+    while (start <= dir.size()) {
+        std::size_t slash = dir.find('/', start);
+        if (slash == std::string::npos)
+            slash = dir.size();
+        prefix = dir.substr(0, slash);
+        start = slash + 1;
+        if (prefix.empty() || prefix == ".")
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+            throw IoError(csprintf("%s: mkdir failed: %s",
+                                   prefix.c_str(),
+                                   std::strerror(errno)));
+        }
+    }
+}
+
 std::atomic<bool> &
 campaignInterruptFlag()
 {
@@ -234,7 +313,7 @@ runCampaign(SimJobRunner &runner, const std::vector<SimJob> &jobs,
     result.outcomes.resize(jobs.size());
     result.payloads.resize(jobs.size());
 
-    makeDirs(dir);
+    makeCampaignDirs(dir);
     const std::string journal_path = dir + "/journal.jsonl";
     const std::string report_path = dir + "/report.json";
 
@@ -253,6 +332,14 @@ runCampaign(SimJobRunner &runner, const std::vector<SimJob> &jobs,
     }
 
     // Replay the journal (resume) or refuse a dirty directory.
+    if (!fileExists(journal_path) && opts.resume) {
+        // A --resume that finds no journal is a mistyped directory,
+        // not a fresh campaign: failing loudly here beats silently
+        // re-running the whole matrix somewhere unexpected.
+        fatal("campaign: --resume but no journal at %s; check the "
+              "campaign directory",
+              journal_path.c_str());
+    }
     if (fileExists(journal_path)) {
         if (!opts.resume) {
             fatal("campaign: %s already exists; pass --resume to "
@@ -376,6 +463,113 @@ runCampaign(SimJobRunner &runner, const std::vector<SimJob> &jobs,
     // The merged report is rebuilt from scratch on every invocation
     // and written crash-safely: readers never see a torn file.
     atomicWriteFile(report_path, result.reportJson());
+    return result;
+}
+
+ShardRunResult
+runCampaignShard(SimJobRunner &runner,
+                 const std::vector<SimJob> &jobs,
+                 const std::string &journalPath,
+                 const ShardRunOptions &opts)
+{
+    ShardRunResult result;
+    result.assigned = jobs.size();
+
+    std::vector<std::uint64_t> keys;
+    keys.reserve(jobs.size());
+    for (const auto &job : jobs)
+        keys.push_back(campaignJobKey(job));
+
+    // Resume from the shard journal: only ok records satisfy a job;
+    // failed / timed-out records document history but rerun, exactly
+    // like a single-process --resume.
+    std::vector<bool> satisfied(jobs.size(), false);
+    const JournalReplay replay = loadJournalIfPresent(journalPath);
+    for (const auto &rec : replay.records) {
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            if (keys[i] != rec.key || satisfied[i])
+                continue;
+            if (rec.status == jobStatusName(JobStatus::Ok)) {
+                satisfied[i] = true;
+                ++result.replayed;
+                if (opts.onJobDone) {
+                    JobOutcome replayed_outcome;
+                    replayed_outcome.status = JobStatus::Ok;
+                    replayed_outcome.attempts = 0;
+                    opts.onJobDone(keys[i], replayed_outcome, true);
+                }
+            }
+            break;
+        }
+    }
+
+    std::vector<SimJob> pending;
+    std::vector<std::size_t> pendingIndex;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!satisfied[i]) {
+            pending.push_back(jobs[i]);
+            pendingIndex.push_back(i);
+        }
+    }
+    result.executed = pending.size();
+
+    const std::atomic<bool> *interrupt =
+        opts.interruptFlag ? opts.interruptFlag
+                           : &campaignInterruptFlag();
+
+    bool all_terminal = true;
+    if (!pending.empty()) {
+        JournalWriter writer(journalPath);
+
+        RobustRunOptions robust;
+        robust.timeoutSeconds = opts.timeoutSeconds;
+        robust.maxRetries = opts.maxRetries;
+        robust.cancelFlag = interrupt;
+        robust.drainSeconds = opts.drainSeconds;
+        robust.backoffBaseSeconds = opts.backoffBaseSeconds;
+        robust.backoffMaxSeconds = opts.backoffMaxSeconds;
+        robust.onComplete = [&](std::size_t pi, const SimResult &res,
+                                const JobOutcome &outcome) {
+            const std::uint64_t key = keys[pendingIndex[pi]];
+            if (opts.preJournal)
+                opts.preJournal(key, outcome);
+            JournalRecord rec;
+            rec.key = key;
+            rec.status = jobStatusName(outcome.status);
+            switch (outcome.status) {
+              case JobStatus::Ok:
+                rec.payload = res.toJson();
+                writer.append(rec);
+                break;
+              case JobStatus::Failed:
+              case JobStatus::TimedOut:
+                rec.payload = errorPayload(outcome);
+                writer.append(rec);
+                break;
+              case JobStatus::Skipped:
+              case JobStatus::Interrupted:
+                break; // resumable: no record, the job reruns
+            }
+            if (opts.onJobDone)
+                opts.onJobDone(key, outcome, false);
+        };
+
+        const RobustBatchResult batch =
+            runner.runRobust(pending, robust);
+        for (const auto &outcome : batch.outcomes) {
+            if (outcome.status == JobStatus::Skipped ||
+                outcome.status == JobStatus::Interrupted) {
+                all_terminal = false;
+            }
+        }
+
+        writer.flush();
+        drainFlushHooks();
+    }
+
+    result.interrupted =
+        interrupt->load(std::memory_order_relaxed) || !all_terminal;
+    result.complete = all_terminal;
     return result;
 }
 

@@ -81,6 +81,16 @@ struct CampaignOptions
     std::function<void(std::size_t, std::size_t)> onProgress;
 };
 
+/**
+ * Decode a non-ok journal payload written by a campaign (an
+ * `{"error":...,"attempts":N}` object) back into the outcome fields.
+ * Used by the shard merge step so a merged report renders the same
+ * error text a live single-process run would.
+ * @return false when the payload is not an error object.
+ */
+bool parseErrorPayload(const std::string &payload, std::string &error,
+                       unsigned &attempts);
+
 /** What a campaign invocation accomplished. */
 struct CampaignResult
 {
@@ -110,6 +120,15 @@ struct CampaignResult
 
     /** The campaign was interrupted (resumable). */
     bool interrupted = false;
+
+    /** Supervision tallies (sharded campaigns only; all zero for
+     *  in-process runs). Summary-only: reportJson() excludes them so
+     *  a supervised run's report stays byte-identical to a
+     *  single-process run's. @{ */
+    std::size_t workerCrashes = 0;
+    std::size_t workerRestarts = 0;
+    std::size_t redispatches = 0;
+    /** @} */
 
     /** @return true when every job has an ok result. */
     bool complete() const;
@@ -145,6 +164,75 @@ CampaignResult runCampaign(SimJobRunner &runner,
                            const std::vector<SimJob> &jobs,
                            const std::string &dir,
                            const CampaignOptions &opts = {});
+
+/** Knobs of one shard worker's run (campaign-worker subcommand). */
+struct ShardRunOptions
+{
+    /** Per-job stuck-run watchdog; 0 disables. */
+    double timeoutSeconds = 0;
+
+    /** Extra attempts for jobs flagged transient. */
+    unsigned maxRetries = 0;
+
+    /** Grace period for in-flight jobs after an interrupt. */
+    double drainSeconds = 5.0;
+
+    /** Retry-backoff policy (see RobustRunOptions). @{ */
+    double backoffBaseSeconds = 0.001;
+    double backoffMaxSeconds = 0.25;
+    /** @} */
+
+    /** Interrupt flag the shard polls (SIGTERM from the supervisor
+     *  requests a graceful drain). */
+    const std::atomic<bool> *interruptFlag = nullptr;
+
+    /** Invoked on the worker thread immediately BEFORE a terminal
+     *  record is appended to the shard journal. The crash-injection
+     *  hook of the containment tests lives here: a crash at this
+     *  point is the worst case, after the work but before
+     *  durability, so the job must rerun after a restart. */
+    std::function<void(std::uint64_t key, const JobOutcome &)>
+        preJournal;
+
+    /** Invoked after a job's terminal record is durable (or, for
+     *  replayed jobs, during journal replay): the worker's protocol
+     *  emission. Must be thread-safe. */
+    std::function<void(std::uint64_t key, const JobOutcome &,
+                       bool replayed)>
+        onJobDone;
+};
+
+/** What one shard worker invocation accomplished. */
+struct ShardRunResult
+{
+    std::size_t assigned = 0; ///< Jobs this shard owns.
+    std::size_t replayed = 0; ///< Satisfied from the shard journal.
+    std::size_t executed = 0; ///< Dispatched this invocation.
+    bool interrupted = false;
+
+    /** Every assigned job holds a terminal (ok / failed / timed-out)
+     *  record in the shard journal; the worker exits 0. */
+    bool complete = false;
+};
+
+/**
+ * Run one shard of a campaign: the given jobs against a
+ * shard-scoped write-ahead journal.
+ *
+ * Semantically runCampaign() minus the report: resumes from
+ * `journalPath` (ok records satisfy jobs, failed/timed-out records
+ * rerun), dispatches the remainder with write-ahead journaling, and
+ * reports whether every assigned job reached a terminal record. The
+ * supervisor merges shard journals into the campaign report.
+ */
+ShardRunResult runCampaignShard(SimJobRunner &runner,
+                                const std::vector<SimJob> &jobs,
+                                const std::string &journalPath,
+                                const ShardRunOptions &opts = {});
+
+/** Create `dir` (and parents), tolerating existing directories;
+ *  throws IoError on failure. Shared by campaign and supervisor. */
+void makeCampaignDirs(const std::string &dir);
 
 /** The process-wide campaign interrupt flag. */
 std::atomic<bool> &campaignInterruptFlag();

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Process-isolated sharded campaigns: the shard supervisor.
+ *
+ * PR 5 made campaigns durable against crashes of the *whole* process,
+ * but every job still shared one address space: a single std::abort,
+ * invariant panic or segfault anywhere killed the entire campaign.
+ * The supervisor adds fault containment by partitioning the job
+ * matrix into content-key ranges and running each shard in its own
+ * worker *process* — a re-exec of this binary's `campaign-worker`
+ * subcommand — so the blast radius of any crash is one shard, whose
+ * write-ahead journal survives.
+ *
+ * Supervision loop (single-threaded, monotonic-clock deadlines):
+ *  - assignments are fed to each worker over its stdin pipe (one
+ *    content key per line, EOF ends the assignment);
+ *  - workers report progress over stdout ("ready", "hb" heartbeats,
+ *    "done <key> <status>" after each durable journal append), read
+ *    non-blockingly so a wedged worker can never stall the loop;
+ *  - death is detected with waitpid and classified — a clean exit
+ *    is completion, an exit code is a reported error, a fatal signal
+ *    (SIGSEGV, SIGKILL, ...) is a crash — and crashed or hung (no
+ *    heartbeat) shards are restarted with bounded exponential
+ *    backoff, resuming from their shard journal;
+ *  - when a shard finishes early, the remaining keys of the slowest
+ *    straggler are re-dispatched to a helper worker with its own
+ *    journal (results are content-keyed and deterministic, so
+ *    duplicated work merges harmlessly).
+ *
+ * The final merge assembles every shard journal into the same
+ * report.json a single-process, uninterrupted runCampaign() of the
+ * same spec writes — byte-identical, extending PR 5's resume
+ * guarantee to "any subset of workers SIGKILLed at any time".
+ */
+
+#ifndef POWERCHOP_SIM_SHARD_SUPERVISOR_HH
+#define POWERCHOP_SIM_SHARD_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+
+namespace powerchop
+{
+
+/** Supervision knobs of a sharded campaign. */
+struct ShardSupervisorOptions
+{
+    /** Worker processes (= shards). Clamped to the job count. */
+    unsigned shards = 2;
+
+    /** Resume from existing shard journals; without it a directory
+     *  that already holds shard journals is refused. */
+    bool resume = false;
+
+    /** Restarts granted to each shard before its remaining jobs are
+     *  marked failed. */
+    unsigned maxRestarts = 3;
+
+    /** Exponential backoff between a shard's crash and its restart:
+     *  base * 2^(restarts-1), capped. Monotonic-clock, and the
+     *  supervisor keeps servicing other shards while waiting. @{ */
+    double restartBackoffBaseSeconds = 0.1;
+    double restartBackoffMaxSeconds = 2.0;
+    /** @} */
+
+    /** A worker silent (no stdout bytes) for this long is declared
+     *  hung, SIGKILLed and restarted like a crash; 0 disables.
+     *  Workers heartbeat every ~500ms, so this bounds detection
+     *  latency for a wedged (not dead) process. */
+    double heartbeatTimeoutSeconds = 30.0;
+
+    /** Grace period granted to workers (SIGTERM, drain) when the
+     *  supervisor itself is interrupted. */
+    double drainSeconds = 5.0;
+
+    /** Straggler re-dispatch: when a worker slot is idle and a
+     *  running shard still has at least redispatchMinKeys remaining,
+     *  the tail half of its remaining keys is re-dispatched to a
+     *  helper worker (at most one per shard). @{ */
+    bool redispatch = true;
+    std::size_t redispatchMinKeys = 2;
+    /** @} */
+
+    /** Per-job knobs forwarded to workers. @{ */
+    double jobTimeoutSeconds = 0;
+    unsigned maxRetries = 0;
+    /** @} */
+
+    /** Path of the binary to re-exec; empty means /proc/self/exe. */
+    std::string exePath;
+
+    /** Matrix-defining arguments of the `campaign-worker`
+     *  subcommand (--workloads/--machine/--modes/--insns...). The
+     *  worker must rebuild the exact job matrix from these, so the
+     *  content keys it derives match the supervisor's. */
+    std::vector<std::string> workerArgs;
+
+    /** Interrupt flag; defaults to the process-wide campaign flag. */
+    const std::atomic<bool> *interruptFlag = nullptr;
+
+    /** Supervision event log callback (spawn/crash/restart/
+     *  re-dispatch), for CLI progress output. */
+    std::function<void(const std::string &)> onEvent;
+};
+
+/** What a supervised campaign accomplished. */
+struct ShardSupervisorResult
+{
+    /** The merged campaign (report.json content, supervision tallies
+     *  in the summary fields). */
+    CampaignResult campaign;
+
+    std::size_t shards = 0;
+
+    /** Worker deaths classified as crashes (fatal signal, error
+     *  exit, or hung-and-SIGKILLed), restarts performed, and
+     *  straggler re-dispatches. @{ */
+    std::size_t crashes = 0;
+    std::size_t restarts = 0;
+    std::size_t redispatches = 0;
+    /** @} */
+
+    /** One classified line per worker death ("shard 2: signal 11
+     *  (Segmentation fault)"). */
+    std::vector<std::string> crashLog;
+
+    /** Supervisor wall-clock (monotonic) for BENCH accounting. */
+    double wallSeconds = 0;
+};
+
+/**
+ * Partition job indices into `shards` contiguous content-key ranges.
+ *
+ * Indices are ordered by ascending key, then cut into near-equal
+ * chunks, so every shard owns one range of the key space and the
+ * partition is a pure function of the job matrix (deterministic
+ * across supervisor restarts and resumes).
+ */
+std::vector<std::vector<std::size_t>>
+partitionByKeyRange(const std::vector<std::uint64_t> &keys,
+                    unsigned shards);
+
+/** Journal path of shard `shard` in `dir`; helper > 0 names the
+ *  journal of that re-dispatch helper instead. */
+std::string shardJournalPath(const std::string &dir, unsigned shard,
+                             unsigned helper = 0);
+
+/**
+ * Run (or resume) a campaign across worker processes.
+ *
+ * Creates `dir`, partitions `jobs` by content-key range, forks one
+ * `campaign-worker` per shard and supervises them to completion
+ * (restart on crash/hang, straggler re-dispatch), then merges the
+ * shard journals into `dir`/report.json — byte-identical to a
+ * single-process runCampaign() of the same jobs.
+ */
+ShardSupervisorResult
+runShardedCampaign(const std::vector<SimJob> &jobs,
+                   const std::string &dir,
+                   const ShardSupervisorOptions &opts);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SIM_SHARD_SUPERVISOR_HH

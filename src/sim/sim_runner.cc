@@ -6,6 +6,7 @@
 #include <ctime>
 #include <limits>
 
+#include "common/clock.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -15,14 +16,6 @@ namespace powerchop
 
 namespace
 {
-
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /**
  * CPU time consumed by the calling thread. Using CPU rather than wall
@@ -40,9 +33,7 @@ threadCpuSeconds()
                static_cast<double>(ts.tv_nsec) * 1e-9;
     }
 #endif
-    return std::chrono::duration<double>(
-               Clock::now().time_since_epoch())
-        .count();
+    return monotonicSeconds();
 }
 
 /** POWERCHOP_AUDIT=1 runs the invariant auditor on every job the
@@ -197,6 +188,11 @@ RunnerReport::toString() const
         if (backoffSeconds > 0)
             s += csprintf(", %.3fs backoff", backoffSeconds);
     }
+    if (workerCrashes + workerRestarts + redispatches > 0) {
+        s += csprintf("; supervisor: %zu worker crashes, %zu "
+                      "restarts, %zu re-dispatches",
+                      workerCrashes, workerRestarts, redispatches);
+    }
     if (translationCacheHits + translationCacheMisses > 0) {
         s += csprintf("; trans-meta cache: %llu hits, %llu misses",
                       static_cast<unsigned long long>(
@@ -240,6 +236,11 @@ RunnerReport::toJson(const std::string &name) const
         }
         if (backoffSeconds > 0)
             s += csprintf(",\"backoff_seconds\":%.6f", backoffSeconds);
+    }
+    if (workerCrashes + workerRestarts + redispatches > 0) {
+        s += csprintf(",\"worker_crashes\":%zu,"
+                      "\"worker_restarts\":%zu,\"redispatches\":%zu",
+                      workerCrashes, workerRestarts, redispatches);
     }
     if (translationCacheHits + translationCacheMisses > 0) {
         s += csprintf(",\"translation_cache_hits\":%llu,"
@@ -346,7 +347,7 @@ SimJobRunner::runTasks(std::size_t count,
     if (count == 0)
         return;
 
-    const auto start = Clock::now();
+    const double start = monotonicSeconds();
     const InsnCount tally_before = simulatedInstructionTally();
 
     {
@@ -378,7 +379,7 @@ SimJobRunner::runTasks(std::size_t count,
         errors_.clear();
 
         report_.jobs += count;
-        report_.wallSeconds += secondsSince(start);
+        report_.wallSeconds += monotonicSeconds() - start;
         report_.busySeconds += batchBusySeconds_;
         report_.instructions +=
             simulatedInstructionTally() - tally_before;
@@ -429,11 +430,7 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
     };
     std::vector<Slot> slots(jobs.size());
 
-    const auto nowNs = [] {
-        return std::chrono::duration_cast<std::chrono::nanoseconds>(
-                   Clock::now().time_since_epoch())
-            .count();
-    };
+    const auto nowNs = [] { return monotonicNanos(); };
 
     const auto batchCancelled = [&] {
         return opts.cancelFlag &&

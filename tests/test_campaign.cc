@@ -157,14 +157,32 @@ TEST(Journal, LineRoundTripsAndRejectsTampering)
                                   parsed));
 }
 
-TEST(Journal, MissingFileIsEmptyReplay)
+TEST(Journal, OpenFailureIsIoErrorNotEmptyReplay)
 {
-    const JournalReplay replay =
-        loadJournal(freshDir("nojournal") + "/journal.jsonl");
+    // A journal that cannot be opened must fail loudly: --resume
+    // pointed at a wrong directory would otherwise silently rerun
+    // the whole campaign.
+    EXPECT_THROW(
+        loadJournal(freshDir("nojournal") + "/journal.jsonl"),
+        IoError);
+}
+
+TEST(Journal, LoadIfPresentTreatsOnlyMissingAsEmpty)
+{
+    // Missing file: the explicit "fresh campaign" entry point.
+    const JournalReplay replay = loadJournalIfPresent(
+        freshDir("nojournal2") + "/journal.jsonl");
     EXPECT_TRUE(replay.records.empty());
     EXPECT_EQ(replay.lines, 0u);
     EXPECT_EQ(replay.corrupted, 0u);
     EXPECT_EQ(replay.truncated, 0u);
+
+    // Any other open failure still throws: a directory in place of
+    // the journal is not a fresh campaign.
+    const std::string dir = freshDir("nojournal3");
+    std::filesystem::create_directories(dir + "/journal.jsonl");
+    EXPECT_THROW(loadJournalIfPresent(dir + "/journal.jsonl"),
+                 IoError);
 }
 
 TEST(Journal, WriterAppendsDurablyAndLoadsInOrder)
@@ -430,6 +448,19 @@ TEST(Campaign, DirtyDirectoryRefusedWithoutResume)
     SimJobRunner runner(1);
     runCampaign(runner, jobs, dir, {});
     EXPECT_THROW(runCampaign(runner, jobs, dir, {}), FatalError);
+}
+
+TEST(Campaign, ResumeWithoutJournalRefused)
+{
+    // --resume against a directory with no journal means the user
+    // pointed at the wrong place; rerunning everything silently
+    // would mask the mistake.
+    const std::string dir = freshDir("resume-nothing");
+    const std::vector<SimJob> jobs = smallMatrix(1);
+    SimJobRunner runner(1);
+    CampaignOptions resume;
+    resume.resume = true;
+    EXPECT_THROW(runCampaign(runner, jobs, dir, resume), FatalError);
 }
 
 TEST(Campaign, DuplicateJobsRefused)

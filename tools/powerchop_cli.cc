@@ -19,6 +19,17 @@
  *                                journaled work. Exit 0 = complete,
  *                                3 = interrupted (resumable),
  *                                1 = permanent failures.
+ *                                --shards N forks N campaign-worker
+ *                                processes supervised for crash
+ *                                containment (restart with backoff,
+ *                                straggler re-dispatch); the merged
+ *                                report.json is byte-identical to a
+ *                                single-process run.
+ *   campaign-worker <dir> ...    Internal: one shard of a sharded
+ *                                campaign. Reads assigned content
+ *                                keys from stdin, journals to
+ *                                --journal, reports done/heartbeat
+ *                                lines on stdout.
  *
  * `<workload>` is either a built-in model name or a path to a spec
  * file (containing '/' or ending in .wl).
@@ -40,11 +51,19 @@
  * prints the release and exits 0.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <csignal>
+#include <unistd.h>
 
 #include "powerchop/powerchop.hh"
 #include "workload/spec_io.hh"
@@ -77,7 +96,12 @@ usage()
         "  campaign <dir> [--workloads a,b,c] [--machine M]\n"
         "      [--modes m1,m2] [--insns N] [--resume] [--inspect]\n"
         "      [--timeout-seconds S] [--drain-seconds S]\n"
-        "      [--retries N]\n"
+        "      [--retries N] [--shards N] [--max-restarts N]\n"
+        "      [--heartbeat-seconds S] [--no-redispatch]\n"
+        "  campaign-worker <dir> --journal PATH [matrix options]\n"
+        "      (internal: one shard of `campaign --shards`; reads\n"
+        "      assigned content keys from stdin, one 16-hex line\n"
+        "      each, and reports done/heartbeat lines on stdout)\n"
         "  --version\n"
         "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n"
         "run/compare/trace accept --audit (invariant-check results)\n");
@@ -148,6 +172,14 @@ struct Args
         envDouble("POWERCHOP_DRAIN_SECONDS", 0, 3600).value_or(5.0);
     unsigned retries = 0;
     /** @} */
+
+    /** sharded-campaign / campaign-worker options. @{ */
+    unsigned shards = 0; ///< 0 = in-process (unsharded) campaign.
+    unsigned maxRestarts = 3;
+    double heartbeatSeconds = 30.0;
+    bool redispatch = true;
+    std::string journal; ///< Shard journal (campaign-worker).
+    /** @} */
 };
 
 Args
@@ -207,6 +239,19 @@ parseOptions(const std::vector<std::string> &rest)
         else if (rest[i] == "--retries")
             a.retries = static_cast<unsigned>(
                 std::strtoul(need("--retries").c_str(), nullptr, 10));
+        else if (rest[i] == "--shards")
+            a.shards = static_cast<unsigned>(
+                std::strtoul(need("--shards").c_str(), nullptr, 10));
+        else if (rest[i] == "--max-restarts")
+            a.maxRestarts = static_cast<unsigned>(std::strtoul(
+                need("--max-restarts").c_str(), nullptr, 10));
+        else if (rest[i] == "--heartbeat-seconds")
+            a.heartbeatSeconds = std::strtod(
+                need("--heartbeat-seconds").c_str(), nullptr);
+        else if (rest[i] == "--no-redispatch")
+            a.redispatch = false;
+        else if (rest[i] == "--journal")
+            a.journal = need("--journal");
         else
             throw UsageError(csprintf("unknown option '%s'",
                                       rest[i].c_str()));
@@ -534,27 +579,14 @@ cmdVerify(const Args &a)
     return (report.ok() && golden_ok) ? 0 : 1;
 }
 
-int
-cmdCampaign(const std::string &dir, const Args &a)
+/** The campaign matrix named by the CLI options, in canonical
+ *  (workload-major) order. Shared by the in-process campaign, the
+ *  shard supervisor and the campaign-worker subcommand: all three
+ *  must derive identical job lists (and so identical content keys)
+ *  from the same flags. */
+std::vector<SimJob>
+buildCampaignJobs(const Args &a)
 {
-    if (a.inspect) {
-        // Summarize the journal without dispatching anything.
-        const JournalReplay replay = loadJournal(dir + "/journal.jsonl");
-        std::printf("journal: %zu lines, %zu live records "
-                    "(%zu corrupt, %zu torn, %zu superseded)\n",
-                    replay.lines, replay.records.size(),
-                    replay.corrupted, replay.truncated,
-                    replay.duplicates);
-        for (const auto &rec : replay.records) {
-            std::printf("  %016llx %s\n",
-                        static_cast<unsigned long long>(rec.key),
-                        rec.status.c_str());
-        }
-        return 0;
-    }
-
-    // The matrix, in canonical order (workload-major): the same
-    // defaults as verify's golden sweep.
     const std::vector<std::string> workloads = !a.workloads.empty()
         ? splitList(a.workloads)
         : std::vector<std::string>{"perlbench", "namd", "canneal",
@@ -590,6 +622,257 @@ cmdCampaign(const std::string &dir, const Args &a)
             }
         }
     }
+    return jobs;
+}
+
+/** The matrix-defining flags to forward to campaign-worker
+ *  processes, so they rebuild exactly the supervisor's job list. */
+std::vector<std::string>
+matrixWorkerArgs(const Args &a)
+{
+    std::vector<std::string> args;
+    if (!a.workloads.empty()) {
+        args.push_back("--workloads");
+        args.push_back(a.workloads);
+    }
+    if (!a.machine.empty()) {
+        args.push_back("--machine");
+        args.push_back(a.machine);
+    }
+    if (!a.modes.empty()) {
+        args.push_back("--modes");
+        args.push_back(a.modes);
+    } else if (a.modeSet) {
+        args.push_back("--mode");
+        args.push_back(simModeName(a.mode));
+    }
+    if (a.insnsSet) {
+        args.push_back("--insns");
+        args.push_back(csprintf(
+            "%llu", static_cast<unsigned long long>(a.insns)));
+    }
+    if (a.timeout != 0) {
+        args.push_back("--timeout");
+        args.push_back(csprintf("%.17g", a.timeout));
+    }
+    if (a.drainSeconds != 5.0) {
+        args.push_back("--drain-seconds");
+        args.push_back(csprintf("%.17g", a.drainSeconds));
+    }
+    return args;
+}
+
+int
+cmdShardedCampaign(const std::string &dir, const Args &a)
+{
+    installCampaignSignalHandlers();
+
+    ShardSupervisorOptions sopts;
+    sopts.shards = a.shards;
+    sopts.resume = a.resume;
+    sopts.maxRestarts = a.maxRestarts;
+    sopts.heartbeatTimeoutSeconds = a.heartbeatSeconds;
+    sopts.drainSeconds = a.drainSeconds;
+    sopts.redispatch = a.redispatch;
+    sopts.jobTimeoutSeconds = a.timeoutSeconds;
+    sopts.maxRetries = a.retries;
+    sopts.workerArgs = matrixWorkerArgs(a);
+    sopts.onEvent = [](const std::string &msg) {
+        std::fprintf(stderr, "[supervisor] %s\n", msg.c_str());
+    };
+
+    const ShardSupervisorResult res =
+        runShardedCampaign(buildCampaignJobs(a), dir, sopts);
+
+    std::printf("campaign: %s\n", res.campaign.summary().c_str());
+    std::printf("report: %s/report.json\n", dir.c_str());
+
+    // The supervision trajectory rides the same BENCH file the
+    // runner benches append to, so crash/restart counts are tracked
+    // across changes alongside throughput.
+    RunnerReport rep;
+    rep.jobs = res.campaign.keys.size();
+    rep.threads = static_cast<unsigned>(res.shards);
+    rep.wallSeconds = res.wallSeconds;
+    rep.okJobs = res.campaign.keys.size();
+    for (const auto &o : res.campaign.outcomes)
+        rep.okJobs -= o.status != JobStatus::Ok;
+    rep.failedJobs = 0;
+    for (const auto &o : res.campaign.outcomes)
+        rep.failedJobs += o.status == JobStatus::Failed;
+    rep.workerCrashes = res.crashes;
+    rep.workerRestarts = res.restarts;
+    rep.redispatches = res.redispatches;
+    const std::string bench_path =
+        envString("POWERCHOP_RUNNER_JSON")
+            .value_or("BENCH_runner.json");
+    appendJsonArrayEntryOk(bench_path,
+                           rep.toJson("campaign-shards"));
+
+    if (res.campaign.interrupted)
+        return campaignInterruptedExitStatus;
+    return res.campaign.complete() ? 0 : 1;
+}
+
+int
+cmdCampaignWorker(const std::string &dir, const Args &a)
+{
+    if (a.journal.empty())
+        fatal("campaign-worker requires --journal PATH");
+
+    // Assignment: one 16-hex content key per stdin line, EOF ends it.
+    std::vector<std::uint64_t> assigned;
+    {
+        std::string line;
+        char buf[64];
+        while (std::fgets(buf, sizeof(buf), stdin)) {
+            line = buf;
+            while (!line.empty() &&
+                   (line.back() == '\n' || line.back() == '\r')) {
+                line.pop_back();
+            }
+            if (line.empty())
+                continue;
+            assigned.push_back(
+                std::strtoull(line.c_str(), nullptr, 16));
+        }
+    }
+
+    // Rebuild the matrix from the forwarded flags and keep only the
+    // assigned keys. An assigned key the matrix cannot produce means
+    // supervisor and worker disagree about the spec — fatal, because
+    // silently dropping it would stall the campaign.
+    const std::vector<SimJob> matrix = buildCampaignJobs(a);
+    std::vector<std::uint64_t> matrix_keys;
+    matrix_keys.reserve(matrix.size());
+    for (const auto &job : matrix)
+        matrix_keys.push_back(campaignJobKey(job));
+
+    std::vector<SimJob> jobs;
+    for (std::uint64_t key : assigned) {
+        bool found = false;
+        for (std::size_t i = 0; i < matrix.size(); ++i) {
+            if (matrix_keys[i] == key) {
+                jobs.push_back(matrix[i]);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            fatal("campaign-worker: assigned key %016llx matches no "
+                  "job of this matrix (flag mismatch with the "
+                  "supervisor?)",
+                  static_cast<unsigned long long>(key));
+        }
+    }
+
+    installCampaignSignalHandlers();
+
+    // Protocol stdout (ready/hb/done lines) is shared between worker
+    // threads and the heartbeat thread.
+    std::mutex out_mutex;
+    const auto emit = [&](const std::string &line) {
+        std::lock_guard<std::mutex> lock(out_mutex);
+        std::fputs((line + "\n").c_str(), stdout);
+        std::fflush(stdout);
+    };
+    emit(csprintf("ready %zu", jobs.size()));
+
+    std::atomic<bool> hb_stop{false};
+    std::thread heartbeat([&] {
+        // ~500ms cadence keeps hang detection cheap and prompt; the
+        // 100ms slices keep worker exit snappy.
+        int tick = 0;
+        while (!hb_stop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+            if (++tick >= 5) {
+                tick = 0;
+                emit("hb");
+            }
+        }
+    });
+
+    // Crash injection for the containment tests: kill this process
+    // at the worst possible point — after the assigned job's work,
+    // immediately before its record becomes durable — exactly once
+    // (a marker file survives the crash and disarms the injection in
+    // the restarted worker).
+    const std::uint64_t crash_key =
+        std::strtoull(envString("POWERCHOP_TEST_CRASH_KEY")
+                          .value_or("0")
+                          .c_str(),
+                      nullptr, 16);
+    const std::string crash_mode =
+        envString("POWERCHOP_TEST_CRASH_MODE").value_or("segv");
+
+    ShardRunOptions sopts;
+    sopts.timeoutSeconds = a.timeoutSeconds;
+    sopts.maxRetries = a.retries;
+    sopts.drainSeconds = a.drainSeconds;
+    sopts.preJournal = [&](std::uint64_t key, const JobOutcome &) {
+        if (crash_key == 0 || key != crash_key)
+            return;
+        const std::string marker = csprintf(
+            "%s/.crash-fired-%016llx", dir.c_str(),
+            static_cast<unsigned long long>(crash_key));
+        if (::access(marker.c_str(), F_OK) == 0)
+            return;
+        atomicWriteFile(marker, "armed-once\n");
+        if (crash_mode == "kill") {
+            ::kill(::getpid(), SIGKILL);
+        } else if (crash_mode == "abort") {
+            std::abort();
+        } else {
+            ::raise(SIGSEGV);
+        }
+    };
+    sopts.onJobDone = [&](std::uint64_t key, const JobOutcome &o,
+                          bool) {
+        emit(csprintf("done %016llx %s",
+                      static_cast<unsigned long long>(key),
+                      jobStatusName(o.status)));
+    };
+
+    SimJobRunner runner;
+    const ShardRunResult res =
+        runCampaignShard(runner, jobs, a.journal, sopts);
+
+    hb_stop.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+
+    if (res.interrupted)
+        return campaignInterruptedExitStatus;
+    return res.complete ? 0 : 1;
+}
+
+int
+cmdCampaign(const std::string &dir, const Args &a)
+{
+    if (a.inspect) {
+        // Summarize the journal without dispatching anything.
+        const JournalReplay replay = loadJournal(dir + "/journal.jsonl");
+        std::printf("journal: %zu lines, %zu live records "
+                    "(%zu corrupt, %zu torn, %zu superseded)\n",
+                    replay.lines, replay.records.size(),
+                    replay.corrupted, replay.truncated,
+                    replay.duplicates);
+        for (const auto &rec : replay.records) {
+            std::printf("  %016llx %s\n",
+                        static_cast<unsigned long long>(rec.key),
+                        rec.status.c_str());
+        }
+        return 0;
+    }
+
+    // --shards hands the whole campaign to the process supervisor:
+    // same matrix, same directory, same report bytes.
+    if (a.shards > 0)
+        return cmdShardedCampaign(dir, a);
+
+    // The matrix, in canonical order (workload-major): the same
+    // defaults as verify's golden sweep.
+    const std::vector<SimJob> jobs = buildCampaignJobs(a);
 
     installCampaignSignalHandlers();
     SimJobRunner runner;
@@ -640,6 +923,8 @@ main(int argc, char **argv)
             return cmdTrace(argv[2], parseOptions(rest));
         if (cmd == "campaign" && argc >= 3)
             return cmdCampaign(argv[2], parseOptions(rest));
+        if (cmd == "campaign-worker" && argc >= 3)
+            return cmdCampaignWorker(argv[2], parseOptions(rest));
         if (cmd == "verify") {
             // verify has no <workload> positional: every argv after
             // the subcommand is an option.
