@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "common/atomic_file.hh"
+#include "common/clock.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -294,10 +295,16 @@ JournalWriter::flushLocked()
 {
     if (!dirty_)
         return;
+    const std::int64_t start =
+        flushLatencyNs_ ? monotonicNanos() : 0;
     if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
         armFlushHook(flushHookId_);
         throw IoError(csprintf("%s: journal flush failed: %s",
                                path_.c_str(), std::strerror(errno)));
+    }
+    if (flushLatencyNs_) {
+        flushLatencyNs_->sample(
+            static_cast<std::uint64_t>(monotonicNanos() - start));
     }
     dirty_ = false;
 }

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
+
 namespace powerchop
 {
 
@@ -129,6 +131,18 @@ class JournalWriter
     /** Records appended through this writer. */
     std::size_t appended() const { return appended_; }
 
+    /**
+     * Attach a latency histogram sampled (in nanoseconds) around
+     * every durable flush — the fflush+fsync pair that dominates
+     * write-ahead cost. The histogram must outlive the writer;
+     * nullptr detaches. Observation only: no journal bytes change.
+     */
+    void setFlushLatencyHistogram(stats::Log2Histogram *hist)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        flushLatencyNs_ = hist;
+    }
+
   private:
     void flushLocked();
 
@@ -138,6 +152,7 @@ class JournalWriter
     bool dirty_ = false;
     std::size_t appended_ = 0;
     int flushHookId_ = 0;
+    stats::Log2Histogram *flushLatencyNs_ = nullptr;
 };
 
 } // namespace powerchop

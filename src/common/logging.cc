@@ -1,10 +1,13 @@
 #include "common/logging.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/clock.hh"
 
 namespace powerchop
 {
@@ -139,6 +142,87 @@ drainFlushHooks()
         }
     }
     return ran;
+}
+
+LogRateLimiter::LogRateLimiter(double ratePerSecond, double burst)
+    : ratePerSecond_(std::max(ratePerSecond, 0.0)),
+      burst_(std::max(burst, 1.0)), tokens_(burst_),
+      lastRefill_(monotonicSeconds())
+{
+}
+
+bool
+LogRateLimiter::allow()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double now = monotonicSeconds();
+    tokens_ = std::min(
+        burst_, tokens_ + (now - lastRefill_) * ratePerSecond_);
+    lastRefill_ = now;
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    ++suppressed_;
+    return false;
+}
+
+std::uint64_t
+LogRateLimiter::suppressed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return suppressed_;
+}
+
+std::uint64_t
+LogRateLimiter::takeSuppressed()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t n = suppressed_;
+    suppressed_ = 0;
+    return n;
+}
+
+namespace
+{
+
+/** Shared body of warnLimited()/informLimited(). */
+void
+limitedVlog(const char *prefix, LogRateLimiter &limiter,
+            const char *fmt, std::va_list args)
+{
+    if (quiet())
+        return;
+    if (!limiter.allow())
+        return;
+    std::string msg = vcsprintf(fmt, args);
+    const std::uint64_t dropped = limiter.takeSuppressed();
+    if (dropped > 0) {
+        msg += csprintf(" (%llu suppressed)",
+                        static_cast<unsigned long long>(dropped));
+    }
+    std::lock_guard<std::mutex> lock(outputMutex());
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+} // namespace
+
+void
+warnLimited(LogRateLimiter &limiter, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    limitedVlog("warn", limiter, fmt, args);
+    va_end(args);
+}
+
+void
+informLimited(LogRateLimiter &limiter, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    limitedVlog("info", limiter, fmt, args);
+    va_end(args);
 }
 
 void

@@ -21,7 +21,9 @@
 
 #include <cstdarg>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -116,6 +118,58 @@ void armFlushHook(int id);
  * @return the number of hooks that ran.
  */
 std::size_t drainFlushHooks();
+
+/**
+ * A token-bucket rate limiter for per-site log throttling.
+ *
+ * A retry storm, a crash-restart loop or a hot progress callback can
+ * emit log lines far faster than anyone reads them; unbounded volume
+ * also makes the interesting line (the first one) hard to find. Call
+ * sites construct one limiter per message site (usually a function-
+ * local static) and route through warnLimited()/informLimited():
+ * messages over the budget are counted instead of printed, and the
+ * next printed message carries a "(N suppressed)" suffix so the
+ * volume that was dropped stays visible.
+ *
+ * Time comes from the monotonic clock (clock.hh) — a wall-clock step
+ * must not open or close the budget. Thread-safe.
+ */
+class LogRateLimiter
+{
+  public:
+    /**
+     * @param ratePerSecond Sustained messages per second allowed.
+     * @param burst         Bucket capacity: messages allowed at once
+     *                      after a quiet period.
+     */
+    LogRateLimiter(double ratePerSecond, double burst);
+
+    /** Take one token. @return true when the message may print. */
+    bool allow();
+
+    /** Messages suppressed since the last printed one. */
+    std::uint64_t suppressed() const;
+
+    /** @return the suppressed count, resetting it to zero. */
+    std::uint64_t takeSuppressed();
+
+  private:
+    mutable std::mutex mutex_;
+    double ratePerSecond_;
+    double burst_;
+    double tokens_;
+    double lastRefill_;
+    std::uint64_t suppressed_ = 0;
+};
+
+/** warn() through a rate limiter: over-budget messages are counted,
+ *  and the next printed one reports "(N suppressed)". */
+void warnLimited(LogRateLimiter &limiter, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** inform() through a rate limiter (see warnLimited()). */
+void informLimited(LogRateLimiter &limiter, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /**
  * panic() unless the given condition holds.

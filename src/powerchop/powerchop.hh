@@ -28,7 +28,9 @@
 #include "common/atomic_file.hh"
 #include "common/clock.hh"
 #include "common/env.hh"
+#include "common/flight_recorder.hh"
 #include "common/journal.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -76,6 +78,7 @@
 #include "sim/sim_result.hh"
 #include "sim/sim_runner.hh"
 #include "sim/simulator.hh"
+#include "sim/statusboard.hh"
 
 #include "verify/differential.hh"
 #include "verify/golden.hh"

@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <thread>
 
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/atomic_file.hh"
+#include "common/clock.hh"
+#include "common/flight_recorder.hh"
 #include "common/logging.hh"
+#include "sim/statusboard.hh"
 #include "telemetry/trace.hh"
 #include "workload/spec_io.hh"
 
@@ -395,8 +401,66 @@ runCampaign(SimJobRunner &runner, const std::vector<SimJob> &jobs,
         opts.interruptFlag ? opts.interruptFlag
                            : &campaignInterruptFlag();
 
+    // Live observability (statusboard.hh). Everything below is a
+    // write-only side channel: snapshots are derived from the same
+    // tallies the report uses, and nothing feeds back, so the journal
+    // and report.json are byte-identical with it on or off.
+    std::unique_ptr<StatusPublisher> publisher;
+    stats::Log2Histogram fsync_latency_ns;
+    std::mutex inflight_mutex;
+    std::vector<std::uint64_t> inflight;
+    std::atomic<std::size_t> done_jobs{0}, ok_jobs{0};
+    std::atomic<std::size_t> failed_jobs{0}, retried_jobs{0};
+    const double obs_start = monotonicSeconds();
+    const InsnCount obs_tally_start = simulatedInstructionTally();
+
+    if (opts.publishStatus) {
+        makeCampaignDirs(statusDirPath(dir));
+        publisher.reset(new StatusPublisher(
+            campaignStatusPath(dir), opts.statusIntervalSeconds));
+    }
+
+    const auto makeSnapshot = [&](bool finished) {
+        StatusSnapshot snap;
+        snap.role = "campaign";
+        snap.label = "campaign";
+        snap.jobsTotal = jobs.size();
+        const std::size_t executed_done = done_jobs.load();
+        snap.jobsDone = result.replayed + executed_done;
+        snap.jobsOk = result.replayed + ok_jobs.load();
+        snap.jobsFailed = failed_jobs.load();
+        snap.jobsRetried = retried_jobs.load();
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex);
+            snap.inFlight = inflight;
+        }
+        const double elapsed = monotonicSeconds() - obs_start;
+        if (elapsed > 0) {
+            snap.mips =
+                static_cast<double>(simulatedInstructionTally() -
+                                    obs_tally_start) /
+                elapsed / 1e6;
+        }
+        if (!finished && executed_done > 0 && elapsed > 0 &&
+            executed_done < pending.size()) {
+            snap.etaSeconds = (pending.size() - executed_done) *
+                              (elapsed / executed_done);
+        }
+        snap.finished = finished;
+        snap.jobLatencyMs =
+            runner.report().taskLatencyNs.quantiles(1e-6);
+        snap.fsyncLatencyMs = fsync_latency_ns.quantiles(1e-6);
+        telemetry::StageProfiler &prof =
+            telemetry::StageProfiler::global();
+        if (prof.enabled())
+            snap.stages = prof.snapshot();
+        return snap;
+    };
+
     if (!pending.empty()) {
         JournalWriter writer(journal_path);
+        if (publisher)
+            writer.setFlushLatencyHistogram(&fsync_latency_ns);
 
         std::atomic<std::size_t> done{0};
         RobustRunOptions robust;
@@ -430,13 +494,68 @@ runCampaign(SimJobRunner &runner, const std::vector<SimJob> &jobs,
               case JobStatus::Interrupted:
                 break;
             }
+
+            FlightRecorder::global().record(
+                FlightEventType::JobFinish, rec.key,
+                jobStatusName(outcome.status));
+            done_jobs.fetch_add(1);
+            if (outcome.status == JobStatus::Ok)
+                ok_jobs.fetch_add(1);
+            else if (outcome.status == JobStatus::Failed ||
+                     outcome.status == JobStatus::TimedOut)
+                failed_jobs.fetch_add(1);
+            if (outcome.attempts > 1)
+                retried_jobs.fetch_add(outcome.attempts - 1);
+            if (publisher) {
+                {
+                    std::lock_guard<std::mutex> lock(inflight_mutex);
+                    const auto it = std::find(
+                        inflight.begin(), inflight.end(), rec.key);
+                    if (it != inflight.end())
+                        inflight.erase(it);
+                }
+                publisher->publish(makeSnapshot(false));
+            }
+
             if (opts.onProgress)
                 opts.onProgress(done.fetch_add(1) + 1,
                                 pending.size());
         };
+        robust.onStart = [&](std::size_t pi) {
+            const std::uint64_t key = result.keys[pendingIndex[pi]];
+            FlightRecorder::global().record(FlightEventType::JobStart,
+                                            key);
+            if (!publisher)
+                return;
+            {
+                std::lock_guard<std::mutex> lock(inflight_mutex);
+                inflight.push_back(key);
+            }
+            publisher->publish(makeSnapshot(false));
+        };
+
+        // A heartbeat publisher alongside the workers: with only
+        // per-job publishing, one long job would leave the snapshot
+        // (and its heartbeat mtime) stale for its whole runtime.
+        std::atomic<bool> status_stop{false};
+        std::thread status_thread;
+        if (publisher) {
+            status_thread = std::thread([&] {
+                while (!status_stop.load(std::memory_order_relaxed)) {
+                    publisher->publish(makeSnapshot(false));
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(100));
+                }
+            });
+        }
 
         const RobustBatchResult batch =
             runner.runRobust(pending, robust);
+
+        if (status_thread.joinable()) {
+            status_stop.store(true, std::memory_order_relaxed);
+            status_thread.join();
+        }
 
         for (std::size_t pi = 0; pi < pending.size(); ++pi) {
             const std::size_t i = pendingIndex[pi];
@@ -463,6 +582,11 @@ runCampaign(SimJobRunner &runner, const std::vector<SimJob> &jobs,
     // The merged report is rebuilt from scratch on every invocation
     // and written crash-safely: readers never see a torn file.
     atomicWriteFile(report_path, result.reportJson());
+
+    // Terminal snapshot, forced past the cadence gate: `powerchop
+    // status` on a finished campaign must show the final tallies.
+    if (publisher)
+        publisher->publish(makeSnapshot(true), true);
     return result;
 }
 
@@ -520,6 +644,8 @@ runCampaignShard(SimJobRunner &runner,
     bool all_terminal = true;
     if (!pending.empty()) {
         JournalWriter writer(journalPath);
+        if (opts.fsyncLatencyNs)
+            writer.setFlushLatencyHistogram(opts.fsyncLatencyNs);
 
         RobustRunOptions robust;
         robust.timeoutSeconds = opts.timeoutSeconds;
@@ -550,8 +676,18 @@ runCampaignShard(SimJobRunner &runner,
               case JobStatus::Interrupted:
                 break; // resumable: no record, the job reruns
             }
+            FlightRecorder::global().record(
+                FlightEventType::JobFinish, key,
+                jobStatusName(outcome.status));
             if (opts.onJobDone)
                 opts.onJobDone(key, outcome, false);
+        };
+        robust.onStart = [&](std::size_t pi) {
+            const std::uint64_t key = keys[pendingIndex[pi]];
+            FlightRecorder::global().record(FlightEventType::JobStart,
+                                            key);
+            if (opts.onJobStart)
+                opts.onJobStart(key);
         };
 
         const RobustBatchResult batch =

@@ -79,6 +79,15 @@ struct CampaignOptions
     /** Progress callback: (jobs completed this run, jobs dispatched
      *  this run). Runs on worker threads; must be thread-safe. */
     std::function<void(std::size_t, std::size_t)> onProgress;
+
+    /** Publish live status snapshots to `dir`/status/campaign.json
+     *  (statusboard.hh) while the campaign runs. Write-only side
+     *  channel: report.json and the journal are byte-identical with
+     *  it on or off. */
+    bool publishStatus = false;
+
+    /** Cadence floor of status publishing, seconds. */
+    double statusIntervalSeconds = 0.25;
 };
 
 /**
@@ -200,6 +209,16 @@ struct ShardRunOptions
     std::function<void(std::uint64_t key, const JobOutcome &,
                        bool replayed)>
         onJobDone;
+
+    /** Invoked on the worker thread as a job begins executing (the
+     *  shard worker's statusboard tracks in-flight keys through
+     *  this). Must be thread-safe. */
+    std::function<void(std::uint64_t key)> onJobStart;
+
+    /** When non-null, the shard journal's per-append fsync latency
+     *  is sampled here (nanoseconds), for the worker statusboard.
+     *  Must outlive the run. */
+    stats::Log2Histogram *fsyncLatencyNs = nullptr;
 };
 
 /** What one shard worker invocation accomplished. */

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -15,9 +16,11 @@
 
 #include "common/atomic_file.hh"
 #include "common/clock.hh"
+#include "common/flight_recorder.hh"
 #include "common/journal.hh"
 #include "common/logging.hh"
 #include "common/subprocess.hh"
+#include "sim/statusboard.hh"
 
 namespace powerchop
 {
@@ -254,6 +257,69 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
     std::vector<WorkerSlot> slots;
     slots.reserve(shards * 2);
 
+    // Live observability: the supervisor aggregate snapshot (one
+    // per-shard health entry each) plus flight-recorder events.
+    // Worker deaths and restarts force a publish past the cadence
+    // gate, so `powerchop status` shows them within one interval.
+    std::unique_ptr<StatusPublisher> publisher;
+    if (opts.publishStatus) {
+        makeCampaignDirs(statusDirPath(dir));
+        publisher.reset(new StatusPublisher(
+            campaignStatusPath(dir), opts.statusIntervalSeconds));
+    }
+    stats::Log2Histogram restart_backoff_ns;
+    std::size_t ok_seen = 0, failed_seen = 0;
+    FlightRecorder &flight = FlightRecorder::global();
+
+    const auto makeSnapshot = [&](bool finished) {
+        StatusSnapshot snap;
+        snap.role = "supervisor";
+        snap.label = "campaign";
+        snap.jobsTotal = jobs.size();
+        std::size_t terminal = 0;
+        for (unsigned s = 0; s < shards; ++s)
+            terminal += shard[s].terminal.size();
+        snap.jobsDone = terminal;
+        // ok/failed track live protocol reports; keys replayed from
+        // journals at startup are terminal-of-unknown-status here
+        // (the merge, not the statusboard, is the report of record).
+        snap.jobsOk = ok_seen;
+        snap.jobsFailed = failed_seen;
+        snap.restarts = result.restarts;
+        snap.finished = finished;
+        const double elapsed = monotonicSeconds() - t0;
+        const std::size_t fresh =
+            terminal - std::min(terminal, replayedAtStart);
+        if (!finished && fresh > 0 && elapsed > 0 &&
+            terminal < jobs.size()) {
+            snap.etaSeconds =
+                (jobs.size() - terminal) * (elapsed / fresh);
+        }
+        snap.restartBackoffMs = restart_backoff_ns.quantiles(1e-6);
+        const double now = monotonicSeconds();
+        for (unsigned s = 0; s < shards; ++s) {
+            ShardStatus sh;
+            sh.shard = s;
+            sh.total = shard[s].keys.size();
+            sh.done = shard[s].terminal.size();
+            sh.restarts = shard[s].restarts;
+            sh.helpers = shard[s].helpers;
+            sh.failed = shard[s].failed;
+            for (const auto &slot : slots) {
+                if (slot.active && slot.shard == s) {
+                    sh.active = true;
+                    const double age = now - slot.lastActivity;
+                    if (sh.heartbeatAgeSeconds < 0 ||
+                        age < sh.heartbeatAgeSeconds) {
+                        sh.heartbeatAgeSeconds = age;
+                    }
+                }
+            }
+            snap.shards.push_back(sh);
+        }
+        return snap;
+    };
+
     const auto remainingKeys = [&](unsigned s) {
         std::vector<std::uint64_t> rem;
         for (std::uint64_t k : shard[s].keys) {
@@ -297,6 +363,11 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
         slot.proc.closeStdin();
         slot.lastActivity = monotonicSeconds();
         slot.active = true;
+        flight.record(FlightEventType::WorkerSpawn, 0,
+                      csprintf("shard %u helper %u pid %d (%zu keys)",
+                               s, helper,
+                               static_cast<int>(slot.proc.pid()),
+                               assigned.size()));
         event(csprintf("shard %u%s: worker pid %d spawned (%zu "
                        "keys)",
                        s,
@@ -328,6 +399,11 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
     while (true) {
         const double now = monotonicSeconds();
 
+        // Heartbeat publish; the cadence gate turns the 10ms poll
+        // into one write per statusIntervalSeconds.
+        if (publisher)
+            publisher->publish(makeSnapshot(false));
+
         for (auto &slot : slots) {
             if (!slot.active)
                 continue;
@@ -357,7 +433,12 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
                             (st_val == JobStatus::Ok ||
                              st_val == JobStatus::Failed ||
                              st_val == JobStatus::TimedOut)) {
-                            st.terminal.insert(key);
+                            if (st.terminal.insert(key).second) {
+                                if (st_val == JobStatus::Ok)
+                                    ++ok_seen;
+                                else
+                                    ++failed_seen;
+                            }
                         }
                     }
                     // "ready"/"hb" lines only carry liveness.
@@ -370,6 +451,12 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
                 now - slot.lastActivity >
                     opts.heartbeatTimeoutSeconds &&
                 slot.proc.poll().running()) {
+                flight.record(
+                    FlightEventType::HeartbeatMiss, 0,
+                    csprintf("shard %u pid %d silent %.1fs",
+                             slot.shard,
+                             static_cast<int>(slot.proc.pid()),
+                             now - slot.lastActivity));
                 event(csprintf("shard %u: worker pid %d hung (no "
                                "heartbeat for %.1fs); SIGKILL",
                                slot.shard,
@@ -391,6 +478,10 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
             if (rem.empty()) {
                 if (!st.done) {
                     st.done = true;
+                    flight.record(FlightEventType::WorkerExit, 0,
+                                  csprintf("shard %u complete (%s)",
+                                           slot.shard,
+                                           es.describe().c_str()));
                     event(csprintf("shard %u: complete (%s)",
                                    slot.shard,
                                    es.describe().c_str()));
@@ -405,10 +496,14 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
             if (es.exitedOk()) {
                 // "Complete" exit but the journal disagrees: treat
                 // as a crash so the remainder still runs, but it
-                // points at an assignment bug.
-                warn("shard %u: worker exited 0 with %zu jobs "
-                     "unfinished",
-                     slot.shard, rem.size());
+                // points at an assignment bug. Rate-limited: a
+                // restart loop of a systematically broken worker
+                // must not flood stderr.
+                static LogRateLimiter limiter(5.0, 20.0);
+                warnLimited(limiter,
+                            "shard %u: worker exited 0 with %zu jobs "
+                            "unfinished",
+                            slot.shard, rem.size());
             }
             ++result.crashes;
             const std::string what = csprintf(
@@ -416,6 +511,13 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
                 "unfinished",
                 slot.shard, es.describe().c_str(), rem.size());
             result.crashLog.push_back(what);
+            // Crash postmortem: the flight ring is dumped right here,
+            // not just on supervisor exit — a later SIGKILL of the
+            // supervisor itself must not erase the evidence.
+            flight.record(FlightEventType::WorkerCrash, 0, what);
+            flight.dumpNow();
+            if (publisher)
+                publisher->publish(makeSnapshot(false), true);
             event(what);
             if (slot.helper > 0) {
                 // A dead helper is not restarted: the primary still
@@ -435,8 +537,10 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
             }
             ++st.restarts;
             st.restartPending = true;
-            st.nextSpawnAt =
-                now + restartBackoff(opts, st.restarts);
+            const double backoff = restartBackoff(opts, st.restarts);
+            restart_backoff_ns.sample(
+                static_cast<std::uint64_t>(backoff * 1e9));
+            st.nextSpawnAt = now + backoff;
         }
 
         // Interrupt: request a graceful drain from every worker,
@@ -450,6 +554,10 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
                 if (slot.active)
                     slot.proc.sendSignal(SIGTERM);
             }
+            flight.record(FlightEventType::Signal, 0,
+                          "interrupt: draining workers");
+            if (publisher)
+                publisher->publish(makeSnapshot(false), true);
             event("interrupt: draining workers");
         }
         if (draining) {
@@ -492,9 +600,15 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
                 !st.done && !st.failed) {
                 st.restartPending = false;
                 ++result.restarts;
+                flight.record(FlightEventType::Restart, 0,
+                              csprintf("shard %u restart %u/%u", s,
+                                       st.restarts,
+                                       opts.maxRestarts));
                 event(csprintf("shard %u: restart %u/%u", s,
                                st.restarts, opts.maxRestarts));
                 spawnWorker(s, remainingKeys(s), 0);
+                if (publisher)
+                    publisher->publish(makeSnapshot(false), true);
             }
         }
 
@@ -528,6 +642,10 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
                     rem.begin() + rem.size() / 2, rem.end());
                 ++shard[straggler].helpers;
                 ++result.redispatches;
+                flight.record(
+                    FlightEventType::Redispatch, 0,
+                    csprintf("shard %u: %zu of %zu keys to helper",
+                             straggler, tail.size(), rem.size()));
                 event(csprintf("shard %u: re-dispatching %zu of %zu "
                                "remaining keys to a helper",
                                straggler, tail.size(), rem.size()));
@@ -640,6 +758,11 @@ runShardedCampaign(const std::vector<SimJob> &jobs,
 
     atomicWriteFile(dir + "/report.json", camp.reportJson());
     drainFlushHooks();
+
+    // Terminal snapshot, forced: readers of a finished campaign see
+    // the final per-shard tallies, not the last mid-run heartbeat.
+    if (publisher)
+        publisher->publish(makeSnapshot(true), true);
 
     result.wallSeconds = monotonicSeconds() - t0;
     return result;

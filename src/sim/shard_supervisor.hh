@@ -106,6 +106,16 @@ struct ShardSupervisorOptions
     /** Supervision event log callback (spawn/crash/restart/
      *  re-dispatch), for CLI progress output. */
     std::function<void(const std::string &)> onEvent;
+
+    /** Publish live status to `dir`/status/ (statusboard.hh): the
+     *  aggregate campaign.json with one per-shard health entry each.
+     *  Worker deaths and restarts force an immediate snapshot, so a
+     *  reader sees them within one cadence interval. Write-only side
+     *  channel: report.json is byte-identical with it on or off. */
+    bool publishStatus = false;
+
+    /** Cadence floor of status publishing, seconds. */
+    double statusIntervalSeconds = 0.25;
 };
 
 /** What a supervised campaign accomplished. */

@@ -8,6 +8,7 @@
 
 #include "common/clock.hh"
 #include "common/env.hh"
+#include "common/flight_recorder.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -208,6 +209,11 @@ RunnerReport::toString() const
                           static_cast<unsigned long long>(st.count));
         }
     }
+    if (taskLatencyNs.samples() > 0) {
+        const stats::Quantiles q = taskLatencyNs.quantiles(1e-6);
+        s += csprintf("; task latency ms: p50=%.3f p90=%.3f p99=%.3f",
+                      q.p50, q.p90, q.p99);
+    }
     return s;
 }
 
@@ -261,6 +267,14 @@ RunnerReport::toJson(const std::string &name) const
             first = false;
         }
         s += "}";
+    }
+    if (taskLatencyNs.samples() > 0) {
+        const stats::Quantiles q = taskLatencyNs.quantiles(1e-6);
+        s += csprintf(
+            ",\"task_latency_ms\":{\"samples\":%llu,\"p50\":%.6f,"
+            "\"p90\":%.6f,\"p99\":%.6f}",
+            static_cast<unsigned long long>(q.samples), q.p50, q.p90,
+            q.p99);
     }
     s += "}";
     return s;
@@ -319,12 +333,19 @@ SimJobRunner::workerLoop()
             lock.unlock();
 
             const double cpu_start = threadCpuSeconds();
+            const std::int64_t wall_start = monotonicNanos();
             std::exception_ptr err;
             try {
                 task(idx);
             } catch (...) {
                 err = std::current_exception();
             }
+            // Per-task wall latency (not CPU): the statusboard's
+            // question is "how long does a job take end to end",
+            // descheduled time included. Atomic buckets — no lock
+            // needed on this path.
+            report_.taskLatencyNs.sample(static_cast<std::uint64_t>(
+                monotonicNanos() - wall_start));
             busy += threadCpuSeconds() - cpu_start;
 
             lock.lock();
@@ -506,6 +527,9 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
             return;
         }
 
+        if (opts.onStart)
+            opts.onStart(i);
+
         const unsigned max_attempts =
             1 + (job.transient ? opts.maxRetries : 0);
         for (unsigned attempt = 1; attempt <= max_attempts;
@@ -561,6 +585,11 @@ SimJobRunner::runRobust(const std::vector<SimJob> &jobs,
                 attempt == max_attempts || batchCancelled()) {
                 break;
             }
+
+            FlightRecorder::global().record(
+                FlightEventType::Retry, 0,
+                csprintf("job %zu attempt %u: %s", i, attempt,
+                         outcome.error.c_str()));
 
             // Bounded exponential backoff before the re-attempt. The
             // charged delay is computed, never measured, so reports

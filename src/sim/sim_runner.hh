@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bt/translation_cache.hh"
+#include "common/stats.hh"
 #include "sim/simulator.hh"
 #include "telemetry/profiler.hh"
 
@@ -124,6 +125,11 @@ struct RobustRunOptions
     std::function<void(std::size_t, const SimResult &,
                        const JobOutcome &)>
         onComplete;
+
+    /** Invoked on the worker thread just before a job's first attempt
+     *  begins executing (never for Skipped jobs). The statusboard
+     *  tracks in-flight keys through this. Must be thread-safe. */
+    std::function<void(std::size_t)> onStart;
 };
 
 /**
@@ -228,6 +234,13 @@ struct RunnerReport
      *  stage profiler; toString()/toJson() render it only when
      *  non-empty, keeping unprofiled reports byte-identical. */
     std::vector<telemetry::StageTime> stages;
+
+    /** Per-task wall latency in nanoseconds (every run()/runTasks()/
+     *  runRobust() task, all attempts included). Host timing like
+     *  wallSeconds, never simulation state; toString()/toJson()
+     *  render its quantiles only when samples exist, so reports from
+     *  drivers that never ran a batch stay byte-identical. */
+    stats::Log2Histogram taskLatencyNs;
 
     /** Realized speedup over serial execution of the same jobs
      *  (equivalently, the average number of cores kept busy). */

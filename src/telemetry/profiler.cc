@@ -10,7 +10,7 @@ namespace telemetry
 void
 StageProfiler::record(const std::string &stage, double seconds)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(mutex_);
     StageTime &st = stages_[stage];

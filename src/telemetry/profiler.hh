@@ -18,6 +18,7 @@
 #ifndef POWERCHOP_TELEMETRY_PROFILER_HH
 #define POWERCHOP_TELEMETRY_PROFILER_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -47,7 +48,22 @@ class StageProfiler
     /** @param enabled A disabled profiler ignores record() calls. */
     explicit StageProfiler(bool enabled = false) : enabled_(enabled) {}
 
-    bool enabled() const { return enabled_; }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Arm or disarm the profiler at runtime: the --profile CLI flag
+     *  is parity for POWERCHOP_PROFILE, which global() latched at
+     *  first use. Atomic, so drivers may flip it while workers run
+     *  (scopes in flight record or not — stage *totals* are host
+     *  measurements either way, never simulation state). */
+    void
+    setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
 
     /** Add one timed scope to a stage. No-op when disabled. */
     void record(const std::string &stage, double seconds);
@@ -73,7 +89,7 @@ class StageProfiler
     static StageProfiler &global();
 
   private:
-    bool enabled_;
+    std::atomic<bool> enabled_;
     mutable std::mutex mutex_;
     std::map<std::string, StageTime> stages_;
 };

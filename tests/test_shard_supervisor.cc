@@ -22,10 +22,12 @@
 #include <unistd.h>
 
 #include "common/journal.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/subprocess.hh"
 #include "sim/campaign.hh"
 #include "sim/shard_supervisor.hh"
+#include "sim/statusboard.hh"
 #include "sim/sim_runner.hh"
 #include "workload/spec_io.hh"
 #include "workload/suites.hh"
@@ -360,6 +362,75 @@ TEST_P(CrashContainment, WorkerDeathMidRunIsRecoveredByteIdentical)
 
 INSTANTIATE_TEST_SUITE_P(Signals, CrashContainment,
                          ::testing::Values("segv", "kill"));
+
+TEST(ShardedCampaign, KilledWorkerSurfacesInStatusAndFlightLog)
+{
+    // A SIGKILLed worker cannot dump anything itself; the supervisor
+    // must (a) force a statusboard snapshot recording the restart —
+    // so `powerchop status` reflects it within one cadence interval
+    // rather than at the next timer tick — and (b) dump its own
+    // flight ring with the worker-crash event.
+    const std::string specs = freshDir("obs-specs");
+    const auto files = writeSpecs(specs, 3);
+    const std::vector<SimJob> matrix = cliMatrix(files);
+    const std::uint64_t crash_key = campaignJobKey(matrix[2]);
+
+    std::vector<std::string> args =
+        campaignArgs(freshDir("obs-run"), files);
+    const std::string dir = args[1];
+    args.insert(args.end(), {"--shards", "2"});
+    const ExitStatus st = runCli(
+        args,
+        {csprintf("POWERCHOP_TEST_CRASH_KEY=%016llx",
+                  static_cast<unsigned long long>(crash_key)),
+         "POWERCHOP_TEST_CRASH_MODE=kill"});
+    ASSERT_TRUE(st.exitedOk()) << st.describe();
+
+    // The statusboard (default-on) recorded the restart.
+    StatusSnapshot snap;
+    ASSERT_TRUE(StatusSnapshot::fromJson(
+        readFile(campaignStatusPath(dir)), snap));
+    EXPECT_EQ(snap.role, "supervisor");
+    EXPECT_TRUE(snap.finished);
+    EXPECT_GE(snap.restarts, 1u);
+    EXPECT_EQ(snap.jobsDone, matrix.size());
+    EXPECT_GE(snap.restartBackoffMs.samples, 1u);
+    bool shard_restarted = false;
+    for (const auto &sh : snap.shards)
+        shard_restarted |= sh.restarts >= 1;
+    EXPECT_TRUE(shard_restarted);
+
+    // The supervisor's flight log exists, every line parses, and the
+    // crash and restart moments are in it.
+    const std::string flight = readFile(dir + "/flight.jsonl");
+    ASSERT_FALSE(flight.empty());
+    std::set<std::string> types;
+    std::istringstream lines(flight);
+    std::string line;
+    while (std::getline(lines, line)) {
+        json::Value v;
+        ASSERT_TRUE(json::parse(line, v)) << line;
+        types.insert(v.getString("type"));
+    }
+    EXPECT_TRUE(types.count("worker-crash")) << flight;
+    EXPECT_TRUE(types.count("restart")) << flight;
+    EXPECT_TRUE(types.count("worker-spawn")) << flight;
+}
+
+TEST(ShardedCampaign, ObservabilityOptOutLeavesNoSideFiles)
+{
+    const std::string specs = freshDir("optout-specs");
+    const auto files = writeSpecs(specs, 2);
+    std::vector<std::string> args =
+        campaignArgs(freshDir("optout-run"), files);
+    const std::string dir = args[1];
+    args.insert(args.end(), {"--shards", "2"});
+    ASSERT_TRUE(runCli(args, {"POWERCHOP_NO_STATUS=1",
+                              "POWERCHOP_NO_FLIGHT=1"})
+                    .exitedOk());
+    EXPECT_FALSE(std::filesystem::exists(statusDirPath(dir)));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/flight.jsonl"));
+}
 
 TEST(ShardedCampaign, ResumeCompletesPartialShardJournals)
 {

@@ -30,6 +30,18 @@
  *                                keys from stdin, journals to
  *                                --journal, reports done/heartbeat
  *                                lines on stdout.
+ *   status <dir> [options]       Read a campaign's live statusboard
+ *                                (<dir>/status/*.json): a one-shot
+ *                                table by default, --follow to
+ *                                redraw on an interval, --json for
+ *                                machine output, --prom for a
+ *                                Prometheus textfile exposition.
+ *
+ * Campaigns publish the statusboard and a crash flight recorder
+ * (<dir>/flight.jsonl) by default; POWERCHOP_NO_STATUS=1 and
+ * POWERCHOP_NO_FLIGHT=1 disable them. Both are write-only side
+ * channels: report.json and the journals are byte-identical either
+ * way.
  *
  * `<workload>` is either a built-in model name or a path to a spec
  * file (containing '/' or ending in .wl).
@@ -56,6 +68,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -102,9 +115,12 @@ usage()
         "      (internal: one shard of `campaign --shards`; reads\n"
         "      assigned content keys from stdin, one 16-hex line\n"
         "      each, and reports done/heartbeat lines on stdout)\n"
+        "  status <dir> [--json | --prom] [--follow] [--interval S]\n"
         "  --version\n"
         "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n"
-        "run/compare/trace accept --audit (invariant-check results)\n");
+        "run/compare/trace accept --audit (invariant-check results)\n"
+        "any subcommand accepts --profile (stage wall-clock table,\n"
+        "same as POWERCHOP_PROFILE=1)\n");
     return 2;
 }
 
@@ -180,6 +196,15 @@ struct Args
     bool redispatch = true;
     std::string journal; ///< Shard journal (campaign-worker).
     /** @} */
+
+    /** status-only options. @{ */
+    bool follow = false;
+    bool prom = false;
+    double intervalSeconds = 2.0;
+    /** @} */
+
+    /** --profile: CLI parity for POWERCHOP_PROFILE=1. */
+    bool profile = false;
 };
 
 Args
@@ -252,14 +277,45 @@ parseOptions(const std::vector<std::string> &rest)
             a.redispatch = false;
         else if (rest[i] == "--journal")
             a.journal = need("--journal");
+        else if (rest[i] == "--follow")
+            a.follow = true;
+        else if (rest[i] == "--prom")
+            a.prom = true;
+        else if (rest[i] == "--interval")
+            a.intervalSeconds =
+                std::strtod(need("--interval").c_str(), nullptr);
+        else if (rest[i] == "--profile")
+            a.profile = true;
         else
             throw UsageError(csprintf("unknown option '%s'",
                                       rest[i].c_str()));
     }
     if (a.insns == 0)
         fatal("--insns must be positive");
+    // --profile arms the process-wide profiler that POWERCHOP_PROFILE
+    // latched at global()'s first use; doing it in the option funnel
+    // covers every subcommand with one line.
+    if (a.profile)
+        telemetry::StageProfiler::global().setEnabled(true);
     return a;
 }
+
+/** Statusboard / flight recorder opt-outs: observability defaults on
+ *  for campaigns and is disabled per run with POWERCHOP_NO_STATUS=1 /
+ *  POWERCHOP_NO_FLIGHT=1 (both are write-only side channels, so the
+ *  default costs nothing in report bytes). @{ */
+bool
+statusboardEnabled()
+{
+    return envUint64("POWERCHOP_NO_STATUS", 0, 1).value_or(0) == 0;
+}
+
+bool
+flightRecorderEnabled()
+{
+    return envUint64("POWERCHOP_NO_FLIGHT", 0, 1).value_or(0) == 0;
+}
+/** @} */
 
 /** Attach telemetry sinks requested by flags; returns the trace
  *  recorder when --trace / trace's --out asked for one. */
@@ -659,7 +715,39 @@ matrixWorkerArgs(const Args &a)
         args.push_back("--drain-seconds");
         args.push_back(csprintf("%.17g", a.drainSeconds));
     }
+    // Not matrix-defining, but per-process: workers must arm their
+    // own profiler to contribute stage tables to the statusboard.
+    if (a.profile)
+        args.push_back("--profile");
     return args;
+}
+
+int
+cmdStatus(const std::string &dir, const Args &a)
+{
+    if (a.json && a.prom)
+        fatal("status: --json and --prom are mutually exclusive");
+    for (;;) {
+        const std::vector<StatusEntry> entries = readStatusDir(dir);
+        std::string out;
+        if (a.json)
+            out = renderStatusJson(dir, entries);
+        else if (a.prom)
+            out = renderStatusPrometheus(entries);
+        else
+            out = renderStatusTable(entries);
+        std::fputs(out.c_str(), stdout);
+        std::fflush(stdout);
+        if (!a.follow)
+            return 0;
+        // --follow: redraw until interrupted (default SIGINT ends
+        // the loop by terminating the process, which is fine — the
+        // statusboard is read-only).
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(
+                a.intervalSeconds > 0 ? a.intervalSeconds : 2.0));
+        std::printf("\n");
+    }
 }
 
 int
@@ -677,8 +765,16 @@ cmdShardedCampaign(const std::string &dir, const Args &a)
     sopts.jobTimeoutSeconds = a.timeoutSeconds;
     sopts.maxRetries = a.retries;
     sopts.workerArgs = matrixWorkerArgs(a);
+    sopts.publishStatus = statusboardEnabled();
+    if (flightRecorderEnabled())
+        FlightRecorder::global().enable(dir + "/flight.jsonl");
     sopts.onEvent = [](const std::string &msg) {
-        std::fprintf(stderr, "[supervisor] %s\n", msg.c_str());
+        // Supervision events (spawn/crash/restart/redispatch) are the
+        // campaign's operational log; the limiter caps a crash-
+        // restart storm while the generous burst keeps every event of
+        // a normal run printed.
+        static LogRateLimiter limiter(20.0, 60.0);
+        informLimited(limiter, "[supervisor] %s", msg.c_str());
     };
 
     const ShardSupervisorResult res =
@@ -768,6 +864,69 @@ cmdCampaignWorker(const std::string &dir, const Args &a)
 
     installCampaignSignalHandlers();
 
+    // The worker's statusboard identity is its journal basename
+    // ("shard-0000", "shard-0000-h1"): unique per worker process in
+    // the campaign dir, stable across restarts of the same shard.
+    std::string label = a.journal;
+    const std::size_t slash = label.find_last_of('/');
+    if (slash != std::string::npos)
+        label = label.substr(slash + 1);
+    if (label.size() > 6 &&
+        label.substr(label.size() - 6) == ".jsonl") {
+        label = label.substr(0, label.size() - 6);
+    }
+
+    std::unique_ptr<StatusPublisher> publisher;
+    if (statusboardEnabled()) {
+        makeCampaignDirs(statusDirPath(dir));
+        publisher = std::make_unique<StatusPublisher>(
+            statusDirPath(dir) + "/" + label + ".json");
+    }
+    if (flightRecorderEnabled()) {
+        FlightRecorder::global().enable(dir + "/flight-" + label +
+                                        ".jsonl");
+    }
+
+    std::atomic<std::size_t> done_jobs{0}, ok_jobs{0},
+        failed_jobs{0}, retried_jobs{0};
+    std::mutex inflight_mutex;
+    std::vector<std::uint64_t> inflight;
+    stats::Log2Histogram fsync_latency_ns;
+    SimJobRunner runner;
+    const double obs_start = monotonicSeconds();
+    const InsnCount obs_tally_start = simulatedInstructionTally();
+    const std::size_t total_jobs = jobs.size();
+    const auto makeSnapshot = [&](bool finished) {
+        StatusSnapshot snap;
+        snap.role = "shard-worker";
+        snap.label = label;
+        snap.jobsTotal = total_jobs;
+        snap.jobsDone = done_jobs.load(std::memory_order_relaxed);
+        snap.jobsOk = ok_jobs.load(std::memory_order_relaxed);
+        snap.jobsFailed =
+            failed_jobs.load(std::memory_order_relaxed);
+        snap.jobsRetried =
+            retried_jobs.load(std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex);
+            snap.inFlight = inflight;
+        }
+        const double elapsed = monotonicSeconds() - obs_start;
+        if (elapsed > 0) {
+            snap.mips = static_cast<double>(
+                            simulatedInstructionTally() -
+                            obs_tally_start) /
+                        elapsed / 1e6;
+        }
+        snap.jobLatencyMs =
+            runner.report().taskLatencyNs.quantiles(1e-6);
+        snap.fsyncLatencyMs = fsync_latency_ns.quantiles(1e-6);
+        if (telemetry::StageProfiler::global().enabled())
+            snap.stages = telemetry::StageProfiler::global().snapshot();
+        snap.finished = finished;
+        return snap;
+    };
+
     // Protocol stdout (ready/hb/done lines) is shared between worker
     // threads and the heartbeat thread.
     std::mutex out_mutex;
@@ -781,11 +940,16 @@ cmdCampaignWorker(const std::string &dir, const Args &a)
     std::atomic<bool> hb_stop{false};
     std::thread heartbeat([&] {
         // ~500ms cadence keeps hang detection cheap and prompt; the
-        // 100ms slices keep worker exit snappy.
+        // 100ms slices keep worker exit snappy. The statusboard rides
+        // the same ticks (its publisher gates itself to the cadence
+        // floor), so MIPS and heartbeat age stay fresh even while a
+        // long job is in flight.
         int tick = 0;
         while (!hb_stop.load(std::memory_order_relaxed)) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(100));
+            if (publisher)
+                publisher->publish(makeSnapshot(false));
             if (++tick >= 5) {
                 tick = 0;
                 emit("hb");
@@ -827,19 +991,51 @@ cmdCampaignWorker(const std::string &dir, const Args &a)
             ::raise(SIGSEGV);
         }
     };
+    sopts.onJobStart = [&](std::uint64_t key) {
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex);
+            inflight.push_back(key);
+        }
+        if (publisher)
+            publisher->publish(makeSnapshot(false));
+    };
     sopts.onJobDone = [&](std::uint64_t key, const JobOutcome &o,
                           bool) {
+        done_jobs.fetch_add(1, std::memory_order_relaxed);
+        if (o.status == JobStatus::Ok)
+            ok_jobs.fetch_add(1, std::memory_order_relaxed);
+        else
+            failed_jobs.fetch_add(1, std::memory_order_relaxed);
+        if (o.attempts > 1) {
+            retried_jobs.fetch_add(o.attempts - 1,
+                                   std::memory_order_relaxed);
+        }
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex);
+            for (auto it = inflight.begin(); it != inflight.end();
+                 ++it) {
+                if (*it == key) {
+                    inflight.erase(it);
+                    break;
+                }
+            }
+        }
+        if (publisher)
+            publisher->publish(makeSnapshot(false));
         emit(csprintf("done %016llx %s",
                       static_cast<unsigned long long>(key),
                       jobStatusName(o.status)));
     };
+    if (publisher)
+        sopts.fsyncLatencyNs = &fsync_latency_ns;
 
-    SimJobRunner runner;
     const ShardRunResult res =
         runCampaignShard(runner, jobs, a.journal, sopts);
 
     hb_stop.store(true, std::memory_order_relaxed);
     heartbeat.join();
+    if (publisher)
+        publisher->publish(makeSnapshot(true), true);
 
     if (res.interrupted)
         return campaignInterruptedExitStatus;
@@ -881,8 +1077,14 @@ cmdCampaign(const std::string &dir, const Args &a)
     copts.timeoutSeconds = a.timeoutSeconds;
     copts.maxRetries = a.retries;
     copts.drainSeconds = a.drainSeconds;
+    copts.publishStatus = statusboardEnabled();
+    if (flightRecorderEnabled())
+        FlightRecorder::global().enable(dir + "/flight.jsonl");
     copts.onProgress = [](std::size_t done, std::size_t total) {
-        std::fprintf(stderr, "[campaign %zu/%zu]\n", done, total);
+        // Generous budget: a wide matrix emits at most a few hundred
+        // lines, and only a pathological retry storm gets throttled.
+        static LogRateLimiter limiter(50.0, 200.0);
+        informLimited(limiter, "[campaign %zu/%zu]", done, total);
     };
 
     const CampaignResult res = runCampaign(runner, jobs, dir, copts);
@@ -925,6 +1127,8 @@ main(int argc, char **argv)
             return cmdCampaign(argv[2], parseOptions(rest));
         if (cmd == "campaign-worker" && argc >= 3)
             return cmdCampaignWorker(argv[2], parseOptions(rest));
+        if (cmd == "status" && argc >= 3)
+            return cmdStatus(argv[2], parseOptions(rest));
         if (cmd == "verify") {
             // verify has no <workload> positional: every argv after
             // the subcommand is an option.
