@@ -65,7 +65,11 @@ class Value
     std::uint64_t
     asUint64(std::uint64_t fallback = 0) const
     {
-        return isNumber() && num_ >= 0
+        // The upper bound guards the cast itself: converting a double
+        // at or above 2^64 (including the Inf that strtod returns for
+        // overflowed literals like 1e999) to uint64_t is undefined
+        // behaviour, and wire-protocol inputs reach this path.
+        return isNumber() && num_ >= 0 && num_ < 18446744073709551616.0
                    ? static_cast<std::uint64_t>(num_)
                    : fallback;
     }

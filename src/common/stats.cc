@@ -56,7 +56,7 @@ Distribution::mean() const
 double
 Distribution::percentile(double p) const
 {
-    if (p < 0.0 || p > 1.0)
+    if (!(p >= 0.0 && p <= 1.0))
         panic("Distribution percentile %f outside [0, 1]", p);
     if (samples_ == 0)
         panic("Distribution percentile of an empty distribution");
@@ -169,7 +169,11 @@ Log2Histogram::mean() const
 double
 Log2Histogram::quantile(double q) const
 {
-    if (q < 0.0 || q > 1.0)
+    // Written as !(in-range) so a NaN q is rejected too: NaN compares
+    // false against both bounds, and a NaN target would fall through
+    // the bucket walk and report the top bucket bound (~1.8e19) as a
+    // "quantile".
+    if (!(q >= 0.0 && q <= 1.0))
         panic("Log2Histogram quantile %f outside [0, 1]", q);
     // Quantiles over a snapshot of the buckets: a concurrent sampler
     // may land between the loads, which only perturbs an already

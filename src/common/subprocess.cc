@@ -9,6 +9,7 @@
 #include <utility>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -214,6 +215,10 @@ Subprocess::spawn(const SpawnOptions &opts)
     if (opts.pipeStdin) {
         ::close(in_pipe[0]);
         stdinFd_ = in_pipe[1];
+        // Nonblocking like stdout: a wedged worker must not freeze
+        // the supervisor inside write(2) with no way to observe the
+        // child's death. writeStdin() polls for writability instead.
+        setNonBlocking(stdinFd_);
     }
     if (opts.pipeStdout) {
         ::close(out_pipe[1]);
@@ -236,6 +241,23 @@ Subprocess::writeStdin(const std::string &data)
         }
         if (n < 0 && errno == EINTR)
             continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Pipe buffer full (a key batch larger than the pipe
+            // capacity, or a slow reader). Park in poll(2) until the
+            // kernel drains room rather than busy-spinning on write;
+            // POLLERR/POLLHUP wake us so a dying child surfaces as
+            // EPIPE on the next write attempt.
+            struct pollfd pfd = {};
+            pfd.fd = stdinFd_;
+            pfd.events = POLLOUT;
+            const int pr = ::poll(&pfd, 1, 1000 /* ms */);
+            if (pr < 0 && errno != EINTR) {
+                throw IoError(csprintf(
+                    "subprocess stdin poll failed: %s",
+                    std::strerror(errno)));
+            }
+            continue;
+        }
         if (n < 0 && errno == EPIPE)
             return false; // child is gone; poll() will classify it
         throw IoError(csprintf("subprocess stdin write failed: %s",

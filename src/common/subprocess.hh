@@ -106,7 +106,10 @@ class Subprocess
     pid_t pid() const { return pid_; }
 
     /**
-     * Write `data` to the child's stdin.
+     * Write `data` to the child's stdin. The pipe is nonblocking;
+     * writes that fill the pipe buffer park in poll(POLLOUT) until
+     * the child drains room, so batches larger than the kernel pipe
+     * capacity are delivered intact even to a slow reader.
      * @return false when the child already closed its end (EPIPE) —
      *         a dying worker, handled by poll(), not an error here.
      */

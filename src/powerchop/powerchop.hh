@@ -80,6 +80,11 @@
 #include "sim/simulator.hh"
 #include "sim/statusboard.hh"
 
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
+
 #include "verify/differential.hh"
 #include "verify/golden.hh"
 #include "verify/invariant_auditor.hh"

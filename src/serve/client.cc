@@ -1,0 +1,145 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+ServeClient::ServeClient(ServeClient &&other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_))
+{
+    other.fd_ = -1;
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        reader_ = std::move(other.reader_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    reader_.reset();
+}
+
+bool
+ServeClient::connectUnix(const std::string &path, std::string *err)
+{
+    close();
+    struct sockaddr_un addr = {};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = csprintf("socket path too long: %s", path.c_str());
+        return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (err)
+            *err = csprintf("socket failed: %s",
+                            std::strerror(errno));
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err) {
+            *err = csprintf("connect %s failed: %s", path.c_str(),
+                            std::strerror(errno));
+        }
+        close();
+        return false;
+    }
+    reader_ = std::make_unique<FdReader>(fd_);
+    return true;
+}
+
+bool
+ServeClient::connectTcp(unsigned short port, std::string *err)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (err)
+            *err = csprintf("socket failed: %s",
+                            std::strerror(errno));
+        return false;
+    }
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err) {
+            *err = csprintf("connect 127.0.0.1:%u failed: %s", port,
+                            std::strerror(errno));
+        }
+        close();
+        return false;
+    }
+    reader_ = std::make_unique<FdReader>(fd_);
+    return true;
+}
+
+ServeReply
+ServeClient::request(const std::string &line)
+{
+    ServeReply reply;
+    if (fd_ < 0 || !writeAllFd(fd_, line + "\n")) {
+        reply.ioFailed = true;
+        return reply;
+    }
+    if (!readResponse(*reader_, reply.status, reply.payload)) {
+        reply.ioFailed = true;
+        return reply;
+    }
+    return reply;
+}
+
+ServeReply
+ServeClient::get(std::uint64_t key)
+{
+    return request(csprintf(
+        "GET %016llx", static_cast<unsigned long long>(key)));
+}
+
+ServeReply
+ServeClient::sim(const std::string &specJson)
+{
+    return request("SIM " + specJson);
+}
+
+ServeReply
+ServeClient::stats()
+{
+    return request("STATS");
+}
+
+} // namespace powerchop

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A blocking powerchopd client: one connection, framed requests.
+ *
+ * Thin by design — the protocol is three verbs — but shared by the
+ * `powerchop client` subcommand, bench_serve's load generator and the
+ * serve tests, so all three speak the wire format from one place.
+ * Not thread-safe: one ServeClient per connection per thread.
+ */
+
+#ifndef POWERCHOP_SERVE_CLIENT_HH
+#define POWERCHOP_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace powerchop
+{
+
+/** One response: wire status plus the payload bytes, verbatim. */
+struct ServeReply
+{
+    ResponseStatus status = ResponseStatus::Err;
+    std::string payload;
+
+    /** True when transport failed (connection refused, torn reply);
+     *  status/payload are then meaningless. */
+    bool ioFailed = false;
+
+    /** @return true when the request was answered with content. */
+    bool served() const
+    {
+        return !ioFailed && (status == ResponseStatus::Hit ||
+                             status == ResponseStatus::Ok);
+    }
+};
+
+/** Blocking client over one connected socket. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Movable: the connection's ownership transfers. @{ */
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+    /** @} */
+
+    /** Connect to a Unix-domain socket. @return false (with *err
+     *  set when non-null) on failure. */
+    bool connectUnix(const std::string &path,
+                     std::string *err = nullptr);
+
+    /** Connect to 127.0.0.1:port. */
+    bool connectTcp(unsigned short port, std::string *err = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** The three verbs. @{ */
+    ServeReply get(std::uint64_t key);
+    ServeReply sim(const std::string &specJson);
+    ServeReply stats();
+    /** @} */
+
+  private:
+    ServeReply request(const std::string &line);
+
+    int fd_ = -1;
+    std::unique_ptr<FdReader> reader_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SERVE_CLIENT_HH

@@ -1,0 +1,201 @@
+#include "serve/protocol.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+const char *
+responseStatusName(ResponseStatus s)
+{
+    switch (s) {
+      case ResponseStatus::Hit:
+        return "HIT";
+      case ResponseStatus::Ok:
+        return "OK";
+      case ResponseStatus::Miss:
+        return "MISS";
+      case ResponseStatus::Err:
+        return "ERR";
+    }
+    return "ERR";
+}
+
+Request
+parseRequestLine(const std::string &line)
+{
+    Request req;
+    if (line == "STATS") {
+        req.verb = RequestVerb::Stats;
+        return req;
+    }
+    if (line.rfind("GET ", 0) == 0) {
+        const std::string hex = line.substr(4);
+        if (hex.empty() || hex.size() > 16) {
+            req.error = "GET wants a 1..16 hex-digit key";
+            return req;
+        }
+        for (char c : hex) {
+            if (!std::isxdigit(static_cast<unsigned char>(c))) {
+                req.error = "GET key is not hex";
+                return req;
+            }
+        }
+        req.verb = RequestVerb::Get;
+        req.key = std::strtoull(hex.c_str(), nullptr, 16);
+        return req;
+    }
+    if (line.rfind("SIM ", 0) == 0) {
+        req.spec = line.substr(4);
+        if (req.spec.empty()) {
+            req.error = "SIM wants a spec JSON";
+            return req;
+        }
+        req.verb = RequestVerb::Sim;
+        return req;
+    }
+    req.error = "unknown verb (expected GET/SIM/STATS)";
+    return req;
+}
+
+std::string
+formatSimSpec(const std::vector<std::string> &workloads,
+              const std::vector<std::string> &machines,
+              const std::vector<std::string> &modes,
+              std::uint64_t insns, double timeoutCycles)
+{
+    const auto list = [](const std::vector<std::string> &v) {
+        std::string s = "[";
+        for (std::size_t i = 0; i < v.size(); ++i)
+            s += csprintf("%s\"%s\"", i ? "," : "", v[i].c_str());
+        return s + "]";
+    };
+    return csprintf(
+        "{\"workloads\":%s,\"machines\":%s,\"modes\":%s,"
+        "\"insns\":%llu,\"timeout\":%.17g}",
+        list(workloads).c_str(), list(machines).c_str(),
+        list(modes).c_str(),
+        static_cast<unsigned long long>(insns), timeoutCycles);
+}
+
+bool
+FdReader::fill()
+{
+    if (pos_ > 0) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    char chunk[4096];
+    while (true) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            return true;
+        }
+        if (n == 0)
+            return false; // EOF
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+bool
+FdReader::readLine(std::string &line, std::size_t maxBytes)
+{
+    while (true) {
+        const std::size_t nl = buf_.find('\n', pos_);
+        if (nl != std::string::npos) {
+            line.assign(buf_, pos_, nl - pos_);
+            pos_ = nl + 1;
+            return line.size() <= maxBytes;
+        }
+        if (buf_.size() - pos_ > maxBytes)
+            return false; // runaway line, no newline in budget
+        if (!fill())
+            return false;
+    }
+}
+
+bool
+FdReader::readExact(std::string &out, std::size_t n)
+{
+    out.clear();
+    while (buf_.size() - pos_ < n) {
+        if (!fill())
+            return false;
+    }
+    out.assign(buf_, pos_, n);
+    pos_ += n;
+    return true;
+}
+
+bool
+writeAllFd(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeResponse(int fd, ResponseStatus status,
+              const std::string &payload)
+{
+    // One buffer, one writev-free send: header and payload coalesce,
+    // so a small response costs one syscall.
+    std::string frame = csprintf("%s %zu\n",
+                                 responseStatusName(status),
+                                 payload.size());
+    frame += payload;
+    return writeAllFd(fd, frame);
+}
+
+bool
+readResponse(FdReader &reader, ResponseStatus &status,
+             std::string &payload, std::size_t maxPayload)
+{
+    std::string header;
+    if (!reader.readLine(header))
+        return false;
+    const std::size_t sp = header.find(' ');
+    if (sp == std::string::npos)
+        return false;
+    const std::string token = header.substr(0, sp);
+    if (token == "HIT")
+        status = ResponseStatus::Hit;
+    else if (token == "OK")
+        status = ResponseStatus::Ok;
+    else if (token == "MISS")
+        status = ResponseStatus::Miss;
+    else if (token == "ERR")
+        status = ResponseStatus::Err;
+    else
+        return false;
+    char *end = nullptr;
+    const unsigned long long len =
+        std::strtoull(header.c_str() + sp + 1, &end, 10);
+    if (!end || *end != '\0' || len > maxPayload)
+        return false;
+    return reader.readExact(payload,
+                            static_cast<std::size_t>(len));
+}
+
+} // namespace powerchop

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The powerchopd wire protocol: newline-framed requests,
+ * length-prefixed responses.
+ *
+ * Requests are single lines:
+ *
+ *   GET <16-hex-key>\n      Look up one content key.
+ *   SIM <spec-json>\n       Simulate a campaign matrix (one line).
+ *   STATS\n                 Server/cache counters as JSON.
+ *
+ * Responses are a status line followed by an exact-length payload:
+ *
+ *   <STATUS> <length>\n<length bytes>
+ *
+ * with STATUS one of HIT (every byte came from the cache), OK
+ * (request served, at least one job simulated fresh), MISS (GET of an
+ * unknown key; empty payload) and ERR (malformed or unservable
+ * request; payload is a human-readable reason). The length prefix
+ * makes payloads 8-bit clean: a SIM payload is a full multi-line
+ * report.json document, streamed verbatim.
+ *
+ * The SIM spec mirrors the CLI campaign matrix flags:
+ *
+ *   {"workloads":["perlbench",...],"machines":["server"|"mobile",...],
+ *    "modes":["full-power",...],"insns":N,"timeout":T}
+ *
+ * Jobs are expanded workload-major exactly like `powerchop campaign`,
+ * so a spec's report is byte-identical to the report.json a direct
+ * runCampaign of the same flags produces.
+ */
+
+#ifndef POWERCHOP_SERVE_PROTOCOL_HH
+#define POWERCHOP_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace powerchop
+{
+
+/** Parsed request verbs (Bad carries a reason in Request::error). */
+enum class RequestVerb
+{
+    Get,
+    Sim,
+    Stats,
+    Bad,
+};
+
+/** One parsed request line. */
+struct Request
+{
+    RequestVerb verb = RequestVerb::Bad;
+    std::uint64_t key = 0; ///< Get only.
+    std::string spec;      ///< Sim only: the spec JSON, verbatim.
+    std::string error;     ///< Bad only: what was wrong.
+};
+
+/** Response statuses, in wire spelling. */
+enum class ResponseStatus
+{
+    Hit,
+    Ok,
+    Miss,
+    Err,
+};
+
+/** @return the wire token ("HIT", "OK", "MISS", "ERR"). */
+const char *responseStatusName(ResponseStatus s);
+
+/** Parse a request line (no trailing newline). Never throws: a
+ *  malformed line parses to Bad with `error` set. */
+Request parseRequestLine(const std::string &line);
+
+/** Render a SIM spec line from CLI-style matrix lists. */
+std::string formatSimSpec(const std::vector<std::string> &workloads,
+                          const std::vector<std::string> &machines,
+                          const std::vector<std::string> &modes,
+                          std::uint64_t insns, double timeoutCycles);
+
+/**
+ * Buffered reader over a connected socket, pairing the line-framed
+ * and exact-length halves of the protocol on one fd.
+ */
+class FdReader
+{
+  public:
+    explicit FdReader(int fd) : fd_(fd) {}
+
+    /**
+     * Read up to (and consuming) the next '\n'; the newline is not
+     * included in `line`.
+     * @return false on EOF, error, or a line exceeding maxBytes.
+     */
+    bool readLine(std::string &line,
+                  std::size_t maxBytes = kMaxRequestLine);
+
+    /** Read exactly n bytes. @return false on EOF or error. */
+    bool readExact(std::string &out, std::size_t n);
+
+    /** Guards against a malicious/corrupt unbounded request line. */
+    static constexpr std::size_t kMaxRequestLine = 1u << 20;
+
+  private:
+    bool fill();
+
+    int fd_;
+    std::string buf_;
+    std::size_t pos_ = 0;
+};
+
+/** write(2) the whole buffer, retrying EINTR. @return false on any
+ *  unrecoverable error (including EPIPE: peer went away). */
+bool writeAllFd(int fd, const std::string &data);
+
+/** Send one framed response. */
+bool writeResponse(int fd, ResponseStatus status,
+                   const std::string &payload);
+
+/**
+ * Read one framed response.
+ * @return false on EOF, a malformed status line, or a payload
+ *         length over maxPayload.
+ */
+bool readResponse(FdReader &reader, ResponseStatus &status,
+                  std::string &payload,
+                  std::size_t maxPayload = 1u << 30);
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SERVE_PROTOCOL_HH

@@ -1,0 +1,144 @@
+#include "serve/result_cache.hh"
+
+#include "common/logging.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+/** Accounting cost of one entry: payload bytes plus a fixed overhead
+ *  standing in for the list node, the index slot and the key, so a
+ *  flood of tiny payloads cannot blow past the budget "for free". */
+std::size_t
+entryCost(const std::string &payload)
+{
+    return payload.size() + 64;
+}
+
+} // namespace
+
+ResultCache::ResultCache(const ResultCacheOptions &opts)
+    : shardBudget_(opts.maxBytes /
+                   (opts.shards ? opts.shards : 1)),
+      shards_(opts.shards ? opts.shards : 1)
+{
+    if (opts.journalPath.empty())
+        return;
+    // Replay before opening the writer for append: loadJournal
+    // dedups last-write-wins, and insertion through the normal
+    // (journal-less) path reproduces LRU order = append order.
+    const JournalReplay replay =
+        loadJournalIfPresent(opts.journalPath);
+    for (const JournalRecord &rec : replay.records) {
+        if (rec.status != "ok")
+            continue;
+        Shard &sh = shardFor(rec.key);
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        if (sh.index.find(rec.key) == sh.index.end()) {
+            insertLocked(sh, rec.key, rec.payload);
+            ++warmStarted_;
+        }
+    }
+    // Warm-start admissions are replays, not traffic: the counters
+    // must describe what the daemon served, not what it remembered.
+    for (Shard &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        sh.insertions = 0;
+        sh.evictions = 0;
+    }
+    journal_ = std::make_unique<JournalWriter>(opts.journalPath);
+}
+
+ResultCache::Shard &
+ResultCache::shardFor(std::uint64_t key)
+{
+    // Content keys are FNV-1a hashes: the low bits are already
+    // well mixed, so plain modulo spreads shards evenly.
+    return shards_[key % shards_.size()];
+}
+
+bool
+ResultCache::get(std::uint64_t key, std::string *payload)
+{
+    Shard &sh = shardFor(key);
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    const auto it = sh.index.find(key);
+    if (it == sh.index.end()) {
+        ++sh.misses;
+        return false;
+    }
+    ++sh.hits;
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    if (payload)
+        *payload = it->second->payload;
+    return true;
+}
+
+void
+ResultCache::insertLocked(Shard &sh, std::uint64_t key,
+                          const std::string &payload)
+{
+    const std::size_t cost = entryCost(payload);
+    while (!sh.lru.empty() && sh.bytes + cost > shardBudget_) {
+        const Entry &victim = sh.lru.back();
+        sh.bytes -= entryCost(victim.payload);
+        sh.index.erase(victim.key);
+        sh.lru.pop_back();
+        ++sh.evictions;
+    }
+    sh.lru.push_front(Entry{key, payload});
+    sh.index[key] = sh.lru.begin();
+    sh.bytes += cost;
+    ++sh.insertions;
+}
+
+void
+ResultCache::put(std::uint64_t key, const std::string &payload)
+{
+    panicIf(payload.find('\n') != std::string::npos,
+            "ResultCache payloads must be single-line JSON");
+    bool fresh = false;
+    {
+        Shard &sh = shardFor(key);
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        const auto it = sh.index.find(key);
+        if (it != sh.index.end()) {
+            // Deterministic keys: same key, same payload. Refresh
+            // recency and stop — no bytes move, nothing to journal.
+            sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+        } else {
+            insertLocked(sh, key, payload);
+            fresh = true;
+        }
+    }
+    if (fresh && journal_) {
+        // Write-ahead relative to serving future restarts: the
+        // record is durable (append fsyncs) before put() returns,
+        // so a daemon killed any time later still warm-starts it.
+        JournalRecord rec;
+        rec.key = key;
+        rec.status = "ok";
+        rec.payload = payload;
+        journal_->append(rec);
+    }
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    ResultCacheStats out;
+    for (const Shard &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        out.hits += sh.hits;
+        out.misses += sh.misses;
+        out.insertions += sh.insertions;
+        out.evictions += sh.evictions;
+        out.entries += sh.lru.size();
+        out.bytes += sh.bytes;
+    }
+    return out;
+}
+
+} // namespace powerchop

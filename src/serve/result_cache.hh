@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The powerchopd result cache: a sharded, byte-bounded LRU over
+ * simulation result payloads, keyed by campaign content keys.
+ *
+ * The serving plane memoizes finished simulations: the PR 5 content
+ * key (campaignJobKey()) already names a job by everything that can
+ * change its result, so one SimResult JSON payload per key is a
+ * complete, stale-proof cache entry. The cache is sharded by key so
+ * concurrent connections rarely contend on one mutex, bounded by
+ * payload bytes with per-shard LRU eviction, and (optionally) backed
+ * by the campaign journal format (common/journal.hh): every insert is
+ * appended write-ahead to `journalPath`, and a restarted daemon warm-
+ * starts by replaying that journal, so a SIGKILL loses nothing that
+ * was ever served.
+ *
+ * Durability invariant: the journal is an append-only *superset* of
+ * the in-memory cache — eviction frees memory but never erases the
+ * journal record, so the journal is bounded by disk, the cache by
+ * `maxBytes`. Replay order is first-appearance order, so a journal
+ * larger than the budget warm-starts to the most recently appended
+ * entries (earlier records are evicted first).
+ *
+ * Byte-identity invariant: payloads are stored verbatim and returned
+ * verbatim; the cache never re-renders JSON. A hit therefore serves
+ * the exact bytes a direct runCampaign() would have written for the
+ * same key.
+ */
+
+#ifndef POWERCHOP_SERVE_RESULT_CACHE_HH
+#define POWERCHOP_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/journal.hh"
+
+namespace powerchop
+{
+
+/** Sizing and durability knobs of a ResultCache. */
+struct ResultCacheOptions
+{
+    /** Total payload-byte budget across all shards. At least one
+     *  entry per shard is always admitted, so a single oversized
+     *  payload can exceed its shard's slice rather than thrash. */
+    std::size_t maxBytes = 256u << 20;
+
+    /** Shard count (keys map to shards by low bits). */
+    unsigned shards = 8;
+
+    /** Journal path for write-ahead inserts + warm start; empty
+     *  disables durability (a purely in-memory cache). */
+    std::string journalPath;
+};
+
+/** Point-in-time counters aggregated across shards. */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0; ///< Keys resident now.
+    std::uint64_t bytes = 0;   ///< Payload bytes resident now.
+};
+
+/**
+ * Sharded byte-bounded LRU of content-keyed result payloads.
+ * Thread-safe: get/put/stats may be called from any thread.
+ */
+class ResultCache
+{
+  public:
+    /** Opens (and replays) the journal when one is configured;
+     *  throws IoError when the journal path exists but is
+     *  unreadable or unwritable. */
+    explicit ResultCache(const ResultCacheOptions &opts = {});
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Look up a key, refreshing its LRU position.
+     * @param payload When non-null, receives the stored payload
+     *                verbatim on a hit.
+     * @return true on a hit.
+     */
+    bool get(std::uint64_t key, std::string *payload = nullptr);
+
+    /**
+     * Insert (or refresh) a payload, evicting LRU entries as needed
+     * and appending a write-ahead journal record for fresh keys.
+     * Re-putting an existing key refreshes recency only: content
+     * keys are deterministic, so the payload cannot have changed.
+     */
+    void put(std::uint64_t key, const std::string &payload);
+
+    /** Aggregate counters over all shards. */
+    ResultCacheStats stats() const;
+
+    /** Records admitted from the journal at construction. */
+    std::size_t warmStarted() const { return warmStarted_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::string payload;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<Entry> lru; ///< Front = most recently used.
+        std::unordered_map<std::uint64_t,
+                           std::list<Entry>::iterator>
+            index;
+        std::size_t bytes = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    Shard &shardFor(std::uint64_t key);
+    void insertLocked(Shard &sh, std::uint64_t key,
+                      const std::string &payload);
+
+    std::size_t shardBudget_;
+    std::vector<Shard> shards_;
+    std::unique_ptr<JournalWriter> journal_;
+    std::size_t warmStarted_ = 0;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SERVE_RESULT_CACHE_HH

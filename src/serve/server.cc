@@ -1,0 +1,578 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/atomic_file.hh"
+#include "common/clock.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/campaign.hh"
+#include "sim/machine_config.hh"
+#include "sim/statusboard.hh"
+#include "workload/suites.hh"
+
+namespace powerchop
+{
+
+namespace
+{
+
+/** A SIM spec, decoded from the wire. */
+struct SimSpec
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> machines;
+    std::vector<SimMode> modes;
+    InsnCount insns = 200'000;
+    double timeoutCycles = 0;
+};
+
+/** Non-fatal mode lookup (the CLI's parseMode fatal()s — a daemon
+ *  must answer ERR, not die, on a bad request). */
+bool
+modeFromName(const std::string &name, SimMode &out)
+{
+    for (SimMode mode : {SimMode::FullPower, SimMode::PowerChop,
+                         SimMode::MinPower, SimMode::TimeoutVpu,
+                         SimMode::DrowsyMlc}) {
+        if (name == simModeName(mode)) {
+            out = mode;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Non-fatal workload-name check against the built-in suite table
+ *  (file paths are deliberately not servable: the daemon's matrix
+ *  vocabulary must be content-addressable by name alone). */
+bool
+workloadExists(const std::string &name)
+{
+    for (const WorkloadSpec &w : allWorkloads()) {
+        if (w.name == name)
+            return true;
+    }
+    return false;
+}
+
+bool
+parseStringList(const json::Value &doc, const char *key,
+                std::vector<std::string> &out, std::string &err)
+{
+    const json::Value *arr = doc.find(key);
+    if (!arr || !arr->isArray() || arr->elements().empty()) {
+        err = csprintf("spec wants a non-empty \"%s\" array", key);
+        return false;
+    }
+    for (const json::Value &v : arr->elements()) {
+        if (!v.isString()) {
+            err = csprintf("\"%s\" entries must be strings", key);
+            return false;
+        }
+        out.push_back(v.asString());
+    }
+    return true;
+}
+
+bool
+parseSimSpec(const std::string &text, SimSpec &out, std::string &err)
+{
+    json::Value doc;
+    if (!json::parse(text, doc) || !doc.isObject()) {
+        err = "spec is not a JSON object";
+        return false;
+    }
+    std::vector<std::string> modeNames;
+    if (!parseStringList(doc, "workloads", out.workloads, err) ||
+        !parseStringList(doc, "machines", out.machines, err) ||
+        !parseStringList(doc, "modes", modeNames, err)) {
+        return false;
+    }
+    for (const std::string &w : out.workloads) {
+        if (!workloadExists(w)) {
+            err = csprintf("unknown workload \"%s\"", w.c_str());
+            return false;
+        }
+    }
+    for (const std::string &m : out.machines) {
+        if (m != "server" && m != "mobile") {
+            err = csprintf("unknown machine \"%s\"", m.c_str());
+            return false;
+        }
+    }
+    for (const std::string &m : modeNames) {
+        SimMode mode;
+        if (!modeFromName(m, mode)) {
+            err = csprintf("unknown mode \"%s\"", m.c_str());
+            return false;
+        }
+        out.modes.push_back(mode);
+    }
+    out.insns = doc.getUint64("insns", 200'000);
+    if (out.insns == 0) {
+        err = "\"insns\" must be positive";
+        return false;
+    }
+    out.timeoutCycles = doc.getDouble("timeout", 0);
+    return true;
+}
+
+/** Expand a spec workload-major, exactly like the CLI's
+ *  buildCampaignJobs: identical order, identical content keys. */
+std::vector<SimJob>
+buildSpecJobs(const SimSpec &spec)
+{
+    std::vector<SimJob> jobs;
+    for (const std::string &wname : spec.workloads) {
+        for (const std::string &mname : spec.machines) {
+            for (SimMode mode : spec.modes) {
+                SimJob job;
+                job.workload = findWorkload(wname);
+                job.machine = mname == "server" ? serverConfig()
+                                                : mobileConfig();
+                job.opts.mode = mode;
+                job.opts.maxInstructions = spec.insns;
+                job.opts.timeoutCycles = spec.timeoutCycles;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return jobs;
+}
+
+/** Matrix-size ceiling: bounds one request's memory and runner time
+ *  (a wide tournament goes through campaigns, not one socket hit). */
+constexpr std::size_t kMaxJobsPerRequest = 4096;
+
+} // namespace
+
+std::string
+ServeReport::summary() const
+{
+    return csprintf(
+        "%llu requests (%llu get, %llu sim, %llu err) in %.1fs: "
+        "%llu hits, %llu misses, %llu evictions, %llu jobs "
+        "simulated, %zu warm-started, %llu keys / %llu bytes "
+        "resident",
+        static_cast<unsigned long long>(requests),
+        static_cast<unsigned long long>(gets),
+        static_cast<unsigned long long>(sims),
+        static_cast<unsigned long long>(errors), wallSeconds,
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(simulatedJobs),
+        warmStarted,
+        static_cast<unsigned long long>(cache.entries),
+        static_cast<unsigned long long>(cache.bytes));
+}
+
+SimServer::SimServer(const ServeOptions &opts)
+    : opts_(opts), cache_(opts.cache),
+      runner_(opts.runnerThreads)
+{
+    if (opts_.port != 0) {
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            throw IoError(csprintf("socket failed: %s",
+                                   std::strerror(errno)));
+        }
+        const int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        struct sockaddr_in addr = {};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(opts_.port);
+        if (::bind(listenFd_,
+                   reinterpret_cast<struct sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            const int saved = errno;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw IoError(csprintf("bind 127.0.0.1:%u failed: %s",
+                                   opts_.port,
+                                   std::strerror(saved)));
+        }
+        struct sockaddr_in bound = {};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(
+                listenFd_,
+                reinterpret_cast<struct sockaddr *>(&bound),
+                &len) == 0) {
+            boundPort_ = ntohs(bound.sin_port);
+        }
+    } else {
+        panicIf(opts_.socketPath.empty(),
+                "SimServer wants a socket path or a port");
+        struct sockaddr_un addr = {};
+        if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+            throw IoError(csprintf(
+                "socket path too long (%zu bytes, max %zu): %s",
+                opts_.socketPath.size(), sizeof(addr.sun_path) - 1,
+                opts_.socketPath.c_str()));
+        }
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            throw IoError(csprintf("socket failed: %s",
+                                   std::strerror(errno)));
+        }
+        // Replace a stale socket file from a previous daemon: bind
+        // refuses an existing path, and serving is single-writer per
+        // path by convention (like the campaign dir).
+        ::unlink(opts_.socketPath.c_str());
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(listenFd_,
+                   reinterpret_cast<struct sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            const int saved = errno;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw IoError(csprintf("bind %s failed: %s",
+                                   opts_.socketPath.c_str(),
+                                   std::strerror(saved)));
+        }
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        const int saved = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw IoError(csprintf("listen failed: %s",
+                               std::strerror(saved)));
+    }
+}
+
+SimServer::~SimServer()
+{
+    reapConnections(true);
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (opts_.port == 0 && !opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+}
+
+void
+SimServer::event(const std::string &msg) const
+{
+    if (opts_.onEvent)
+        opts_.onEvent(msg);
+}
+
+void
+SimServer::reapConnections(bool all)
+{
+    std::list<Conn> finished;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if (all && !it->done.load(std::memory_order_acquire) &&
+                it->fd >= 0) {
+                // Unstick a handler blocked in read(2): EOF its
+                // socket. The handler owns the close.
+                ::shutdown(it->fd, SHUT_RDWR);
+            }
+            if (all || it->done.load(std::memory_order_acquire)) {
+                finished.splice(finished.end(), conns_, it++);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (Conn &c : finished) {
+        if (c.thread.joinable())
+            c.thread.join();
+    }
+}
+
+ServeReport
+SimServer::reportLocked() const
+{
+    ServeReport rep;
+    rep.requests = requests_.load(std::memory_order_relaxed);
+    rep.gets = gets_.load(std::memory_order_relaxed);
+    rep.sims = sims_.load(std::memory_order_relaxed);
+    rep.errors = errors_.load(std::memory_order_relaxed);
+    rep.simulatedJobs =
+        simulatedJobs_.load(std::memory_order_relaxed);
+    rep.warmStarted = cache_.warmStarted();
+    rep.wallSeconds =
+        startedAt_ > 0 ? monotonicSeconds() - startedAt_ : 0;
+    rep.cache = cache_.stats();
+    rep.requestLatencyMs = requestLatencyNs_.quantiles(1e-6);
+    return rep;
+}
+
+std::string
+SimServer::statsJson() const
+{
+    const ServeReport rep = reportLocked();
+    const double qps = rep.wallSeconds > 0
+                           ? static_cast<double>(rep.requests) /
+                                 rep.wallSeconds
+                           : 0;
+    const double hitRate =
+        rep.cache.hits + rep.cache.misses > 0
+            ? static_cast<double>(rep.cache.hits) /
+                  static_cast<double>(rep.cache.hits +
+                                      rep.cache.misses)
+            : 0;
+    std::string s = csprintf(
+        "{\"schema\":\"powerchop-serve-stats-v1\","
+        "\"uptime_seconds\":%.6f,\"requests\":%llu,\"gets\":%llu,"
+        "\"sims\":%llu,\"errors\":%llu,\"simulated_jobs\":%llu,"
+        "\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.6f,"
+        "\"insertions\":%llu,\"evictions\":%llu,\"entries\":%llu,"
+        "\"bytes\":%llu,\"warm_started\":%zu,\"qps\":%.6f",
+        rep.wallSeconds,
+        static_cast<unsigned long long>(rep.requests),
+        static_cast<unsigned long long>(rep.gets),
+        static_cast<unsigned long long>(rep.sims),
+        static_cast<unsigned long long>(rep.errors),
+        static_cast<unsigned long long>(rep.simulatedJobs),
+        static_cast<unsigned long long>(rep.cache.hits),
+        static_cast<unsigned long long>(rep.cache.misses), hitRate,
+        static_cast<unsigned long long>(rep.cache.insertions),
+        static_cast<unsigned long long>(rep.cache.evictions),
+        static_cast<unsigned long long>(rep.cache.entries),
+        static_cast<unsigned long long>(rep.cache.bytes),
+        rep.warmStarted, qps);
+    const stats::Quantiles &q = rep.requestLatencyMs;
+    if (q.samples > 0) {
+        s += csprintf(",\"request_latency_ms\":{\"samples\":%llu,"
+                      "\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f}",
+                      static_cast<unsigned long long>(q.samples),
+                      q.p50, q.p90, q.p99);
+    }
+    s += "}\n";
+    return s;
+}
+
+ResponseStatus
+SimServer::handleSim(const std::string &specJson,
+                     std::string &payload)
+{
+    SimSpec spec;
+    std::string err;
+    if (!parseSimSpec(specJson, spec, err)) {
+        payload = err + "\n";
+        return ResponseStatus::Err;
+    }
+    const std::vector<SimJob> jobs = buildSpecJobs(spec);
+    if (jobs.size() > kMaxJobsPerRequest) {
+        payload = csprintf("matrix of %zu jobs exceeds the per-"
+                           "request ceiling of %zu\n",
+                           jobs.size(), kMaxJobsPerRequest);
+        return ResponseStatus::Err;
+    }
+
+    CampaignResult result;
+    result.keys.reserve(jobs.size());
+    std::set<std::uint64_t> seen;
+    for (const SimJob &job : jobs) {
+        const std::uint64_t key = campaignJobKey(job);
+        if (!seen.insert(key).second) {
+            payload = csprintf("duplicate matrix entry (key "
+                               "%016llx)\n",
+                               static_cast<unsigned long long>(key));
+            return ResponseStatus::Err;
+        }
+        result.keys.push_back(key);
+    }
+    result.outcomes.resize(jobs.size());
+    result.payloads.resize(jobs.size());
+
+    // Cache pass: hits fill their slots immediately.
+    std::vector<std::size_t> missIdx;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (cache_.get(result.keys[i], &result.payloads[i])) {
+            result.outcomes[i].status = JobStatus::Ok;
+            ++result.replayed;
+        } else {
+            missIdx.push_back(i);
+        }
+    }
+
+    // Miss pass: execute fresh jobs through the shared runner.
+    // The pool must be driven from one thread at a time, so SIM
+    // misses serialize here; GET/STATS traffic never waits on this.
+    if (!missIdx.empty()) {
+        std::vector<SimJob> missJobs;
+        missJobs.reserve(missIdx.size());
+        for (std::size_t i : missIdx)
+            missJobs.push_back(jobs[i]);
+
+        RobustRunOptions ropts;
+        ropts.timeoutSeconds = opts_.jobTimeoutSeconds;
+        RobustBatchResult batch;
+        {
+            std::lock_guard<std::mutex> lock(simMutex_);
+            batch = runner_.runRobust(missJobs, ropts);
+        }
+        for (std::size_t j = 0; j < missIdx.size(); ++j) {
+            const std::size_t i = missIdx[j];
+            result.outcomes[i] = batch.outcomes[j];
+            if (batch.outcomes[j].status == JobStatus::Ok) {
+                // Rendered exactly once, here; every later hit
+                // serves these bytes verbatim.
+                result.payloads[i] = batch.results[j].toJson();
+                cache_.put(result.keys[i], result.payloads[i]);
+            }
+        }
+        result.executed = missIdx.size();
+        simulatedJobs_.fetch_add(missIdx.size(),
+                                 std::memory_order_relaxed);
+    }
+
+    payload = result.reportJson();
+    return missIdx.empty() ? ResponseStatus::Hit
+                           : ResponseStatus::Ok;
+}
+
+void
+SimServer::handleConnection(Conn *conn)
+{
+    FdReader reader(conn->fd);
+    std::string line;
+    while (reader.readLine(line)) {
+        const std::int64_t t0 = monotonicNanos();
+        const Request req = parseRequestLine(line);
+        requests_.fetch_add(1, std::memory_order_relaxed);
+
+        ResponseStatus status = ResponseStatus::Err;
+        std::string payload;
+        switch (req.verb) {
+          case RequestVerb::Get: {
+            gets_.fetch_add(1, std::memory_order_relaxed);
+            status = cache_.get(req.key, &payload)
+                         ? ResponseStatus::Hit
+                         : ResponseStatus::Miss;
+            break;
+          }
+          case RequestVerb::Sim:
+            sims_.fetch_add(1, std::memory_order_relaxed);
+            status = handleSim(req.spec, payload);
+            break;
+          case RequestVerb::Stats:
+            status = ResponseStatus::Ok;
+            payload = statsJson();
+            break;
+          case RequestVerb::Bad:
+            payload = req.error + "\n";
+            break;
+        }
+        if (status == ResponseStatus::Err)
+            errors_.fetch_add(1, std::memory_order_relaxed);
+
+        const bool sent = writeResponse(conn->fd, status, payload);
+        requestLatencyNs_.sample(static_cast<std::uint64_t>(
+            monotonicNanos() - t0));
+        if (!sent)
+            break; // peer went away mid-response
+    }
+    ::close(conn->fd);
+    conn->fd = -1;
+    conn->done.store(true, std::memory_order_release);
+}
+
+ServeReport
+SimServer::run()
+{
+    startedAt_ = monotonicSeconds();
+    event(csprintf("serving on %s",
+                   opts_.port != 0
+                       ? csprintf("127.0.0.1:%u", boundPort_).c_str()
+                       : opts_.socketPath.c_str()));
+    if (cache_.warmStarted() > 0) {
+        event(csprintf("warm-started %zu cached results from %s",
+                       cache_.warmStarted(),
+                       opts_.cache.journalPath.c_str()));
+    }
+
+    // Status publishing rides its own thread so snapshots stay fresh
+    // while every handler thread is busy (mirrors the campaign
+    // worker's heartbeat).
+    std::unique_ptr<StatusPublisher> publisher;
+    std::atomic<bool> statusStop{false};
+    std::thread statusThread;
+    if (!opts_.statusPath.empty()) {
+        publisher = std::make_unique<StatusPublisher>(
+            opts_.statusPath, opts_.statusIntervalSeconds);
+        const auto makeSnapshot = [this](bool finished) {
+            const ServeReport rep = reportLocked();
+            StatusSnapshot snap;
+            snap.role = "server";
+            snap.label = "powerchopd";
+            snap.jobsTotal = snap.jobsDone =
+                static_cast<std::size_t>(rep.simulatedJobs);
+            snap.jobsOk = snap.jobsDone;
+            snap.serve.requests = rep.requests;
+            snap.serve.hits = rep.cache.hits;
+            snap.serve.misses = rep.cache.misses;
+            snap.serve.evictions = rep.cache.evictions;
+            snap.serve.entries = rep.cache.entries;
+            snap.serve.bytes = rep.cache.bytes;
+            snap.serve.qps = rep.wallSeconds > 0
+                ? static_cast<double>(rep.requests) /
+                      rep.wallSeconds
+                : 0;
+            snap.serve.requestLatencyMs = rep.requestLatencyMs;
+            snap.finished = finished;
+            return snap;
+        };
+        statusThread = std::thread([&, this] {
+            while (!statusStop.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                publisher->publish(makeSnapshot(false));
+            }
+            publisher->publish(makeSnapshot(true), true);
+        });
+    }
+
+    while (!(opts_.stopFlag &&
+             opts_.stopFlag->load(std::memory_order_relaxed))) {
+        struct pollfd pfd = {};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, 100 /* ms */);
+        if (pr < 0 && errno != EINTR)
+            break;
+        reapConnections(false);
+        if (pr <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns_.emplace_back();
+        Conn *conn = &conns_.back();
+        conn->fd = fd;
+        conn->thread =
+            std::thread([this, conn] { handleConnection(conn); });
+    }
+
+    event("shutting down");
+    reapConnections(true);
+    if (statusThread.joinable()) {
+        statusStop.store(true, std::memory_order_relaxed);
+        statusThread.join();
+    }
+    ServeReport rep = reportLocked();
+    event(rep.summary());
+    return rep;
+}
+
+} // namespace powerchop

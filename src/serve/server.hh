@@ -1,0 +1,152 @@
+/**
+ * @file
+ * powerchopd — simulation-as-a-service over the campaign layer.
+ *
+ * The daemon binds a Unix-domain (or loopback TCP) socket, accepts
+ * protocol.hh requests on a thread per connection, and serves them
+ * from the content-keyed ResultCache: a GET hit or a fully cached SIM
+ * matrix costs a hash lookup; misses execute through the existing
+ * SimJobRunner machinery (serialized — the runner is a single-driver
+ * pool) and are inserted write-ahead into the cache journal before
+ * the response leaves the socket.
+ *
+ * Byte-identity guarantee: a SIM response's payload is the
+ * CampaignResult::reportJson() of the requested matrix, with per-job
+ * payloads taken verbatim from the cache (each one a SimResult JSON
+ * rendered exactly once, at first simulation). Since report rendering
+ * is deterministic in (keys, outcomes, payloads), a served report —
+ * cold, warm, or assembled from a restarted daemon's journal — is
+ * byte-identical to the report.json a direct `powerchop campaign` of
+ * the same matrix writes.
+ *
+ * The daemon publishes a "server" statusboard snapshot (hit/miss/
+ * eviction counters, QPS, request latency quantiles) into
+ * `<dir>/status/`, so `powerchop status` and `status --prom` watch a
+ * serving daemon exactly like a running campaign.
+ */
+
+#ifndef POWERCHOP_SERVE_SERVER_HH
+#define POWERCHOP_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/stats.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "sim/sim_runner.hh"
+
+namespace powerchop
+{
+
+/** powerchopd configuration. */
+struct ServeOptions
+{
+    /** Unix-domain socket path (an existing socket file is
+     *  replaced). Ignored when port != 0. */
+    std::string socketPath;
+
+    /** TCP port on 127.0.0.1; 0 selects the Unix socket. */
+    unsigned short port = 0;
+
+    /** Result-cache sizing and durability (result_cache.hh). */
+    ResultCacheOptions cache;
+
+    /** Runner pool size; 0 = defaultJobCount(). */
+    unsigned runnerThreads = 0;
+
+    /** Per-job stuck-run watchdog for misses; 0 disables. */
+    double jobTimeoutSeconds = 0;
+
+    /** Shutdown flag the accept loop polls (SIGINT/SIGTERM). */
+    const std::atomic<bool> *stopFlag = nullptr;
+
+    /** Statusboard snapshot path; empty disables publishing. */
+    std::string statusPath;
+
+    /** Cadence floor of status publishing, seconds. */
+    double statusIntervalSeconds = 0.25;
+
+    /** Operational log lines (bind/accept/shutdown events). */
+    std::function<void(const std::string &)> onEvent;
+};
+
+/** What a daemon lifetime accomplished. */
+struct ServeReport
+{
+    std::uint64_t requests = 0; ///< All verbs, ERR included.
+    std::uint64_t gets = 0;
+    std::uint64_t sims = 0;
+    std::uint64_t errors = 0;   ///< Requests answered ERR.
+    std::uint64_t simulatedJobs = 0; ///< Jobs executed fresh.
+    std::size_t warmStarted = 0; ///< Cache entries from the journal.
+    double wallSeconds = 0;
+    ResultCacheStats cache;
+    stats::Quantiles requestLatencyMs;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * The daemon. Construction binds and listens (throws IoError when
+ * the address is unusable), run() serves until the stop flag rises,
+ * then drains connection threads and returns the lifetime report.
+ */
+class SimServer
+{
+  public:
+    explicit SimServer(const ServeOptions &opts);
+    ~SimServer();
+
+    SimServer(const SimServer &) = delete;
+    SimServer &operator=(const SimServer &) = delete;
+
+    /** Serve until the stop flag rises. One call per server. */
+    ServeReport run();
+
+    /** The bound TCP port (after construction; 0 for Unix). */
+    unsigned short boundPort() const { return boundPort_; }
+
+  private:
+    struct Conn
+    {
+        std::thread thread;
+        int fd = -1;
+        std::atomic<bool> done{false};
+    };
+
+    void event(const std::string &msg) const;
+    void handleConnection(Conn *conn);
+    ResponseStatus handleSim(const std::string &specJson,
+                             std::string &payload);
+    std::string statsJson() const;
+    ServeReport reportLocked() const;
+    void reapConnections(bool all);
+
+    ServeOptions opts_;
+    ResultCache cache_;
+    SimJobRunner runner_;
+    int listenFd_ = -1;
+    unsigned short boundPort_ = 0;
+    double startedAt_ = 0;
+
+    /** The runner pool must be driven from one thread at a time. */
+    std::mutex simMutex_;
+
+    std::mutex connMutex_;
+    std::list<Conn> conns_;
+
+    std::atomic<std::uint64_t> requests_{0}, gets_{0}, sims_{0},
+        errors_{0}, simulatedJobs_{0};
+    stats::Log2Histogram requestLatencyNs_;
+};
+
+} // namespace powerchop
+
+#endif // POWERCHOP_SERVE_SERVER_HH

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -27,6 +28,33 @@ std::string
 fmtDouble(double v)
 {
     return csprintf("%.6f", v);
+}
+
+/**
+ * Clamp an ETA estimate to the −1 "unknown" sentinel.
+ *
+ * Early in a run (first cadence interval, a just-restarted worker)
+ * realized MIPS is still 0 and remaining/rate arithmetic can yield
+ * negative, Inf, or NaN estimates. fmtDouble would serialize those
+ * as "inf"/"nan" — not valid JSON — so the whole snapshot would turn
+ * unparseable. Every publisher and parser funnels ETAs through here
+ * so all three renderers (table, --json, --prom) agree on one
+ * sentinel and show `?` uniformly.
+ */
+double
+sanitizeEta(double eta)
+{
+    return std::isfinite(eta) && eta >= 0.0 ? eta : -1.0;
+}
+
+/** Inline quantile cell for table rows: `—` when nothing sampled. */
+std::string
+quantilesCell(const stats::Quantiles &q)
+{
+    if (q.samples == 0)
+        return "—";
+    return csprintf("p50=%.3f p90=%.3f p99=%.3f", q.p50, q.p90,
+                    q.p99);
 }
 
 /** Wall-clock now with sub-second precision (file-age display only;
@@ -111,7 +139,7 @@ StatusSnapshot::toJson() const
     s += csprintf(",\"mips\":%s,\"restarts\":%zu,"
                   "\"eta_seconds\":%s,\"finished\":%s",
                   fmtDouble(mips).c_str(), restarts,
-                  fmtDouble(etaSeconds).c_str(),
+                  fmtDouble(sanitizeEta(etaSeconds)).c_str(),
                   finished ? "true" : "false");
 
     s += quantilesJson("job_latency_ms", jobLatencyMs);
@@ -146,6 +174,23 @@ StatusSnapshot::toJson() const
         s += "]";
     }
 
+    if (serve.present()) {
+        s += csprintf(
+            ",\"serve\":{\"requests\":%llu,\"hits\":%llu,"
+            "\"misses\":%llu,\"evictions\":%llu,\"entries\":%llu,"
+            "\"bytes\":%llu,\"qps\":%s",
+            static_cast<unsigned long long>(serve.requests),
+            static_cast<unsigned long long>(serve.hits),
+            static_cast<unsigned long long>(serve.misses),
+            static_cast<unsigned long long>(serve.evictions),
+            static_cast<unsigned long long>(serve.entries),
+            static_cast<unsigned long long>(serve.bytes),
+            fmtDouble(serve.qps).c_str());
+        s += quantilesJson("request_latency_ms",
+                           serve.requestLatencyMs);
+        s += "}";
+    }
+
     s += "}";
     return s;
 }
@@ -174,7 +219,10 @@ StatusSnapshot::fromJson(const std::string &text, StatusSnapshot &out)
     out.jobsRetried = doc.getUint64("jobs_retried");
     out.mips = doc.getDouble("mips");
     out.restarts = doc.getUint64("restarts");
-    out.etaSeconds = doc.getDouble("eta_seconds", -1);
+    // Normalize on the way in too: a snapshot written by an older
+    // publisher (or edited by hand) may carry an arbitrary negative
+    // value; readers must not distinguish "-3" from "unknown".
+    out.etaSeconds = sanitizeEta(doc.getDouble("eta_seconds", -1));
     out.finished = doc.getBool("finished");
 
     if (const json::Value *arr = doc.find("in_flight");
@@ -224,6 +272,19 @@ StatusSnapshot::fromJson(const std::string &text, StatusSnapshot &out)
             out.shards.push_back(sh);
         }
     }
+
+    if (const json::Value *sv = doc.find("serve");
+        sv && sv->isObject()) {
+        out.serve.requests = sv->getUint64("requests");
+        out.serve.hits = sv->getUint64("hits");
+        out.serve.misses = sv->getUint64("misses");
+        out.serve.evictions = sv->getUint64("evictions");
+        out.serve.entries = sv->getUint64("entries");
+        out.serve.bytes = sv->getUint64("bytes");
+        out.serve.qps = sv->getDouble("qps");
+        parseQuantiles(*sv, "request_latency_ms",
+                       out.serve.requestLatencyMs);
+    }
     return true;
 }
 
@@ -251,6 +312,10 @@ StatusPublisher::publish(StatusSnapshot snap, bool force)
     }
     if (snap.pid == 0)
         snap.pid = static_cast<int>(::getpid());
+    // The publisher is the single choke point every snapshot passes
+    // through: clamp unstable early-run ETA estimates here so no
+    // renderer ever sees a negative/Inf/NaN value.
+    snap.etaSeconds = sanitizeEta(snap.etaSeconds);
     atomicWriteFileOk(path_, snap.toJson() + "\n");
     return true;
 }
@@ -368,6 +433,21 @@ renderStatusTable(const std::vector<StatusEntry> &entries)
                 s.jobLatencyMs.p99,
                 static_cast<unsigned long long>(
                     s.jobLatencyMs.samples));
+        }
+        if (s.serve.present()) {
+            out += csprintf(
+                "%-14s   serve: %llu req (%llu hit / %llu miss), "
+                "%llu evict, %llu keys, %.1f KiB, qps %.1f, "
+                "lat ms %s\n",
+                "",
+                static_cast<unsigned long long>(s.serve.requests),
+                static_cast<unsigned long long>(s.serve.hits),
+                static_cast<unsigned long long>(s.serve.misses),
+                static_cast<unsigned long long>(s.serve.evictions),
+                static_cast<unsigned long long>(s.serve.entries),
+                static_cast<double>(s.serve.bytes) / 1024.0,
+                s.serve.qps,
+                quantilesCell(s.serve.requestLatencyMs).c_str());
         }
         for (const ShardStatus &sh : s.shards) {
             out += csprintf(
@@ -494,6 +574,35 @@ renderStatusPrometheus(const std::vector<StatusEntry> &entries)
         w.gauge("powerchop_finished",
                 "1 when the campaign/worker has finished", labels,
                 s.finished ? 1 : 0);
+        w.gauge("powerchop_eta_seconds",
+                "Estimated seconds to completion (-1 = unknown)",
+                labels, s.etaSeconds);
+        if (s.serve.present()) {
+            w.gauge("powerchop_serve_requests",
+                    "Requests handled by powerchopd", labels,
+                    static_cast<double>(s.serve.requests));
+            w.gauge("powerchop_serve_hits",
+                    "Result-cache key hits", labels,
+                    static_cast<double>(s.serve.hits));
+            w.gauge("powerchop_serve_misses",
+                    "Result-cache key misses (simulated fresh)",
+                    labels, static_cast<double>(s.serve.misses));
+            w.gauge("powerchop_serve_evictions",
+                    "LRU entries evicted for space", labels,
+                    static_cast<double>(s.serve.evictions));
+            w.gauge("powerchop_serve_entries",
+                    "Cache keys resident", labels,
+                    static_cast<double>(s.serve.entries));
+            w.gauge("powerchop_serve_bytes",
+                    "Cache payload bytes resident", labels,
+                    static_cast<double>(s.serve.bytes));
+            w.gauge("powerchop_serve_qps",
+                    "Requests per second since daemon start", labels,
+                    s.serve.qps);
+            promQuantiles(w, "powerchop_serve_request_latency_ms",
+                          "Request wall latency quantiles (ms)",
+                          labels, s.serve.requestLatencyMs);
+        }
         promQuantiles(w, "powerchop_job_latency_ms",
                       "Per-job wall latency quantiles (ms)", labels,
                       s.jobLatencyMs);

@@ -54,11 +54,31 @@ struct ShardStatus
     bool failed = false;       ///< Restart budget exhausted.
 };
 
+/** Live serving-plane counters (powerchopd "server" snapshots only).
+ *  All counters are cumulative since daemon start. */
+struct ServeStats
+{
+    std::uint64_t requests = 0;   ///< Requests handled (all verbs).
+    std::uint64_t hits = 0;       ///< Result-cache key hits.
+    std::uint64_t misses = 0;     ///< Key misses (simulated fresh).
+    std::uint64_t evictions = 0;  ///< LRU entries evicted for space.
+    std::uint64_t entries = 0;    ///< Keys resident right now.
+    std::uint64_t bytes = 0;      ///< Payload bytes resident.
+    double qps = 0;               ///< Requests / uptime.
+
+    /** Request wall latency; rendered as `—` when samples == 0. */
+    stats::Quantiles requestLatencyMs;
+
+    /** True when any request has been counted (gates the JSON block
+     *  so non-server snapshots stay byte-identical). */
+    bool present() const { return requests > 0; }
+};
+
 /** One process's published status. */
 struct StatusSnapshot
 {
-    /** Who is publishing: "campaign" (in-process), "supervisor", or
-     *  "shard-worker". */
+    /** Who is publishing: "campaign" (in-process), "supervisor",
+     *  "shard-worker", or "server" (powerchopd). */
     std::string role;
 
     /** Display name ("campaign", "shard-0000", "shard-0001h1"). */
@@ -91,7 +111,10 @@ struct StatusSnapshot
     std::size_t restarts = 0;
 
     /** Naive completion estimate: remaining * (elapsed / done).
-     *  Negative = unknown (nothing finished yet). */
+     *  The −1 sentinel means unknown (nothing finished yet, realized
+     *  MIPS still 0). StatusPublisher::publish clamps any negative or
+     *  non-finite estimate to −1 before the snapshot is written, so
+     *  every renderer sees the same sentinel and shows `?`. */
     double etaSeconds = -1;
 
     bool finished = false;
@@ -109,6 +132,10 @@ struct StatusSnapshot
 
     /** Per-shard health (supervisor snapshots only). */
     std::vector<ShardStatus> shards;
+
+    /** Serving-plane counters (powerchopd snapshots only; emitted in
+     *  the JSON only when serve.present()). */
+    ServeStats serve;
 
     /** Render as a single-line JSON object. */
     std::string toJson() const;

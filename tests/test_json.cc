@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Adversarial-input tests for the JSON reader. The parser fronts
+ * every external document the tooling consumes — status snapshots,
+ * cache/campaign journals, powerchopd SIM specs off the socket — so
+ * hostile and corrupt shapes must fail closed (clean parse error or
+ * typed-accessor fallback), never recurse unboundedly, read out of
+ * bounds, or invoke undefined casts.
+ */
+
+#include <cmath>
+#include <string>
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+std::string
+nested(unsigned depth)
+{
+    std::string doc(depth, '[');
+    doc += "1";
+    doc.append(depth, ']');
+    return doc;
+}
+
+// ---------------------------------------------------------------------
+// Nesting depth
+// ---------------------------------------------------------------------
+
+TEST(JsonAdversarial, DeepButReasonableNestingParses)
+{
+    json::Value v;
+    ASSERT_TRUE(json::parse(nested(60), v));
+    // Walk back down to the scalar to prove the structure is real.
+    const json::Value *cur = &v;
+    for (unsigned i = 0; i < 60; ++i) {
+        ASSERT_TRUE(cur->isArray());
+        ASSERT_EQ(cur->elements().size(), 1u);
+        cur = &cur->elements()[0];
+    }
+    EXPECT_DOUBLE_EQ(cur->asDouble(), 1.0);
+}
+
+TEST(JsonAdversarial, ExcessiveNestingIsRejectedNotRecursed)
+{
+    // The depth cap (64) rejects the document with a diagnostic;
+    // without it a hostile input of brackets is a stack-overflow
+    // primitive against the recursive-descent parser.
+    json::Value v;
+    std::string err;
+    EXPECT_FALSE(json::parse(nested(100), v, &err));
+    EXPECT_NE(err.find("nesting"), std::string::npos) << err;
+    EXPECT_FALSE(json::parse(nested(100'000), v));
+
+    // Mixed object/array nesting counts against the same budget.
+    std::string mixed;
+    for (unsigned i = 0; i < 50; ++i)
+        mixed += "{\"k\":[";
+    mixed += "0";
+    for (unsigned i = 0; i < 50; ++i)
+        mixed += "]}";
+    EXPECT_FALSE(json::parse(mixed, v));
+}
+
+// ---------------------------------------------------------------------
+// Duplicate keys
+// ---------------------------------------------------------------------
+
+TEST(JsonAdversarial, DuplicateKeysKeepFirstOnLookup)
+{
+    // Duplicate keys are legal per RFC 8259 ("should" be unique);
+    // find() resolves to the first occurrence, deterministically, so
+    // a crafted document can't shadow an already-validated field.
+    json::Value v;
+    ASSERT_TRUE(json::parse(
+        "{\"a\":1,\"a\":2,\"b\":\"x\",\"a\":3}", v));
+    EXPECT_DOUBLE_EQ(v.getDouble("a"), 1.0);
+    EXPECT_EQ(v.members().size(), 4u) << "nothing silently dropped";
+}
+
+// ---------------------------------------------------------------------
+// Number overflow
+// ---------------------------------------------------------------------
+
+TEST(JsonAdversarial, OverflowedLiteralsNeverReachAnUndefinedCast)
+{
+    // strtod turns 1e999 into +Inf; the double accessor passes that
+    // through, but the uint64 accessor must fall back: casting a
+    // double >= 2^64 (Inf included) to uint64_t is UB, and GET keys
+    // arrive over the wire through exactly this path.
+    json::Value v;
+    ASSERT_TRUE(json::parse("{\"n\":1e999,\"m\":-1e999}", v));
+    EXPECT_TRUE(std::isinf(v.getDouble("n")));
+    EXPECT_EQ(v.getUint64("n", 7), 7u);
+    EXPECT_EQ(v.getUint64("m", 7), 7u);
+
+    // 1.9e19 is above 2^64 (~1.845e19): fallback, not wraparound.
+    ASSERT_TRUE(json::parse("{\"n\":19000000000000000000}", v));
+    EXPECT_EQ(v.getUint64("n", 7), 7u);
+
+    // The largest double strictly below 2^64 still converts.
+    ASSERT_TRUE(json::parse("{\"n\":18446744073709549568}", v));
+    EXPECT_EQ(v.getUint64("n"), 18446744073709549568ull);
+
+    // Negatives and non-numbers fall back too.
+    ASSERT_TRUE(json::parse("{\"n\":-1,\"s\":\"12\"}", v));
+    EXPECT_EQ(v.getUint64("n", 7), 7u);
+    EXPECT_EQ(v.getUint64("s", 7), 7u);
+}
+
+// ---------------------------------------------------------------------
+// Broken strings and escapes
+// ---------------------------------------------------------------------
+
+TEST(JsonAdversarial, TruncatedUnicodeEscapesAreRejected)
+{
+    json::Value v;
+    std::string err;
+    // The document ends mid-escape: must not read past the buffer.
+    EXPECT_FALSE(json::parse("{\"s\":\"\\u12", v, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(json::parse("{\"s\":\"\\u123\"}", v));
+    EXPECT_FALSE(json::parse("{\"s\":\"\\uZZZZ\"}", v));
+    EXPECT_FALSE(json::parse("{\"s\":\"\\", v));
+    EXPECT_FALSE(json::parse("{\"s\":\"unterminated", v));
+
+    // Well-formed escapes decode to UTF-8.
+    ASSERT_TRUE(json::parse("{\"s\":\"\\u0041\\u00e9\"}", v));
+    EXPECT_EQ(v.getString("s"), "A\xc3\xa9");
+}
+
+TEST(JsonAdversarial, RawHighBytesPassThroughVerbatim)
+{
+    // The reader is 8-bit clean: journal payloads may carry already-
+    // encoded UTF-8 (or arbitrary bytes from a corrupt file) inside
+    // strings, and they must survive unmangled rather than trip a
+    // validator halfway through a parse.
+    const std::string raw = "{\"s\":\"caf\xc3\xa9 \xf0\x9f\x92\xa1\"}";
+    json::Value v;
+    ASSERT_TRUE(json::parse(raw, v));
+    EXPECT_EQ(v.getString("s"), "caf\xc3\xa9 \xf0\x9f\x92\xa1");
+}
+
+// ---------------------------------------------------------------------
+// Trailing garbage
+// ---------------------------------------------------------------------
+
+TEST(JsonAdversarial, TrailingGarbageFailsTheWholeParse)
+{
+    // A valid prefix followed by junk is a corrupt document, not a
+    // document: accepting it would let a half-overwritten journal
+    // line masquerade as a complete record.
+    json::Value v;
+    std::string err;
+    EXPECT_FALSE(json::parse("{\"a\":1} {\"b\":2}", v, &err));
+    EXPECT_FALSE(json::parse("[1,2,3]]", v));
+    EXPECT_FALSE(json::parse("42 trailing", v));
+    EXPECT_FALSE(json::parse("true false", v));
+    EXPECT_FALSE(json::parse("{\"a\":1}\n\ngarbage", v));
+
+    // Trailing whitespace alone is fine.
+    EXPECT_TRUE(json::parse("{\"a\":1}  \n\t ", v));
+}
+
+} // namespace

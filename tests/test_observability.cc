@@ -9,8 +9,10 @@
  */
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -118,6 +120,32 @@ TEST(Log2Histogram, QuantilesAreMonotoneInQ)
     EXPECT_LT(qs.p50, 37.0 * 10'000);
     EXPECT_LE(qs.p50, qs.p90);
     EXPECT_LE(qs.p90, qs.p99);
+}
+
+TEST(Log2Histogram, EmptyHistogramQuantilesAreZero)
+{
+    // Regression: an empty histogram must report 0 everywhere, never
+    // an interpolated garbage value from the zero-count bucket walk.
+    stats::Log2Histogram h;
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+    const stats::Quantiles q = h.quantiles(1e-6);
+    EXPECT_EQ(q.samples, 0u);
+    EXPECT_EQ(q.p50, 0.0);
+    EXPECT_EQ(q.p90, 0.0);
+    EXPECT_EQ(q.p99, 0.0);
+}
+
+TEST(Log2Histogram, QuantileRejectsOutOfRangeAndNanArgs)
+{
+    stats::Log2Histogram h;
+    h.sample(5);
+    EXPECT_THROW(h.quantile(-0.1), PanicError);
+    EXPECT_THROW(h.quantile(1.1), PanicError);
+    // NaN slips through a naive `q < 0 || q > 1` check (both
+    // comparisons are false) and used to walk off the bucket table.
+    EXPECT_THROW(h.quantile(std::nan("")), PanicError);
 }
 
 TEST(Log2Histogram, MergeIsAssociative)
@@ -445,6 +473,144 @@ TEST(Statusboard, ReadStatusDirOrdersAggregateFirst)
 
     // An absent status dir is an empty listing, not an error.
     EXPECT_TRUE(readStatusDir(freshDir("no-such")).empty());
+}
+
+TEST(Statusboard, PublisherClampsUnstableEta)
+{
+    // Early in a run the ETA extrapolation can produce negative,
+    // infinite or NaN estimates; the publisher is the single choke
+    // point that clamps them to the -1 "unknown" sentinel. Inf/NaN
+    // would otherwise render as invalid JSON ("inf"/"nan" tokens)
+    // and turn the whole snapshot unparseable.
+    const std::string dir = freshDir("eta");
+    makeCampaignDirs(dir);
+    const std::string path = dir + "/s.json";
+    for (const double bad :
+         {-3.0, std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(), std::nan("")}) {
+        StatusPublisher pub(path, 0.0);
+        StatusSnapshot s;
+        s.role = "campaign";
+        s.etaSeconds = bad;
+        ASSERT_TRUE(pub.publish(s, /*force=*/true));
+        StatusSnapshot r;
+        ASSERT_TRUE(StatusSnapshot::fromJson(readFile(path), r))
+            << "eta=" << bad << " must still produce valid JSON";
+        EXPECT_EQ(r.etaSeconds, -1.0) << "eta=" << bad;
+    }
+
+    // A sane estimate passes through untouched.
+    StatusPublisher pub(path, 0.0);
+    StatusSnapshot s;
+    s.role = "campaign";
+    s.etaSeconds = 17.5;
+    ASSERT_TRUE(pub.publish(s, /*force=*/true));
+    StatusSnapshot r;
+    ASSERT_TRUE(StatusSnapshot::fromJson(readFile(path), r));
+    EXPECT_NEAR(r.etaSeconds, 17.5, 1e-6);
+}
+
+TEST(Statusboard, FromJsonNormalizesForeignEta)
+{
+    // Snapshots written by other (older/buggier) publishers get the
+    // same normalization on the read side.
+    StatusSnapshot s;
+    ASSERT_TRUE(StatusSnapshot::fromJson(
+        "{\"schema\":\"powerchop-status-v1\",\"eta_seconds\":-42}",
+        s));
+    EXPECT_EQ(s.etaSeconds, -1.0);
+    ASSERT_TRUE(StatusSnapshot::fromJson(
+        "{\"schema\":\"powerchop-status-v1\"}", s));
+    EXPECT_EQ(s.etaSeconds, -1.0) << "absent means unknown";
+}
+
+TEST(Statusboard, UnknownEtaRendersUniformlyAcrossRenderers)
+{
+    StatusEntry e;
+    e.file = "campaign.json";
+    e.ageSeconds = 0.1;
+    e.parsed = true;
+    e.snap.role = "campaign";
+    e.snap.jobsTotal = 10;
+    e.snap.jobsDone = 1;
+    e.snap.etaSeconds = -1.0;
+    const std::vector<StatusEntry> entries = {e};
+
+    // Table: the ETA column shows '?', never a raw negative number.
+    const std::string table = renderStatusTable(entries);
+    EXPECT_NE(table.find("?"), std::string::npos) << table;
+    EXPECT_EQ(table.find("-1"), std::string::npos) << table;
+
+    // --json embeds the clamped document (and stays parseable).
+    e.snap.etaSeconds = -1.0;
+    json::Value v;
+    ASSERT_TRUE(json::parse(e.snap.toJson(), v));
+    EXPECT_DOUBLE_EQ(v.getDouble("eta_seconds"), -1.0);
+
+    // --prom exposes the gauge with the -1 sentinel so dashboards
+    // can distinguish "unknown" from "almost done".
+    const std::string prom = renderStatusPrometheus(entries);
+    EXPECT_NE(prom.find("# TYPE powerchop_eta_seconds gauge"),
+              std::string::npos);
+    EXPECT_NE(prom.find("powerchop_eta_seconds{entry=\"campaign\","
+                        "role=\"campaign\"} -1.000000"),
+              std::string::npos)
+        << prom;
+}
+
+TEST(Statusboard, ServeStatsRoundTripAndRendering)
+{
+    StatusSnapshot s;
+    s.role = "server";
+    s.label = "powerchopd";
+    s.serve.requests = 10;
+    s.serve.hits = 7;
+    s.serve.misses = 3;
+    s.serve.evictions = 1;
+    s.serve.entries = 4;
+    s.serve.bytes = 2048;
+    s.serve.qps = 123.5;
+    // No latency samples yet: the table cell must render the em
+    // dash, not garbage quantiles of an empty histogram.
+    s.serve.requestLatencyMs = {};
+
+    StatusSnapshot r;
+    ASSERT_TRUE(StatusSnapshot::fromJson(s.toJson(), r));
+    EXPECT_EQ(r.serve.requests, 10u);
+    EXPECT_EQ(r.serve.hits, 7u);
+    EXPECT_EQ(r.serve.misses, 3u);
+    EXPECT_EQ(r.serve.evictions, 1u);
+    EXPECT_EQ(r.serve.entries, 4u);
+    EXPECT_EQ(r.serve.bytes, 2048u);
+    EXPECT_NEAR(r.serve.qps, 123.5, 1e-6);
+
+    StatusEntry e;
+    e.file = "server.json";
+    e.parsed = true;
+    e.snap = s;
+    std::string table = renderStatusTable({e});
+    EXPECT_NE(table.find("serve: 10 req (7 hit / 3 miss)"),
+              std::string::npos)
+        << table;
+    EXPECT_NE(table.find("—"), std::string::npos)
+        << "empty latency histogram must render as an em dash: "
+        << table;
+
+    e.snap.serve.requestLatencyMs = {10, 0.5, 1.5, 4.0};
+    table = renderStatusTable({e});
+    EXPECT_NE(table.find("p50=0.500"), std::string::npos) << table;
+
+    const std::string prom = renderStatusPrometheus({e});
+    EXPECT_NE(prom.find("powerchop_serve_hits{entry=\"server\","
+                        "role=\"server\"} 7.000000"),
+              std::string::npos)
+        << prom;
+
+    // Snapshots that never served a request must not grow a serve
+    // block (byte-compat with pre-serve readers).
+    StatusSnapshot plain;
+    plain.role = "campaign";
+    EXPECT_EQ(plain.toJson().find("\"serve\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,600 @@
+/**
+ * @file
+ * Tests for the serving plane: the content-keyed result cache (LRU
+ * eviction by bytes, journal warm start), the wire protocol
+ * (request-line parsing, response framing over a real pipe), and
+ * powerchopd end to end over a Unix-domain socket — including the
+ * byte-identity guarantee against a direct runCampaign() report and
+ * a SIGKILL-shaped warm restart from the cache journal.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "common/atomic_file.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
+#include "sim/campaign.hh"
+#include "sim/machine_config.hh"
+#include "sim/sim_runner.hh"
+#include "workload/suites.hh"
+
+using namespace powerchop;
+
+namespace
+{
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "powerchop_serve_" +
+        std::to_string(::getpid()) + "_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+// ---------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------
+
+TEST(ResultCache, PutGetAndCounters)
+{
+    ResultCache cache;
+    std::string payload;
+    EXPECT_FALSE(cache.get(1, &payload));
+    cache.put(1, "one");
+    cache.put(2, "two");
+    ASSERT_TRUE(cache.get(1, &payload));
+    EXPECT_EQ(payload, "one");
+    EXPECT_TRUE(cache.get(1)) << "null payload pointer is allowed";
+
+    const ResultCacheStats st = cache.stats();
+    EXPECT_EQ(st.hits, 2u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.insertions, 2u);
+    EXPECT_EQ(st.evictions, 0u);
+    EXPECT_EQ(st.entries, 2u);
+    EXPECT_GT(st.bytes, 0u);
+    EXPECT_EQ(cache.warmStarted(), 0u);
+}
+
+TEST(ResultCache, RePutRefreshesWithoutDuplicating)
+{
+    ResultCache cache;
+    cache.put(7, "payload");
+    cache.put(7, "payload");
+    const ResultCacheStats st = cache.stats();
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_EQ(st.insertions, 1u) << "re-put is a recency refresh";
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedByBytes)
+{
+    // One shard, budget for ~3 entries (cost = payload + 64
+    // bookkeeping bytes each).
+    ResultCacheOptions opts;
+    opts.shards = 1;
+    opts.maxBytes = 3 * (100 + 64);
+    ResultCache cache(opts);
+    const std::string payload(100, 'p');
+    cache.put(1, payload);
+    cache.put(2, payload);
+    cache.put(3, payload);
+    EXPECT_EQ(cache.stats().entries, 3u);
+
+    // Touch 1 so 2 becomes the LRU victim of the next insert.
+    EXPECT_TRUE(cache.get(1));
+    cache.put(4, payload);
+    EXPECT_EQ(cache.stats().entries, 3u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.get(2)) << "LRU entry must be the one evicted";
+    EXPECT_TRUE(cache.get(1));
+    EXPECT_TRUE(cache.get(3));
+    EXPECT_TRUE(cache.get(4));
+}
+
+TEST(ResultCache, OversizedPayloadStillAdmitted)
+{
+    // A payload larger than the whole budget must be admitted (as
+    // the sole resident entry), not bounce forever.
+    ResultCacheOptions opts;
+    opts.shards = 1;
+    opts.maxBytes = 64;
+    ResultCache cache(opts);
+    cache.put(1, std::string(4096, 'x'));
+    EXPECT_TRUE(cache.get(1));
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCache, JournalWarmStartSurvivesRestart)
+{
+    const std::string dir = freshDir("cache-journal");
+    ResultCacheOptions opts;
+    opts.journalPath = dir + "/cache.jsonl";
+    {
+        ResultCache cache(opts);
+        cache.put(0xa1, "alpha");
+        cache.put(0xb2, "beta");
+        cache.put(0xa1, "alpha"); // refresh: no duplicate record
+    }
+    // "SIGKILL": no graceful shutdown path exists at all — the
+    // journal was written through on every put.
+    ResultCache warm(opts);
+    EXPECT_EQ(warm.warmStarted(), 2u);
+    std::string payload;
+    ASSERT_TRUE(warm.get(0xa1, &payload));
+    EXPECT_EQ(payload, "alpha");
+    ASSERT_TRUE(warm.get(0xb2, &payload));
+    EXPECT_EQ(payload, "beta");
+
+    const ResultCacheStats st = warm.stats();
+    EXPECT_EQ(st.insertions, 0u)
+        << "warm-start admissions are replays, not traffic";
+    EXPECT_EQ(st.evictions, 0u);
+    EXPECT_EQ(st.entries, 2u);
+}
+
+TEST(ResultCache, EvictionNeverErasesTheJournal)
+{
+    // Durability invariant: the journal is an append-only superset.
+    // Evict everything from a tiny cache, then warm-start a roomy
+    // one: every payload ever inserted must come back.
+    const std::string dir = freshDir("cache-superset");
+    ResultCacheOptions tiny;
+    tiny.shards = 1;
+    tiny.maxBytes = 2 * (50 + 64);
+    tiny.journalPath = dir + "/cache.jsonl";
+    {
+        ResultCache cache(tiny);
+        for (std::uint64_t k = 1; k <= 6; ++k)
+            cache.put(k, std::string(50, 'a' + char(k)));
+        EXPECT_GT(cache.stats().evictions, 0u);
+        EXPECT_LT(cache.stats().entries, 6u);
+    }
+    ResultCacheOptions roomy = tiny;
+    roomy.maxBytes = 1u << 20;
+    ResultCache warm(roomy);
+    EXPECT_EQ(warm.warmStarted(), 6u);
+    for (std::uint64_t k = 1; k <= 6; ++k)
+        EXPECT_TRUE(warm.get(k)) << k;
+}
+
+// ---------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------
+
+TEST(Protocol, ParsesTheThreeVerbs)
+{
+    Request r = parseRequestLine("GET 00deadbeefcafe12");
+    EXPECT_EQ(r.verb, RequestVerb::Get);
+    EXPECT_EQ(r.key, 0x00deadbeefcafe12ull);
+
+    r = parseRequestLine("GET f");
+    EXPECT_EQ(r.verb, RequestVerb::Get) << "short keys are legal";
+    EXPECT_EQ(r.key, 0xfull);
+
+    r = parseRequestLine("SIM {\"workloads\":[\"x\"]}");
+    EXPECT_EQ(r.verb, RequestVerb::Sim);
+    EXPECT_EQ(r.spec, "{\"workloads\":[\"x\"]}");
+
+    r = parseRequestLine("STATS");
+    EXPECT_EQ(r.verb, RequestVerb::Stats);
+}
+
+TEST(Protocol, MalformedLinesParseToBadWithAReason)
+{
+    for (const char *line :
+         {"", "GET", "GET ", "GET xyz", "GET 123g",
+          "GET 00112233445566778", // 17 hex digits
+          "get 12", "PUT 12", "STATS now", "SIMX {}", "SIM "}) {
+        const Request r = parseRequestLine(line);
+        EXPECT_EQ(r.verb, RequestVerb::Bad) << "line: " << line;
+        EXPECT_FALSE(r.error.empty()) << "line: " << line;
+    }
+}
+
+TEST(Protocol, FormatSimSpecMatchesTheGrammar)
+{
+    const std::string spec = formatSimSpec(
+        {"perlbench", "namd"}, {"server"}, {"full-power"}, 200'000,
+        0);
+    json::Value v;
+    ASSERT_TRUE(json::parse(spec, v)) << spec;
+    EXPECT_EQ(v.find("workloads")->elements().size(), 2u);
+    EXPECT_EQ(v.getUint64("insns"), 200'000u);
+    EXPECT_EQ(spec.find('\n'), std::string::npos)
+        << "specs must be single-line (the framing is line-based)";
+}
+
+TEST(Protocol, ResponseFramingRoundTripsOverAPipe)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    // Payload with embedded newlines and a NUL: the length prefix
+    // must carry it verbatim.
+    std::string payload = "line1\nline2\n";
+    payload += '\0';
+    payload += "tail";
+    ASSERT_TRUE(writeResponse(fds[1], ResponseStatus::Ok, payload));
+    ASSERT_TRUE(
+        writeResponse(fds[1], ResponseStatus::Miss, ""));
+    ::close(fds[1]);
+
+    FdReader reader(fds[0]);
+    ResponseStatus status;
+    std::string got;
+    ASSERT_TRUE(readResponse(reader, status, got));
+    EXPECT_EQ(status, ResponseStatus::Ok);
+    EXPECT_EQ(got, payload);
+    ASSERT_TRUE(readResponse(reader, status, got));
+    EXPECT_EQ(status, ResponseStatus::Miss);
+    EXPECT_TRUE(got.empty());
+    EXPECT_FALSE(readResponse(reader, status, got)) << "EOF";
+    ::close(fds[0]);
+}
+
+TEST(Protocol, ReadResponseRejectsOversizedAndMalformedFrames)
+{
+    const auto feed = [](const std::string &bytes,
+                         std::size_t maxPayload) {
+        int fds[2];
+        EXPECT_EQ(::pipe(fds), 0);
+        EXPECT_TRUE(writeAllFd(fds[1], bytes));
+        ::close(fds[1]);
+        FdReader reader(fds[0]);
+        ResponseStatus status;
+        std::string payload;
+        const bool ok =
+            readResponse(reader, status, payload, maxPayload);
+        ::close(fds[0]);
+        return ok;
+    };
+    EXPECT_FALSE(feed("BOGUS 3\nabc", 1024));
+    EXPECT_FALSE(feed("OK notanumber\n", 1024));
+    EXPECT_FALSE(feed("OK 3\nab", 1024)) << "truncated payload";
+    EXPECT_FALSE(feed("OK 4096\n", 16)) << "over maxPayload";
+    EXPECT_TRUE(feed("HIT 2\nhi", 1024));
+}
+
+// ---------------------------------------------------------------------
+// SimServer end to end (Unix-domain socket)
+// ---------------------------------------------------------------------
+
+/** A live daemon on a background thread, stopped on destruction. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(ServeOptions opts)
+        : opts_(std::move(opts))
+    {
+        opts_.stopFlag = &stop_;
+        server_ = std::make_unique<SimServer>(opts_);
+        thread_ = std::thread([this] { report_ = server_->run(); });
+    }
+
+    ~ServerFixture() { stopAndJoin(); }
+
+    const ServeReport &
+    stopAndJoin()
+    {
+        if (thread_.joinable()) {
+            stop_.store(true);
+            thread_.join();
+        }
+        return report_;
+    }
+
+    ServeClient
+    client() const
+    {
+        ServeClient c;
+        std::string err;
+        // The accept loop may still be a poll-tick away from the
+        // first listen backlog drain; connect() itself succeeds as
+        // soon as the (already bound) socket exists.
+        EXPECT_TRUE(c.connectUnix(opts_.socketPath, &err)) << err;
+        return c;
+    }
+
+  private:
+    ServeOptions opts_;
+    std::atomic<bool> stop_{false};
+    std::unique_ptr<SimServer> server_;
+    std::thread thread_;
+    ServeReport report_;
+};
+
+ServeOptions
+unixOptions(const std::string &dir)
+{
+    ServeOptions opts;
+    opts.socketPath = dir + "/powerchopd.sock";
+    opts.cache.journalPath = dir + "/cache.jsonl";
+    opts.runnerThreads = 2;
+    return opts;
+}
+
+/** The tiny matrix every end-to-end test serves. */
+const std::vector<std::string> kWorkloads = {"perlbench"};
+const std::vector<std::string> kMachines = {"server"};
+const std::vector<std::string> kModes = {"full-power", "powerchop"};
+constexpr std::uint64_t kInsns = 30'000;
+
+std::string
+tinySpec()
+{
+    return formatSimSpec(kWorkloads, kMachines, kModes, kInsns, 0);
+}
+
+std::vector<SimJob>
+tinyJobs()
+{
+    std::vector<SimJob> jobs;
+    for (const std::string &mode : kModes) {
+        SimJob job;
+        job.workload = findWorkload(kWorkloads[0]);
+        job.machine = serverConfig();
+        EXPECT_TRUE(mode == "full-power" || mode == "powerchop");
+        job.opts.mode = mode == "full-power" ? SimMode::FullPower
+                                             : SimMode::PowerChop;
+        job.opts.maxInstructions = kInsns;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+TEST(SimServer, SimMissThenHitServesIdenticalBytes)
+{
+    const std::string dir = freshDir("sim");
+    ServerFixture server(unixOptions(dir));
+    ServeClient c = server.client();
+
+    const ServeReply cold = c.sim(tinySpec());
+    ASSERT_FALSE(cold.ioFailed);
+    ASSERT_EQ(cold.status, ResponseStatus::Ok)
+        << "cold matrix simulates fresh: " << cold.payload;
+    json::Value v;
+    // reportJson is a JSON document; it must parse and report all ok.
+    ASSERT_TRUE(json::parse(cold.payload, v)) << cold.payload;
+    EXPECT_EQ(v.find("campaign")->getUint64("jobs"), 2u);
+    EXPECT_EQ(v.find("campaign")->getUint64("ok"), 2u);
+
+    const ServeReply warmReply = c.sim(tinySpec());
+    ASSERT_FALSE(warmReply.ioFailed);
+    EXPECT_EQ(warmReply.status, ResponseStatus::Hit)
+        << "fully cached matrix must not resimulate";
+    EXPECT_EQ(warmReply.payload, cold.payload)
+        << "hits must serve byte-identical reports";
+
+    const ServeReport &rep = server.stopAndJoin();
+    EXPECT_EQ(rep.sims, 2u);
+    EXPECT_EQ(rep.simulatedJobs, 2u) << "second SIM was all hits";
+    EXPECT_EQ(rep.cache.hits, 2u);
+    EXPECT_EQ(rep.cache.misses, 2u);
+}
+
+TEST(SimServer, ServedReportIsByteIdenticalToDirectCampaign)
+{
+    // The tentpole acceptance criterion, in-process: SIM payload ==
+    // the report.json a direct runCampaign of the same matrix writes.
+    const std::string dir = freshDir("identity");
+    std::filesystem::create_directories(dir + "/daemon");
+    std::string served;
+    {
+        ServerFixture server(unixOptions(dir + "/daemon"));
+        ServeClient c = server.client();
+        const ServeReply reply = c.sim(tinySpec());
+        ASSERT_FALSE(reply.ioFailed);
+        ASSERT_EQ(reply.status, ResponseStatus::Ok) << reply.payload;
+        served = reply.payload;
+    }
+
+    SimJobRunner runner(2);
+    const CampaignResult direct =
+        runCampaign(runner, tinyJobs(), dir + "/direct", {});
+    ASSERT_TRUE(direct.complete());
+    EXPECT_EQ(served, readFile(dir + "/direct/report.json"));
+}
+
+TEST(SimServer, GetServesCachedSingleResults)
+{
+    const std::string dir = freshDir("get");
+    ServerFixture server(unixOptions(dir));
+    ServeClient c = server.client();
+
+    const std::vector<SimJob> jobs = tinyJobs();
+    const std::uint64_t key = campaignJobKey(jobs[0]);
+    EXPECT_EQ(c.get(key).status, ResponseStatus::Miss)
+        << "nothing cached yet";
+
+    ASSERT_TRUE(c.sim(tinySpec()).served());
+    const ServeReply hit = c.get(key);
+    ASSERT_EQ(hit.status, ResponseStatus::Hit);
+    json::Value v;
+    ASSERT_TRUE(json::parse(hit.payload, v)) << hit.payload;
+    EXPECT_EQ(v.getString("workload"), "perlbench");
+    EXPECT_EQ(v.getString("mode"), "full-power");
+    EXPECT_EQ(c.get(~key).status, ResponseStatus::Miss);
+}
+
+TEST(SimServer, StatsReportLiveCounters)
+{
+    const std::string dir = freshDir("stats");
+    ServerFixture server(unixOptions(dir));
+    ServeClient c = server.client();
+
+    ASSERT_TRUE(c.sim(tinySpec()).served());
+    c.get(campaignJobKey(tinyJobs()[0]));
+    const ServeReply stats = c.stats();
+    ASSERT_EQ(stats.status, ResponseStatus::Ok);
+    json::Value v;
+    ASSERT_TRUE(json::parse(stats.payload, v)) << stats.payload;
+    EXPECT_EQ(v.getString("schema"), "powerchop-serve-stats-v1");
+    EXPECT_EQ(v.getUint64("sims"), 1u);
+    EXPECT_EQ(v.getUint64("gets"), 1u);
+    EXPECT_EQ(v.getUint64("simulated_jobs"), 2u);
+    EXPECT_EQ(v.getUint64("hits"), 1u);
+    EXPECT_EQ(v.getUint64("entries"), 2u);
+    EXPECT_GT(v.getUint64("bytes"), 0u);
+    EXPECT_GT(v.find("request_latency_ms")->getUint64("samples"),
+              0u);
+}
+
+TEST(SimServer, BadRequestsAnswerErrAndKeepServing)
+{
+    const std::string dir = freshDir("err");
+    ServerFixture server(unixOptions(dir));
+    ServeClient c = server.client();
+
+    // Unknown workload, unknown mode, non-JSON, bad verb: each is an
+    // ERR with a reason — and the connection survives all of them.
+    ServeReply r = c.sim(
+        "{\"workloads\":[\"no-such-workload\"],\"machines\":"
+        "[\"server\"],\"modes\":[\"full-power\"]}");
+    EXPECT_EQ(r.status, ResponseStatus::Err);
+    EXPECT_NE(r.payload.find("no-such-workload"), std::string::npos);
+
+    r = c.sim("{\"workloads\":[\"perlbench\"],\"machines\":"
+              "[\"server\"],\"modes\":[\"warp-speed\"]}");
+    EXPECT_EQ(r.status, ResponseStatus::Err);
+
+    r = c.sim("not json at all");
+    EXPECT_EQ(r.status, ResponseStatus::Err);
+
+    r = c.sim(tinySpec().substr(0, 20));
+    EXPECT_EQ(r.status, ResponseStatus::Err) << "truncated spec";
+
+    // A duplicate matrix entry is refused before simulating.
+    r = c.sim(formatSimSpec({"perlbench", "perlbench"}, {"server"},
+                            {"full-power"}, kInsns, 0));
+    EXPECT_EQ(r.status, ResponseStatus::Err);
+    EXPECT_NE(r.payload.find("duplicate"), std::string::npos);
+
+    EXPECT_TRUE(c.stats().served()) << "connection still alive";
+    const ServeReport &rep = server.stopAndJoin();
+    EXPECT_EQ(rep.errors, 5u);
+    EXPECT_EQ(rep.simulatedJobs, 0u)
+        << "no bad request may reach the runner";
+}
+
+TEST(SimServer, WarmRestartServesHitsFromTheJournal)
+{
+    const std::string dir = freshDir("warm");
+    std::string cold;
+    {
+        // First daemon lifetime: populate, then die without any
+        // graceful cache flush (there is none to call).
+        ServerFixture server(unixOptions(dir));
+        ServeClient c = server.client();
+        const ServeReply reply = c.sim(tinySpec());
+        ASSERT_TRUE(reply.served());
+        cold = reply.payload;
+    }
+    {
+        // Second lifetime over the same dir: the journal must warm-
+        // start the cache, and the same SIM must be a pure HIT with
+        // byte-identical payload and zero fresh simulation.
+        ServerFixture server(unixOptions(dir));
+        ServeClient c = server.client();
+        const ServeReply warm = c.sim(tinySpec());
+        ASSERT_FALSE(warm.ioFailed);
+        EXPECT_EQ(warm.status, ResponseStatus::Hit);
+        EXPECT_EQ(warm.payload, cold);
+        const ServeReport &rep = server.stopAndJoin();
+        EXPECT_EQ(rep.warmStarted, 2u);
+        EXPECT_EQ(rep.simulatedJobs, 0u);
+    }
+}
+
+TEST(SimServer, ConcurrentClientsShareTheCache)
+{
+    const std::string dir = freshDir("concurrent");
+    ServerFixture server(unixOptions(dir));
+
+    // One client populates; N clients then hammer GETs and SIMs
+    // concurrently. Every reply must be served and byte-identical.
+    std::string expect;
+    {
+        ServeClient c = server.client();
+        const ServeReply reply = c.sim(tinySpec());
+        ASSERT_TRUE(reply.served());
+        expect = reply.payload;
+    }
+    std::atomic<unsigned> mismatches{0}, failures{0};
+    std::vector<std::thread> clients;
+    for (unsigned t = 0; t < 4; ++t) {
+        clients.emplace_back([&] {
+            ServeClient c;
+            if (!c.connectUnix(dir + "/powerchopd.sock")) {
+                failures.fetch_add(1);
+                return;
+            }
+            for (int i = 0; i < 20; ++i) {
+                const ServeReply reply = c.sim(tinySpec());
+                if (!reply.served())
+                    failures.fetch_add(1);
+                else if (reply.payload != expect)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(mismatches.load(), 0u);
+    const ServeReport &rep = server.stopAndJoin();
+    EXPECT_EQ(rep.simulatedJobs, 2u) << "only the initial misses";
+}
+
+TEST(SimServer, TcpLoopbackServesTheSameProtocol)
+{
+    const std::string dir = freshDir("tcp");
+    ServeOptions opts;
+    opts.cache.journalPath = dir + "/cache.jsonl";
+    opts.runnerThreads = 1;
+    // port 0 selects the Unix transport, so an ephemeral bind isn't
+    // expressible; probe a few unlikely high ports instead.
+    std::unique_ptr<ServerFixture> server;
+    for (unsigned short port : {38471, 45929, 52363}) {
+        opts.port = port;
+        try {
+            server = std::make_unique<ServerFixture>(opts);
+            break;
+        } catch (const IoError &) {
+            // Port taken; try the next candidate.
+        }
+    }
+    if (!server)
+        GTEST_SKIP() << "no loopback port available";
+
+    ServeClient c;
+    std::string err;
+    ASSERT_TRUE(c.connectTcp(opts.port, &err)) << err;
+    EXPECT_TRUE(c.stats().served());
+}
+
+} // namespace

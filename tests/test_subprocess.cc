@@ -182,6 +182,24 @@ TEST(Subprocess, WriteToDeadChildReportsEpipeNotSignal)
     EXPECT_TRUE(saw_epipe);
 }
 
+TEST(Subprocess, LargeBatchToSlowReaderIsDeliveredIntact)
+{
+    // Regression: the stdin pipe is nonblocking, so a batch larger
+    // than the pipe capacity (~64 KiB on Linux) written to a child
+    // that isn't reading yet hits EAGAIN mid-write. writeStdin must
+    // park in poll(POLLOUT) and resume, not drop the tail or fail.
+    Subprocess p;
+    p.spawn(shell("sleep 0.3; wc -c"));
+    const std::string batch(340 * 1024 + 17, 'k');
+    EXPECT_TRUE(p.writeStdin(batch));
+    p.closeStdin();
+    std::string out;
+    const ExitStatus st = p.wait(30.0, &out);
+    EXPECT_TRUE(st.exitedOk());
+    EXPECT_EQ(out, std::to_string(batch.size()) + "\n")
+        << "child saw a truncated batch";
+}
+
 TEST(Subprocess, WaitTimeoutLeavesChildRunning)
 {
     // wait() never kills on timeout: whether a survivor is a

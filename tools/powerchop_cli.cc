@@ -36,6 +36,20 @@
  *                                redraw on an interval, --json for
  *                                machine output, --prom for a
  *                                Prometheus textfile exposition.
+ *                                Exits 2 when <dir> holds no
+ *                                snapshots (nothing running there).
+ *   serve <dir> [options]        powerchopd: a long-lived daemon
+ *                                serving simulation results over a
+ *                                Unix/TCP socket from a content-
+ *                                keyed LRU cache (misses simulate
+ *                                through the campaign machinery;
+ *                                the cache journal in <dir> makes
+ *                                restarts warm).
+ *   client [options]             One framed request against a
+ *                                running powerchopd: --get KEY,
+ *                                --stats, or matrix flags for a
+ *                                SIM whose report is byte-identical
+ *                                to a direct campaign's.
  *
  * Campaigns publish the statusboard and a crash flight recorder
  * (<dir>/flight.jsonl) by default; POWERCHOP_NO_STATUS=1 and
@@ -116,6 +130,16 @@ usage()
         "      assigned content keys from stdin, one 16-hex line\n"
         "      each, and reports done/heartbeat lines on stdout)\n"
         "  status <dir> [--json | --prom] [--follow] [--interval S]\n"
+        "      (exit 2 when <dir> holds no status snapshots)\n"
+        "  serve <dir> [--socket PATH | --port N] [--cache-mb N]\n"
+        "      [--timeout-seconds S] (powerchopd: long-lived\n"
+        "      simulation service with a content-keyed LRU result\n"
+        "      cache, journaled to <dir>/cache.jsonl for warm\n"
+        "      restarts; default socket <dir>/powerchopd.sock)\n"
+        "  client (--socket PATH | --port N) [--get KEY | --stats |\n"
+        "      matrix options] (one request against a running\n"
+        "      powerchopd; SIM payloads are byte-identical to a\n"
+        "      direct campaign's report.json)\n"
         "  --version\n"
         "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n"
         "run/compare/trace accept --audit (invariant-check results)\n"
@@ -203,6 +227,14 @@ struct Args
     double intervalSeconds = 2.0;
     /** @} */
 
+    /** serve / client options. @{ */
+    std::string socket;       ///< Unix-domain socket path.
+    unsigned port = 0;        ///< TCP port on 127.0.0.1; 0 = Unix.
+    double cacheMb = 256;     ///< Result-cache budget (MiB).
+    std::string get;          ///< client: GET this hex content key.
+    bool statsRequest = false; ///< client: STATS instead of SIM.
+    /** @} */
+
     /** --profile: CLI parity for POWERCHOP_PROFILE=1. */
     bool profile = false;
 };
@@ -284,6 +316,18 @@ parseOptions(const std::vector<std::string> &rest)
         else if (rest[i] == "--interval")
             a.intervalSeconds =
                 std::strtod(need("--interval").c_str(), nullptr);
+        else if (rest[i] == "--socket")
+            a.socket = need("--socket");
+        else if (rest[i] == "--port")
+            a.port = static_cast<unsigned>(
+                std::strtoul(need("--port").c_str(), nullptr, 10));
+        else if (rest[i] == "--cache-mb")
+            a.cacheMb =
+                std::strtod(need("--cache-mb").c_str(), nullptr);
+        else if (rest[i] == "--get")
+            a.get = need("--get");
+        else if (rest[i] == "--stats")
+            a.statsRequest = true;
         else if (rest[i] == "--profile")
             a.profile = true;
         else
@@ -292,6 +336,10 @@ parseOptions(const std::vector<std::string> &rest)
     }
     if (a.insns == 0)
         fatal("--insns must be positive");
+    if (a.port > 65535)
+        fatal("--port must be in [1, 65535]");
+    if (a.cacheMb <= 0)
+        fatal("--cache-mb must be positive");
     // --profile arms the process-wide profiler that POWERCHOP_PROFILE
     // latched at global()'s first use; doing it in the option funnel
     // covers every subcommand with one line.
@@ -729,6 +777,19 @@ cmdStatus(const std::string &dir, const Args &a)
         fatal("status: --json and --prom are mutually exclusive");
     for (;;) {
         const std::vector<StatusEntry> entries = readStatusDir(dir);
+        if (entries.empty()) {
+            // Scripts must be able to tell "no campaign here" from
+            // "campaign finished": an empty/missing status directory
+            // is a usage-style error, not an empty success.
+            std::fprintf(
+                stderr,
+                "status: no status snapshots under %s/status "
+                "(no campaign or powerchopd started here, or "
+                "observability disabled with "
+                "POWERCHOP_NO_STATUS=1)\n",
+                dir.c_str());
+            return 2;
+        }
         std::string out;
         if (a.json)
             out = renderStatusJson(dir, entries);
@@ -748,6 +809,112 @@ cmdStatus(const std::string &dir, const Args &a)
                 a.intervalSeconds > 0 ? a.intervalSeconds : 2.0));
         std::printf("\n");
     }
+}
+
+int
+cmdServe(const std::string &dir, const Args &a)
+{
+    makeCampaignDirs(dir);
+    installCampaignSignalHandlers();
+
+    ServeOptions sopts;
+    if (a.port != 0)
+        sopts.port = static_cast<unsigned short>(a.port);
+    else
+        sopts.socketPath =
+            !a.socket.empty() ? a.socket : dir + "/powerchopd.sock";
+    sopts.cache.maxBytes =
+        static_cast<std::size_t>(a.cacheMb * (1u << 20));
+    sopts.cache.journalPath = dir + "/cache.jsonl";
+    sopts.jobTimeoutSeconds = a.timeoutSeconds;
+    sopts.stopFlag = &campaignInterruptFlag();
+    if (statusboardEnabled()) {
+        makeCampaignDirs(statusDirPath(dir));
+        sopts.statusPath = statusDirPath(dir) + "/server.json";
+    }
+    if (flightRecorderEnabled())
+        FlightRecorder::global().enable(dir + "/flight.jsonl");
+    sopts.onEvent = [](const std::string &msg) {
+        inform("[powerchopd] %s", msg.c_str());
+    };
+
+    SimServer server(sopts);
+    const ServeReport rep = server.run();
+    std::printf("powerchopd: %s\n", rep.summary().c_str());
+    return 0;
+}
+
+int
+cmdClient(const Args &a)
+{
+    if (a.socket.empty() && a.port == 0)
+        fatal("client requires --socket PATH or --port N");
+    if (!a.get.empty() && a.statsRequest)
+        fatal("client: --get and --stats are mutually exclusive");
+
+    ServeClient client;
+    std::string err;
+    const bool connected = a.port != 0
+        ? client.connectTcp(static_cast<unsigned short>(a.port),
+                            &err)
+        : client.connectUnix(a.socket, &err);
+    if (!connected)
+        fatal("client: %s", err.c_str());
+
+    ServeReply reply;
+    if (a.statsRequest) {
+        reply = client.stats();
+    } else if (!a.get.empty()) {
+        char *end = nullptr;
+        const std::uint64_t key =
+            std::strtoull(a.get.c_str(), &end, 16);
+        if (a.get.empty() || !end || *end != '\0')
+            fatal("client: --get wants a hex content key");
+        reply = client.get(key);
+    } else {
+        // Matrix flags become a SIM spec with the same defaults as
+        // `powerchop campaign`, so the served report matches a
+        // direct run of the identical command line byte-for-byte.
+        const std::vector<std::string> workloads =
+            !a.workloads.empty()
+                ? splitList(a.workloads)
+                : std::vector<std::string>{"perlbench", "namd",
+                                           "canneal", "msn"};
+        const std::vector<std::string> machines = !a.machine.empty()
+            ? std::vector<std::string>{a.machine}
+            : std::vector<std::string>{"server", "mobile"};
+        std::vector<std::string> modes;
+        if (!a.modes.empty()) {
+            modes = splitList(a.modes);
+        } else if (a.modeSet) {
+            modes = {simModeName(a.mode)};
+        } else {
+            modes = {"full-power", "powerchop", "min-power",
+                     "timeout-vpu", "drowsy-mlc"};
+        }
+        const InsnCount insns = a.insnsSet ? a.insns : 200'000;
+        reply = client.sim(formatSimSpec(workloads, machines, modes,
+                                         insns, a.timeout));
+    }
+
+    if (reply.ioFailed)
+        fatal("client: request failed (daemon gone?)");
+    if (reply.status == ResponseStatus::Err) {
+        std::fprintf(stderr, "ERR: %s", reply.payload.c_str());
+        return 1;
+    }
+    if (reply.status == ResponseStatus::Miss) {
+        std::fprintf(stderr, "MISS\n");
+        return 1;
+    }
+    // HIT/OK: the payload verbatim — byte-identity is the contract,
+    // so nothing is added but a final newline when the payload
+    // itself lacks one (GET payloads are single-line JSON).
+    std::fwrite(reply.payload.data(), 1, reply.payload.size(),
+                stdout);
+    if (!reply.payload.empty() && reply.payload.back() != '\n')
+        std::printf("\n");
+    return 0;
 }
 
 int
@@ -1129,6 +1296,16 @@ main(int argc, char **argv)
             return cmdCampaignWorker(argv[2], parseOptions(rest));
         if (cmd == "status" && argc >= 3)
             return cmdStatus(argv[2], parseOptions(rest));
+        if (cmd == "serve" && argc >= 3)
+            return cmdServe(argv[2], parseOptions(rest));
+        if (cmd == "client") {
+            // client has no positional: every argv after the
+            // subcommand is an option (the daemon address flags).
+            std::vector<std::string> crest;
+            for (int i = 2; i < argc; ++i)
+                crest.emplace_back(argv[i]);
+            return cmdClient(parseOptions(crest));
+        }
         if (cmd == "verify") {
             // verify has no <workload> positional: every argv after
             // the subcommand is an option.
