@@ -87,7 +87,11 @@ usageExit()
         "  --insns N        per-job instruction budget "
         "(default 200000)\n"
         "  --timeout C      idle-timeout cycles in the spec "
-        "(default 0)\n");
+        "(default 0)\n"
+        "  --retries N      reconnect-and-retry attempts per request "
+        "(default 1)\n"
+        "  --timeout-seconds S  per-attempt I/O deadline "
+        "(default 0 = none)\n");
     std::exit(2);
 }
 
@@ -111,6 +115,8 @@ main(int argc, char **argv)
     }
     std::uint64_t insns = 200'000;
     double timeoutCycles = 0;
+    unsigned retries = 1;
+    double timeoutSeconds = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -143,6 +149,11 @@ main(int argc, char **argv)
             insns = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--timeout") {
             timeoutCycles = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--retries") {
+            retries = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--timeout-seconds") {
+            timeoutSeconds = std::strtod(value().c_str(), nullptr);
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usageExit();
@@ -203,7 +214,7 @@ main(int argc, char **argv)
 
     stats::Log2Histogram latencyNs;
     std::atomic<std::uint64_t> hits{0}, misses{0}, errors{0},
-        ioErrors{0}, completed{0};
+        ioErrors{0}, completed{0}, busy{0}, retried{0};
 
     const auto connect = [&](ServeClient &client) {
         std::string err;
@@ -222,7 +233,17 @@ main(int argc, char **argv)
     for (unsigned tid = 0; tid < threads; ++tid) {
         pool.emplace_back([&, tid] {
             ServeClient client;
-            if (!connect(client)) {
+            // The client's own retry policy rides through daemon
+            // drains/restarts: reconnect + deterministic seeded
+            // backoff, decorrelated across threads by seed.
+            ClientRetryPolicy policy;
+            policy.retries = retries;
+            policy.timeoutSeconds = timeoutSeconds;
+            policy.backoffBaseSeconds = 0.02;
+            policy.backoffMaxSeconds = 0.5;
+            policy.seed = 1234 + tid;
+            client.setRetryPolicy(policy);
+            if (!connect(client) && retries == 0) {
                 ioErrors.fetch_add(1, std::memory_order_relaxed);
                 return;
             }
@@ -237,16 +258,15 @@ main(int argc, char **argv)
                     points.size() - 1);
 
                 const std::int64_t start = monotonicNanos();
-                ServeReply reply = client.get(points[idx].key);
+                const ServeReply reply =
+                    client.get(points[idx].key);
+                if (reply.attempts > 1) {
+                    retried.fetch_add(reply.attempts - 1,
+                                      std::memory_order_relaxed);
+                }
                 if (reply.ioFailed) {
-                    // Daemon restart mid-load: reconnect once and
-                    // retry the same key before giving up.
                     ioErrors.fetch_add(1, std::memory_order_relaxed);
-                    if (!connect(client))
-                        return;
-                    reply = client.get(points[idx].key);
-                    if (reply.ioFailed)
-                        return;
+                    return; // retries exhausted: daemon is gone
                 }
                 latencyNs.sample(static_cast<std::uint64_t>(
                     monotonicNanos() - start));
@@ -254,6 +274,10 @@ main(int argc, char **argv)
 
                 if (reply.status == ResponseStatus::Hit) {
                     hits.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+                if (reply.status == ResponseStatus::Busy) {
+                    busy.fetch_add(1, std::memory_order_relaxed);
                     continue;
                 }
                 if (reply.status != ResponseStatus::Miss) {
@@ -267,12 +291,20 @@ main(int argc, char **argv)
                 const std::int64_t simStart = monotonicNanos();
                 const ServeReply simReply =
                     client.sim(points[idx].spec);
-                if (simReply.ioFailed)
+                if (simReply.attempts > 1) {
+                    retried.fetch_add(simReply.attempts - 1,
+                                      std::memory_order_relaxed);
+                }
+                if (simReply.ioFailed) {
+                    ioErrors.fetch_add(1, std::memory_order_relaxed);
                     return;
+                }
                 latencyNs.sample(static_cast<std::uint64_t>(
                     monotonicNanos() - simStart));
                 completed.fetch_add(1, std::memory_order_relaxed);
-                if (!simReply.served())
+                if (simReply.status == ResponseStatus::Busy)
+                    busy.fetch_add(1, std::memory_order_relaxed);
+                else if (!simReply.served())
                     errors.fetch_add(1, std::memory_order_relaxed);
             }
         });
@@ -286,25 +318,36 @@ main(int argc, char **argv)
     const std::uint64_t hit = hits.load(std::memory_order_relaxed);
     const std::uint64_t miss =
         misses.load(std::memory_order_relaxed);
+    const std::uint64_t shed = busy.load(std::memory_order_relaxed);
+    const std::uint64_t retriedN =
+        retried.load(std::memory_order_relaxed);
     const double qps = wall > 0 ? done / wall : 0;
     const double hitRate =
         hit + miss > 0
             ? static_cast<double>(hit) /
                   static_cast<double>(hit + miss)
             : 0;
+    const double shedRate =
+        done > 0 ? static_cast<double>(shed) /
+                       static_cast<double>(done)
+                 : 0;
     const stats::Quantiles lat = latencyNs.quantiles(1e-6);
 
     std::printf("requests=%llu hits=%llu misses=%llu errors=%llu "
-                "io_errors=%llu\n",
+                "io_errors=%llu busy=%llu\n",
                 static_cast<unsigned long long>(done),
                 static_cast<unsigned long long>(hit),
                 static_cast<unsigned long long>(miss),
                 static_cast<unsigned long long>(
                     errors.load(std::memory_order_relaxed)),
                 static_cast<unsigned long long>(
-                    ioErrors.load(std::memory_order_relaxed)));
+                    ioErrors.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(shed));
     std::printf("served_qps=%.1f\n", qps);
     std::printf("hit_rate=%.6f\n", hitRate);
+    std::printf("shed_rate=%.6f\n", shedRate);
+    std::printf("retries=%llu\n",
+                static_cast<unsigned long long>(retriedN));
     std::printf("request_latency_ms p50=%.3f p90=%.3f p99=%.3f "
                 "(%llu samples)\n",
                 lat.p50, lat.p90, lat.p99,
@@ -314,8 +357,10 @@ main(int argc, char **argv)
         "{\"bench\":\"bench_serve\",\"threads\":%u,"
         "\"keys\":%zu,\"requests\":%llu,\"hits\":%llu,"
         "\"misses\":%llu,\"errors\":%llu,\"io_errors\":%llu,"
+        "\"busy\":%llu,\"retries\":%llu,"
         "\"wall_seconds\":%.6f,\"served_qps\":%.6f,"
-        "\"hit_rate\":%.6f,\"request_latency_ms\":{"
+        "\"hit_rate\":%.6f,\"shed_rate\":%.6f,"
+        "\"request_latency_ms\":{"
         "\"samples\":%llu,\"p50\":%.6f,\"p90\":%.6f,"
         "\"p99\":%.6f}}",
         threads, points.size(),
@@ -326,7 +371,9 @@ main(int argc, char **argv)
             errors.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
             ioErrors.load(std::memory_order_relaxed)),
-        wall, qps, hitRate,
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(retriedN),
+        wall, qps, hitRate, shedRate,
         static_cast<unsigned long long>(lat.samples), lat.p50,
         lat.p90, lat.p99);
     const std::string path =

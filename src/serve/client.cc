@@ -1,7 +1,9 @@
 #include "serve/client.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -10,9 +12,34 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace powerchop
 {
+
+double
+clientRetryBackoffSeconds(const ClientRetryPolicy &policy,
+                          unsigned attempt)
+{
+    if (attempt <= 1 || policy.backoffBaseSeconds <= 0)
+        return 0;
+    double delay = policy.backoffBaseSeconds;
+    for (unsigned a = 2;
+         a < attempt && delay < policy.backoffMaxSeconds; ++a) {
+        delay *= 2;
+    }
+    if (delay > policy.backoffMaxSeconds)
+        delay = policy.backoffMaxSeconds;
+    // Seeded jitter, a pure function of (seed, attempt): the same
+    // discipline as the runner's retryBackoffSeconds, so concurrent
+    // clients with distinct seeds decorrelate without wall-clock
+    // randomness.
+    Rng rng(policy.seed ^
+            (static_cast<std::uint64_t>(attempt) *
+             0x9e3779b97f4a7c15ull));
+    return delay +
+           delay * policy.backoffJitterFraction * rng.uniform();
+}
 
 ServeClient::~ServeClient()
 {
@@ -20,9 +47,13 @@ ServeClient::~ServeClient()
 }
 
 ServeClient::ServeClient(ServeClient &&other) noexcept
-    : fd_(other.fd_), reader_(std::move(other.reader_))
+    : fd_(other.fd_), reader_(std::move(other.reader_)),
+      policy_(other.policy_), target_(other.target_),
+      targetPath_(std::move(other.targetPath_)),
+      targetPort_(other.targetPort_)
 {
     other.fd_ = -1;
+    other.target_ = Target::None;
 }
 
 ServeClient &
@@ -32,7 +63,12 @@ ServeClient::operator=(ServeClient &&other) noexcept
         close();
         fd_ = other.fd_;
         reader_ = std::move(other.reader_);
+        policy_ = other.policy_;
+        target_ = other.target_;
+        targetPath_ = std::move(other.targetPath_);
+        targetPort_ = other.targetPort_;
         other.fd_ = -1;
+        other.target_ = Target::None;
     }
     return *this;
 }
@@ -50,7 +86,14 @@ ServeClient::close()
 bool
 ServeClient::connectUnix(const std::string &path, std::string *err)
 {
+    // A daemon restarting under our feet must surface as a failed
+    // (and retryable) write, not a SIGPIPE death.
+    serveIgnoreSigpipe();
     close();
+    // Remember the dial target before attempting: a refused dial
+    // must still be redialable (the daemon may be mid-restart).
+    target_ = Target::Unix;
+    targetPath_ = path;
     struct sockaddr_un addr = {};
     if (path.size() >= sizeof(addr.sun_path)) {
         if (err)
@@ -77,13 +120,17 @@ ServeClient::connectUnix(const std::string &path, std::string *err)
         return false;
     }
     reader_ = std::make_unique<FdReader>(fd_);
+    applyTimeout();
     return true;
 }
 
 bool
 ServeClient::connectTcp(unsigned short port, std::string *err)
 {
+    serveIgnoreSigpipe();
     close();
+    target_ = Target::Tcp;
+    targetPort_ = port;
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) {
         if (err)
@@ -105,20 +152,95 @@ ServeClient::connectTcp(unsigned short port, std::string *err)
         return false;
     }
     reader_ = std::make_unique<FdReader>(fd_);
+    applyTimeout();
+    return true;
+}
+
+void
+ServeClient::setRetryPolicy(const ClientRetryPolicy &policy)
+{
+    policy_ = policy;
+    applyTimeout();
+}
+
+void
+ServeClient::applyTimeout()
+{
+    if (reader_) {
+        reader_->setPollTimeoutMs(
+            policy_.timeoutSeconds > 0
+                ? static_cast<int>(policy_.timeoutSeconds * 1e3) + 1
+                : -1);
+    }
+}
+
+bool
+ServeClient::reconnect(std::string *err)
+{
+    // connectUnix/connectTcp reset target_, so stash the dial info
+    // before close() runs inside them.
+    switch (target_) {
+      case Target::Unix: {
+        const std::string path = targetPath_;
+        return connectUnix(path, err);
+      }
+      case Target::Tcp:
+        return connectTcp(targetPort_, err);
+      case Target::None:
+        break;
+    }
+    if (err)
+        *err = "never connected: nothing to reconnect to";
+    return false;
+}
+
+bool
+ServeClient::attemptOnce(const std::string &frame, ServeReply &reply,
+                         std::string &err)
+{
+    if (fd_ < 0 && !reconnect(&err))
+        return false;
+    if (!writeAllFd(fd_, frame)) {
+        err = csprintf("send failed: %s", std::strerror(errno));
+        close();
+        return false;
+    }
+    if (!readResponse(*reader_, reply.status, reply.payload)) {
+        err = reader_->outcome() == ReadOutcome::TimedOut
+                  ? csprintf("reply timed out after %.3fs",
+                             policy_.timeoutSeconds)
+                  : "torn reply (daemon gone mid-response?)";
+        close();
+        return false;
+    }
     return true;
 }
 
 ServeReply
 ServeClient::request(const std::string &line)
 {
+    const std::string frame = line + "\n";
+    const unsigned attempts = policy_.retries + 1;
     ServeReply reply;
-    if (fd_ < 0 || !writeAllFd(fd_, line + "\n")) {
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        reply.attempts = attempt;
+        std::string err;
+        if (attemptOnce(frame, reply, err)) {
+            reply.ioFailed = false;
+            reply.error.clear();
+            return reply;
+        }
         reply.ioFailed = true;
-        return reply;
-    }
-    if (!readResponse(*reader_, reply.status, reply.payload)) {
-        reply.ioFailed = true;
-        return reply;
+        reply.error = csprintf("attempt %u/%u: %s", attempt,
+                               attempts, err.c_str());
+        if (attempt < attempts) {
+            const double wait =
+                clientRetryBackoffSeconds(policy_, attempt + 1);
+            if (wait > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(wait));
+            }
+        }
     }
     return reply;
 }

@@ -6,6 +6,13 @@
  * `powerchop client` subcommand, bench_serve's load generator and the
  * serve tests, so all three speak the wire format from one place.
  * Not thread-safe: one ServeClient per connection per thread.
+ *
+ * Retries: a ClientRetryPolicy makes the client ride through daemon
+ * drains and restarts — each transport failure closes, backs off
+ * (deterministic seeded exponential backoff, mirroring the runner's
+ * retryBackoffSeconds discipline) and reconnects to the remembered
+ * target before trying again. BUSY responses are *not* retried here:
+ * shedding is an answer, and pacing the retry is the caller's call.
  */
 
 #ifndef POWERCHOP_SERVE_CLIENT_HH
@@ -20,6 +27,32 @@
 namespace powerchop
 {
 
+/** Reconnect-and-retry knobs for a ServeClient. */
+struct ClientRetryPolicy
+{
+    /** Extra attempts after the first (0 = fail fast). */
+    unsigned retries = 0;
+
+    /** Per-attempt I/O deadline (reads poll() against it); <= 0
+     *  blocks forever. */
+    double timeoutSeconds = 0;
+
+    /** Deterministic exponential backoff between attempts: delay
+     *  doubles from base, capped at max, plus seeded jitter — a pure
+     *  function of (seed, attempt), so tests and benchmarks
+     *  reproduce byte-identical schedules. @{ */
+    double backoffBaseSeconds = 0.05;
+    double backoffMaxSeconds = 1.0;
+    double backoffJitterFraction = 0.25;
+    std::uint64_t seed = 0;
+    /** @} */
+};
+
+/** The deterministic delay charged before attempt `attempt`
+ *  (attempt 1 is the initial try: delay 0). Exposed for tests. */
+double clientRetryBackoffSeconds(const ClientRetryPolicy &policy,
+                                 unsigned attempt);
+
 /** One response: wire status plus the payload bytes, verbatim. */
 struct ServeReply
 {
@@ -29,6 +62,13 @@ struct ServeReply
     /** True when transport failed (connection refused, torn reply);
      *  status/payload are then meaningless. */
     bool ioFailed = false;
+
+    /** Attempts consumed (1 = first try succeeded). */
+    unsigned attempts = 1;
+
+    /** On ioFailed: what went wrong, labeled with the attempt that
+     *  failed last ("attempt 3/3: connect ... refused"). */
+    std::string error;
 
     /** @return true when the request was answered with content. */
     bool served() const
@@ -64,6 +104,15 @@ class ServeClient
     bool connected() const { return fd_ >= 0; }
     void close();
 
+    /** Install the reconnect-and-retry policy (applies to every
+     *  subsequent request; the I/O deadline also applies to the
+     *  current connection). */
+    void setRetryPolicy(const ClientRetryPolicy &policy);
+
+    /** Re-dial the last connect target. @return false (with *err
+     *  set when non-null) when never connected or the dial fails. */
+    bool reconnect(std::string *err = nullptr);
+
     /** The three verbs. @{ */
     ServeReply get(std::uint64_t key);
     ServeReply sim(const std::string &specJson);
@@ -71,10 +120,24 @@ class ServeClient
     /** @} */
 
   private:
+    enum class Target
+    {
+        None,
+        Unix,
+        Tcp,
+    };
+
     ServeReply request(const std::string &line);
+    bool attemptOnce(const std::string &frame, ServeReply &reply,
+                     std::string &err);
+    void applyTimeout();
 
     int fd_ = -1;
     std::unique_ptr<FdReader> reader_;
+    ClientRetryPolicy policy_;
+    Target target_ = Target::None;
+    std::string targetPath_;
+    unsigned short targetPort_ = 0;
 };
 
 } // namespace powerchop

@@ -2,15 +2,26 @@
 
 #include <cctype>
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
+#include <poll.h>
 #include <unistd.h>
 
+#include "common/clock.hh"
 #include "common/logging.hh"
 
 namespace powerchop
 {
+
+void
+serveIgnoreSigpipe()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
 
 const char *
 responseStatusName(ResponseStatus s)
@@ -24,6 +35,8 @@ responseStatusName(ResponseStatus s)
         return "MISS";
       case ResponseStatus::Err:
         return "ERR";
+      case ResponseStatus::Busy:
+        return "BUSY";
     }
     return "ERR";
 }
@@ -85,43 +98,93 @@ formatSimSpec(const std::vector<std::string> &workloads,
         static_cast<unsigned long long>(insns), timeoutCycles);
 }
 
-bool
-FdReader::fill()
+ReadOutcome
+FdReader::fill(int timeoutMs)
 {
     if (pos_ > 0) {
         buf_.erase(0, pos_);
         pos_ = 0;
     }
+    // The deadline covers the whole refill, not each poll: EINTR and
+    // spurious wakeups re-poll with whatever budget remains.
+    const MonotonicDeadline deadline(
+        timeoutMs >= 0 ? timeoutMs * 1e-3 : 0);
     char chunk[4096];
     while (true) {
+        if (timeoutMs >= 0) {
+            const double left = deadline.remainingSeconds();
+            if (timeoutMs > 0 && left <= 0)
+                return ReadOutcome::TimedOut;
+            struct pollfd pfd = {};
+            pfd.fd = fd_;
+            pfd.events = POLLIN;
+            const int budget = timeoutMs == 0
+                ? 0
+                : static_cast<int>(left * 1e3) + 1;
+            const int pr = ::poll(&pfd, 1, budget);
+            if (pr == 0)
+                return ReadOutcome::TimedOut;
+            if (pr < 0) {
+                if (errno == EINTR)
+                    continue;
+                return ReadOutcome::Error;
+            }
+        }
         const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
         if (n > 0) {
             buf_.append(chunk, static_cast<std::size_t>(n));
-            return true;
+            return ReadOutcome::Ok;
         }
         if (n == 0)
-            return false; // EOF
+            return ReadOutcome::Eof;
         if (errno == EINTR)
             continue;
-        return false;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            // O_NONBLOCK fd raced a spurious poll wakeup: re-poll
+            // with the remaining budget (or block again when none).
+            if (timeoutMs < 0) {
+                struct pollfd pfd = {};
+                pfd.fd = fd_;
+                pfd.events = POLLIN;
+                ::poll(&pfd, 1, -1);
+            }
+            continue;
+        }
+        return ReadOutcome::Error;
     }
 }
 
-bool
-FdReader::readLine(std::string &line, std::size_t maxBytes)
+ReadOutcome
+FdReader::readLineDeadline(std::string &line, int idleMs, int ioMs,
+                           std::size_t maxBytes)
 {
     while (true) {
         const std::size_t nl = buf_.find('\n', pos_);
         if (nl != std::string::npos) {
             line.assign(buf_, pos_, nl - pos_);
             pos_ = nl + 1;
-            return line.size() <= maxBytes;
+            outcome_ = line.size() <= maxBytes ? ReadOutcome::Ok
+                                               : ReadOutcome::TooLong;
+            return outcome_;
         }
-        if (buf_.size() - pos_ > maxBytes)
-            return false; // runaway line, no newline in budget
-        if (!fill())
-            return false;
+        if (buf_.size() - pos_ > maxBytes) {
+            outcome_ = ReadOutcome::TooLong;
+            return outcome_;
+        }
+        // An empty buffer means we are waiting for the line's first
+        // byte — the idle budget. Once any byte of the line is here,
+        // the (usually much shorter) mid-frame budget applies.
+        outcome_ = fill(buffered() ? ioMs : idleMs);
+        if (outcome_ != ReadOutcome::Ok)
+            return outcome_;
     }
+}
+
+bool
+FdReader::readLine(std::string &line, std::size_t maxBytes)
+{
+    return readLineDeadline(line, pollTimeoutMs_, pollTimeoutMs_,
+                            maxBytes) == ReadOutcome::Ok;
 }
 
 bool
@@ -129,11 +192,13 @@ FdReader::readExact(std::string &out, std::size_t n)
 {
     out.clear();
     while (buf_.size() - pos_ < n) {
-        if (!fill())
+        outcome_ = fill(pollTimeoutMs_);
+        if (outcome_ != ReadOutcome::Ok)
             return false;
     }
     out.assign(buf_, pos_, n);
     pos_ += n;
+    outcome_ = ReadOutcome::Ok;
     return true;
 }
 
@@ -156,6 +221,44 @@ writeAllFd(int fd, const std::string &data)
 }
 
 bool
+writeAllFdDeadline(int fd, const std::string &data, int timeoutMs)
+{
+    if (timeoutMs <= 0)
+        return writeAllFd(fd, data);
+    const MonotonicDeadline deadline(timeoutMs * 1e-3);
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const double left = deadline.remainingSeconds();
+        if (left <= 0)
+            return false;
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        const int pr = ::poll(&pfd, 1,
+                              static_cast<int>(left * 1e3) + 1);
+        if (pr == 0)
+            return false; // peer stopped reading: deadline fired
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK)) {
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
 writeResponse(int fd, ResponseStatus status,
               const std::string &payload)
 {
@@ -166,6 +269,17 @@ writeResponse(int fd, ResponseStatus status,
                                  payload.size());
     frame += payload;
     return writeAllFd(fd, frame);
+}
+
+bool
+writeResponseDeadline(int fd, ResponseStatus status,
+                      const std::string &payload, int timeoutMs)
+{
+    std::string frame = csprintf("%s %zu\n",
+                                 responseStatusName(status),
+                                 payload.size());
+    frame += payload;
+    return writeAllFdDeadline(fd, frame, timeoutMs);
 }
 
 bool
@@ -187,6 +301,8 @@ readResponse(FdReader &reader, ResponseStatus &status,
         status = ResponseStatus::Miss;
     else if (token == "ERR")
         status = ResponseStatus::Err;
+    else if (token == "BUSY")
+        status = ResponseStatus::Busy;
     else
         return false;
     char *end = nullptr;

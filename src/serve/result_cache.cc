@@ -1,5 +1,6 @@
 #include "serve/result_cache.hh"
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 
 namespace powerchop
@@ -22,7 +23,10 @@ entryCost(const std::string &payload)
 ResultCache::ResultCache(const ResultCacheOptions &opts)
     : shardBudget_(opts.maxBytes /
                    (opts.shards ? opts.shards : 1)),
-      shards_(opts.shards ? opts.shards : 1)
+      shards_(opts.shards ? opts.shards : 1),
+      journalPath_(opts.journalPath),
+      compactDeadRatio_(opts.compactDeadRatio),
+      compactMinRecords_(opts.compactMinRecords)
 {
     if (opts.journalPath.empty())
         return;
@@ -43,11 +47,19 @@ ResultCache::ResultCache(const ResultCacheOptions &opts)
     }
     // Warm-start admissions are replays, not traffic: the counters
     // must describe what the daemon served, not what it remembered.
+    std::uint64_t live = 0;
     for (Shard &sh : shards_) {
         std::lock_guard<std::mutex> lock(sh.mutex);
         sh.insertions = 0;
         sh.evictions = 0;
+        live += sh.lru.size();
     }
+    // Every physical line not backing a resident entry — superseded,
+    // corrupt, torn, or evicted during replay — is dead weight a
+    // compaction would shed.
+    journalRecords_.store(replay.lines, std::memory_order_relaxed);
+    journalDead_.store(replay.lines > live ? replay.lines - live : 0,
+                       std::memory_order_relaxed);
     journal_ = std::make_unique<JournalWriter>(opts.journalPath);
 }
 
@@ -87,6 +99,11 @@ ResultCache::insertLocked(Shard &sh, std::uint64_t key,
         sh.index.erase(victim.key);
         sh.lru.pop_back();
         ++sh.evictions;
+        // An evicted entry's journal record is now dead weight
+        // (journal_ is null during replay: the constructor accounts
+        // for replay-time deadness wholesale).
+        if (journal_)
+            journalDead_.fetch_add(1, std::memory_order_relaxed);
     }
     sh.lru.push_front(Entry{key, payload});
     sh.index[key] = sh.lru.begin();
@@ -121,8 +138,70 @@ ResultCache::put(std::uint64_t key, const std::string &payload)
         rec.key = key;
         rec.status = "ok";
         rec.payload = payload;
+        std::lock_guard<std::mutex> jlock(journalMutex_);
         journal_->append(rec);
+        journalRecords_.fetch_add(1, std::memory_order_relaxed);
+        maybeCompactLocked();
     }
+}
+
+void
+ResultCache::maybeCompactLocked()
+{
+    if (compactDeadRatio_ <= 0 || !journal_)
+        return;
+    const std::uint64_t records =
+        journalRecords_.load(std::memory_order_relaxed);
+    const std::uint64_t dead =
+        journalDead_.load(std::memory_order_relaxed);
+    if (records < compactMinRecords_ ||
+        static_cast<double>(dead) <
+            compactDeadRatio_ * static_cast<double>(records)) {
+        return;
+    }
+    // Snapshot live entries least-recent first: replay inserts in
+    // file order and first-appearance order *is* recency order, so
+    // the compacted journal warm-starts to the identical cache —
+    // same keys, same bytes, same LRU order.
+    std::string content;
+    std::uint64_t live = 0;
+    for (Shard &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        for (auto it = sh.lru.rbegin(); it != sh.lru.rend(); ++it) {
+            JournalRecord rec;
+            rec.key = it->key;
+            rec.status = "ok";
+            rec.payload = it->payload;
+            content += formatJournalLine(rec);
+            content += '\n';
+            ++live;
+        }
+    }
+    // Close the append fd across the rename so no write can land in
+    // the doomed file; atomicWriteFile's temp+fsync+rename means a
+    // crash at any point leaves a complete journal (old or new).
+    journal_.reset();
+    if (!atomicWriteFileOk(journalPath_, content)) {
+        static LogRateLimiter limiter(0.2, 2.0);
+        warnLimited(limiter,
+                    "cache journal compaction of %s failed; "
+                    "continuing with the uncompacted journal",
+                    journalPath_.c_str());
+        journal_ = std::make_unique<JournalWriter>(journalPath_);
+        return;
+    }
+    journal_ = std::make_unique<JournalWriter>(journalPath_);
+    journalRecords_.store(live, std::memory_order_relaxed);
+    journalDead_.store(0, std::memory_order_relaxed);
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ResultCache::flushJournal()
+{
+    std::lock_guard<std::mutex> jlock(journalMutex_);
+    if (journal_)
+        journal_->flush();
 }
 
 ResultCacheStats
@@ -138,6 +217,11 @@ ResultCache::stats() const
         out.entries += sh.lru.size();
         out.bytes += sh.bytes;
     }
+    out.compactions = compactions_.load(std::memory_order_relaxed);
+    out.journalRecords =
+        journalRecords_.load(std::memory_order_relaxed);
+    out.journalDeadRecords =
+        journalDead_.load(std::memory_order_relaxed);
     return out;
 }
 

@@ -14,12 +14,19 @@
  * starts by replaying that journal, so a SIGKILL loses nothing that
  * was ever served.
  *
- * Durability invariant: the journal is an append-only *superset* of
- * the in-memory cache — eviction frees memory but never erases the
- * journal record, so the journal is bounded by disk, the cache by
- * `maxBytes`. Replay order is first-appearance order, so a journal
- * larger than the budget warm-starts to the most recently appended
- * entries (earlier records are evicted first).
+ * Durability invariant: between compactions the journal is an
+ * append-only *superset* of the in-memory cache — eviction frees
+ * memory but never erases the journal record. Compaction bounds the
+ * file: when dead records (evicted entries, duplicate appends) exceed
+ * `compactDeadRatio` of the file, the journal is atomically rewritten
+ * (temp + fsync + rename) from the live entries in LRU order, so
+ * warm-start cost is bounded by cache size, not daemon lifetime.
+ * Compaction invariant: a compacted journal warm-starts to the
+ * identical cache — same keys, same payload bytes, same recency
+ * order — as the uncompacted journal would have. Replay order is
+ * first-appearance order, so a journal larger than the budget
+ * warm-starts to the most recently appended entries (earlier records
+ * are evicted first).
  *
  * Byte-identity invariant: payloads are stored verbatim and returned
  * verbatim; the cache never re-renders JSON. A hit therefore serves
@@ -30,6 +37,7 @@
 #ifndef POWERCHOP_SERVE_RESULT_CACHE_HH
 #define POWERCHOP_SERVE_RESULT_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -57,6 +65,14 @@ struct ResultCacheOptions
     /** Journal path for write-ahead inserts + warm start; empty
      *  disables durability (a purely in-memory cache). */
     std::string journalPath;
+
+    /** Compact the journal when dead records (evicted or duplicate)
+     *  exceed this fraction of the file; <= 0 disables compaction. */
+    double compactDeadRatio = 0.5;
+
+    /** Never compact a journal smaller than this many records —
+     *  rewriting a tiny file buys nothing. */
+    std::uint64_t compactMinRecords = 1024;
 };
 
 /** Point-in-time counters aggregated across shards. */
@@ -68,6 +84,9 @@ struct ResultCacheStats
     std::uint64_t evictions = 0;
     std::uint64_t entries = 0; ///< Keys resident now.
     std::uint64_t bytes = 0;   ///< Payload bytes resident now.
+    std::uint64_t compactions = 0;        ///< Journal rewrites.
+    std::uint64_t journalRecords = 0;     ///< Lines on disk now.
+    std::uint64_t journalDeadRecords = 0; ///< Of those, dead.
 };
 
 /**
@@ -107,6 +126,10 @@ class ResultCache
     /** Records admitted from the journal at construction. */
     std::size_t warmStarted() const { return warmStarted_; }
 
+    /** Flush (fsync) the journal; drain-time belt-and-braces — every
+     *  append already fsyncs before put() returns. */
+    void flushJournal();
+
   private:
     struct Entry
     {
@@ -131,10 +154,24 @@ class ResultCache
     Shard &shardFor(std::uint64_t key);
     void insertLocked(Shard &sh, std::uint64_t key,
                       const std::string &payload);
+    void maybeCompactLocked();
 
     std::size_t shardBudget_;
     std::vector<Shard> shards_;
+    std::string journalPath_;
+    double compactDeadRatio_ = 0;
+    std::uint64_t compactMinRecords_ = 0;
+
+    /** Serializes journal appends and compaction; always acquired
+     *  *before* any shard mutex (compaction snapshots shards while
+     *  holding it), never the other way around — put() releases its
+     *  shard lock before journaling. */
+    std::mutex journalMutex_;
     std::unique_ptr<JournalWriter> journal_;
+    /** Written under journalMutex_, read lock-free by stats(). */
+    std::atomic<std::uint64_t> journalRecords_{0};
+    std::atomic<std::uint64_t> journalDead_{0};
+    std::atomic<std::uint64_t> compactions_{0};
     std::size_t warmStarted_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -155,6 +156,27 @@ buildSpecJobs(const SimSpec &spec)
  *  (a wide tournament goes through campaigns, not one socket hit). */
 constexpr std::size_t kMaxJobsPerRequest = 4096;
 
+/** "<= 0 disables" seconds knob to a poll(2) millisecond budget. */
+int
+timeoutMs(double seconds)
+{
+    if (seconds <= 0)
+        return -1;
+    const double ms = seconds * 1e3;
+    return ms < 1 ? 1 : static_cast<int>(ms);
+}
+
+/** Connection fds run O_NONBLOCK so the poll()-based read and write
+ *  deadlines are authoritative — a blocking fd can park inside the
+ *  syscall after poll() said ready. */
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 } // namespace
 
 std::string
@@ -164,7 +186,9 @@ ServeReport::summary() const
         "%llu requests (%llu get, %llu sim, %llu err) in %.1fs: "
         "%llu hits, %llu misses, %llu evictions, %llu jobs "
         "simulated, %zu warm-started, %llu keys / %llu bytes "
-        "resident",
+        "resident; %llu conns + %llu requests shed, %llu deadline-"
+        "cancelled, %llu idle-reaped, %llu compactions, %llu "
+        "dropped in flight",
         static_cast<unsigned long long>(requests),
         static_cast<unsigned long long>(gets),
         static_cast<unsigned long long>(sims),
@@ -175,13 +199,22 @@ ServeReport::summary() const
         static_cast<unsigned long long>(simulatedJobs),
         warmStarted,
         static_cast<unsigned long long>(cache.entries),
-        static_cast<unsigned long long>(cache.bytes));
+        static_cast<unsigned long long>(cache.bytes),
+        static_cast<unsigned long long>(shedConnections),
+        static_cast<unsigned long long>(shedRequests),
+        static_cast<unsigned long long>(deadlineCancels),
+        static_cast<unsigned long long>(idleReaped),
+        static_cast<unsigned long long>(cache.compactions),
+        static_cast<unsigned long long>(droppedInFlight));
 }
 
 SimServer::SimServer(const ServeOptions &opts)
     : opts_(opts), cache_(opts.cache),
       runner_(opts.runnerThreads)
 {
+    // A client that disconnects while a handler is mid-response must
+    // cost that handler a failed write, not the daemon its life.
+    serveIgnoreSigpipe();
     if (opts_.port != 0) {
         listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         if (listenFd_ < 0) {
@@ -246,7 +279,9 @@ SimServer::SimServer(const ServeOptions &opts)
                                    std::strerror(saved)));
         }
     }
-    if (::listen(listenFd_, 64) != 0) {
+    if (::listen(listenFd_,
+                 opts_.listenBacklog > 0 ? opts_.listenBacklog
+                                         : 64) != 0) {
         const int saved = errno;
         ::close(listenFd_);
         listenFd_ = -1;
@@ -297,6 +332,57 @@ SimServer::reapConnections(bool all)
     }
 }
 
+std::size_t
+SimServer::liveConnections()
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    return conns_.size();
+}
+
+void
+SimServer::drainConnections()
+{
+    // Phase 1: connections with no request in flight get EOF'd
+    // immediately — SHUT_RD only, so a handler that just picked up
+    // a request can still write its response.
+    draining_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (Conn &c : conns_) {
+            if (!c.done.load(std::memory_order_acquire) &&
+                !c.busy.load(std::memory_order_acquire) &&
+                c.fd >= 0) {
+                ::shutdown(c.fd, SHUT_RD);
+            }
+        }
+    }
+    // Phase 2: in-flight requests get drainSeconds to finish.
+    const MonotonicDeadline deadline(opts_.drainSeconds);
+    while (true) {
+        reapConnections(false);
+        if (liveConnections() == 0)
+            return;
+        if (opts_.drainSeconds <= 0 || deadline.expired())
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    // Phase 3: the grace expired. Cancel whatever SIM is running
+    // (hardStop_ feeds every in-flight cancelFlag), count the
+    // requests we are abandoning, and force the sockets shut.
+    hardStop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (Conn &c : conns_) {
+            if (!c.done.load(std::memory_order_acquire) &&
+                c.busy.load(std::memory_order_acquire)) {
+                droppedInFlight_.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+    }
+    reapConnections(true);
+}
+
 ServeReport
 SimServer::reportLocked() const
 {
@@ -312,6 +398,17 @@ SimServer::reportLocked() const
         startedAt_ > 0 ? monotonicSeconds() - startedAt_ : 0;
     rep.cache = cache_.stats();
     rep.requestLatencyMs = requestLatencyNs_.quantiles(1e-6);
+    rep.shedConnections =
+        shedConnections_.load(std::memory_order_relaxed);
+    rep.shedRequests = shedRequests_.load(std::memory_order_relaxed);
+    rep.deadlineCancels =
+        deadlineCancels_.load(std::memory_order_relaxed);
+    rep.idleReaped = idleReaped_.load(std::memory_order_relaxed);
+    rep.readTimeouts = readTimeouts_.load(std::memory_order_relaxed);
+    rep.acceptRetries =
+        acceptRetries_.load(std::memory_order_relaxed);
+    rep.droppedInFlight =
+        droppedInFlight_.load(std::memory_order_relaxed);
     return rep;
 }
 
@@ -349,6 +446,23 @@ SimServer::statsJson() const
         static_cast<unsigned long long>(rep.cache.entries),
         static_cast<unsigned long long>(rep.cache.bytes),
         rep.warmStarted, qps);
+    s += csprintf(
+        ",\"shed_connections\":%llu,\"shed_requests\":%llu,"
+        "\"deadline_cancels\":%llu,\"idle_reaped\":%llu,"
+        "\"read_timeouts\":%llu,\"accept_retries\":%llu,"
+        "\"dropped_in_flight\":%llu,\"compactions\":%llu,"
+        "\"journal_records\":%llu,\"journal_dead_records\":%llu",
+        static_cast<unsigned long long>(rep.shedConnections),
+        static_cast<unsigned long long>(rep.shedRequests),
+        static_cast<unsigned long long>(rep.deadlineCancels),
+        static_cast<unsigned long long>(rep.idleReaped),
+        static_cast<unsigned long long>(rep.readTimeouts),
+        static_cast<unsigned long long>(rep.acceptRetries),
+        static_cast<unsigned long long>(rep.droppedInFlight),
+        static_cast<unsigned long long>(rep.cache.compactions),
+        static_cast<unsigned long long>(rep.cache.journalRecords),
+        static_cast<unsigned long long>(
+            rep.cache.journalDeadRecords));
     const stats::Quantiles &q = rep.requestLatencyMs;
     if (q.samples > 0) {
         s += csprintf(",\"request_latency_ms\":{\"samples\":%llu,"
@@ -408,25 +522,83 @@ SimServer::handleSim(const std::string &specJson,
     // Miss pass: execute fresh jobs through the shared runner.
     // The pool must be driven from one thread at a time, so SIM
     // misses serialize here; GET/STATS traffic never waits on this.
+    // Admission control bounds the line at that door: fully cached
+    // SIMs answered above never queue, never shed.
     if (!missIdx.empty()) {
+        const MonotonicDeadline deadline(
+            opts_.requestDeadlineSeconds);
+        if (opts_.simQueueDepth > 0 &&
+            simWaiters_.fetch_add(1, std::memory_order_acq_rel) >=
+                opts_.simQueueDepth) {
+            simWaiters_.fetch_sub(1, std::memory_order_acq_rel);
+            shedRequests_.fetch_add(1, std::memory_order_relaxed);
+            payload = csprintf(
+                "sim admission queue full (%u deep): retry after "
+                "backoff\n",
+                opts_.simQueueDepth);
+            return ResponseStatus::Busy;
+        }
+        if (opts_.simQueueDepth == 0)
+            simWaiters_.fetch_add(1, std::memory_order_acq_rel);
+
         std::vector<SimJob> missJobs;
         missJobs.reserve(missIdx.size());
         for (std::size_t i : missIdx)
             missJobs.push_back(jobs[i]);
 
+        // A request that cannot reach the runner before its wall
+        // deadline is cancelled while still in line.
+        std::unique_lock<std::timed_mutex> lock(simMutex_,
+                                                std::defer_lock);
+        if (deadline.armed()) {
+            if (!lock.try_lock_for(std::chrono::duration<double>(
+                    deadline.remainingSeconds()))) {
+                simWaiters_.fetch_sub(1, std::memory_order_acq_rel);
+                deadlineCancels_.fetch_add(
+                    1, std::memory_order_relaxed);
+                payload = csprintf(
+                    "deadline: request exceeded the %.3fs wall "
+                    "deadline waiting for the runner\n",
+                    opts_.requestDeadlineSeconds);
+                return ResponseStatus::Err;
+            }
+        } else {
+            lock.lock();
+        }
+
+        // Cooperative cancel: an alarm thread watches the wall
+        // deadline and the drain hard-stop; either raises the
+        // cancel flag the runner polls at block boundaries.
         RobustRunOptions ropts;
         ropts.timeoutSeconds = opts_.jobTimeoutSeconds;
-        RobustBatchResult batch;
-        {
-            std::lock_guard<std::mutex> lock(simMutex_);
-            batch = runner_.runRobust(missJobs, ropts);
-        }
+        std::atomic<bool> cancel{false};
+        std::atomic<bool> alarmStop{false};
+        ropts.cancelFlag = &cancel;
+        std::thread alarm([&] {
+            while (!alarmStop.load(std::memory_order_relaxed)) {
+                if (deadline.expired() ||
+                    hardStop_.load(std::memory_order_relaxed)) {
+                    cancel.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+        });
+        RobustBatchResult batch = runner_.runRobust(missJobs, ropts);
+        alarmStop.store(true, std::memory_order_relaxed);
+        alarm.join();
+        lock.unlock();
+        simWaiters_.fetch_sub(1, std::memory_order_acq_rel);
+
         for (std::size_t j = 0; j < missIdx.size(); ++j) {
             const std::size_t i = missIdx[j];
             result.outcomes[i] = batch.outcomes[j];
             if (batch.outcomes[j].status == JobStatus::Ok) {
                 // Rendered exactly once, here; every later hit
-                // serves these bytes verbatim.
+                // serves these bytes verbatim. Jobs that finished
+                // before a deadline cancel still count: their
+                // results are real and cacheable.
                 result.payloads[i] = batch.results[j].toJson();
                 cache_.put(result.keys[i], result.payloads[i]);
             }
@@ -434,6 +606,16 @@ SimServer::handleSim(const std::string &specJson,
         result.executed = missIdx.size();
         simulatedJobs_.fetch_add(missIdx.size(),
                                  std::memory_order_relaxed);
+        if (deadline.expired() && batch.resumableCount() > 0) {
+            deadlineCancels_.fetch_add(1, std::memory_order_relaxed);
+            payload = csprintf(
+                "deadline: SIM exceeded the %.3fs wall deadline "
+                "(%zu of %zu fresh jobs cancelled; finished jobs "
+                "were cached)\n",
+                opts_.requestDeadlineSeconds,
+                batch.resumableCount(), missIdx.size());
+            return ResponseStatus::Err;
+        }
     }
 
     payload = result.reportJson();
@@ -445,8 +627,38 @@ void
 SimServer::handleConnection(Conn *conn)
 {
     FdReader reader(conn->fd);
+    const int idleMs = timeoutMs(opts_.idleTimeoutSeconds);
+    const int readMs = timeoutMs(opts_.readTimeoutSeconds);
+    const int writeMs = timeoutMs(opts_.writeTimeoutSeconds);
     std::string line;
-    while (reader.readLine(line)) {
+    while (true) {
+        const ReadOutcome ro =
+            reader.readLineDeadline(line, idleMs, readMs);
+        if (ro == ReadOutcome::TimedOut) {
+            if (reader.buffered()) {
+                // A half-sent request is a broken (or hostile)
+                // peer: tell it why, then hang up.
+                readTimeouts_.fetch_add(1, std::memory_order_relaxed);
+                writeResponseDeadline(
+                    conn->fd, ResponseStatus::Err,
+                    "deadline: request read timed out mid-frame\n",
+                    writeMs);
+            } else {
+                // Idle between requests past the budget: a slot a
+                // live client could be using. Close quietly.
+                idleReaped_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+        }
+        if (ro == ReadOutcome::TooLong) {
+            writeResponseDeadline(
+                conn->fd, ResponseStatus::Err,
+                "request line exceeds the 1 MiB ceiling\n", writeMs);
+            break;
+        }
+        if (ro != ReadOutcome::Ok)
+            break; // EOF or transport error
+        conn->busy.store(true, std::memory_order_release);
         const std::int64_t t0 = monotonicNanos();
         const Request req = parseRequestLine(line);
         requests_.fetch_add(1, std::memory_order_relaxed);
@@ -476,11 +688,15 @@ SimServer::handleConnection(Conn *conn)
         if (status == ResponseStatus::Err)
             errors_.fetch_add(1, std::memory_order_relaxed);
 
-        const bool sent = writeResponse(conn->fd, status, payload);
+        const bool sent =
+            writeResponseDeadline(conn->fd, status, payload, writeMs);
         requestLatencyNs_.sample(static_cast<std::uint64_t>(
             monotonicNanos() - t0));
+        conn->busy.store(false, std::memory_order_release);
         if (!sent)
-            break; // peer went away mid-response
+            break; // peer went away (or stalled) mid-response
+        if (draining_.load(std::memory_order_acquire))
+            break; // finish the request in hand, then bow out
     }
     ::close(conn->fd);
     conn->fd = -1;
@@ -528,6 +744,10 @@ SimServer::run()
                 ? static_cast<double>(rep.requests) /
                       rep.wallSeconds
                 : 0;
+            snap.serve.shedConnections = rep.shedConnections;
+            snap.serve.shedRequests = rep.shedRequests;
+            snap.serve.deadlineCancels = rep.deadlineCancels;
+            snap.serve.compactions = rep.cache.compactions;
             snap.serve.requestLatencyMs = rep.requestLatencyMs;
             snap.finished = finished;
             return snap;
@@ -554,8 +774,46 @@ SimServer::run()
         if (pr <= 0 || !(pfd.revents & POLLIN))
             continue;
         const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0)
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM) {
+                // Out of descriptors/buffers: not fatal — back off
+                // briefly so handlers can finish and free some.
+                static LogRateLimiter limiter(2.0, 10.0);
+                warnLimited(limiter,
+                            "[powerchopd] accept failed: %s "
+                            "(backing off)",
+                            std::strerror(errno));
+                acceptRetries_.fetch_add(1,
+                                         std::memory_order_relaxed);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            static LogRateLimiter limiter(2.0, 10.0);
+            warnLimited(limiter, "[powerchopd] accept failed: %s",
+                        std::strerror(errno));
+            acceptRetries_.fetch_add(1, std::memory_order_relaxed);
             continue;
+        }
+        setNonBlocking(fd);
+        if (opts_.maxConnections > 0 &&
+            liveConnections() >= opts_.maxConnections) {
+            // Over the cap: shed loudly (BUSY, not silence) so a
+            // well-behaved client backs off instead of retrying
+            // into a black hole.
+            shedConnections_.fetch_add(1, std::memory_order_relaxed);
+            writeResponseDeadline(
+                fd, ResponseStatus::Busy,
+                csprintf("connection cap (%u) reached: retry "
+                         "after backoff\n",
+                         opts_.maxConnections),
+                1000);
+            ::close(fd);
+            continue;
+        }
         std::lock_guard<std::mutex> lock(connMutex_);
         conns_.emplace_back();
         Conn *conn = &conns_.back();
@@ -564,8 +822,21 @@ SimServer::run()
             std::thread([this, conn] { handleConnection(conn); });
     }
 
-    event("shutting down");
-    reapConnections(true);
+    // Stop accepting the moment drain begins: the listening socket
+    // closes before in-flight work is waited on, so a restarting
+    // supervisor can bind the replacement immediately.
+    event(csprintf("draining (%.1fs grace, %zu connections open)",
+                   opts_.drainSeconds, liveConnections()));
+    ::close(listenFd_);
+    listenFd_ = -1;
+    if (opts_.port == 0 && !opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+    drainConnections();
+
+    // Everything served is already fsync'd record-by-record; this
+    // is the drain-time belt-and-braces flush before the final
+    // statusboard snapshot goes out.
+    cache_.flushJournal();
     if (statusThread.joinable()) {
         statusStop.store(true, std::memory_order_relaxed);
         statusThread.join();

@@ -63,6 +63,40 @@ struct ServeOptions
     /** Per-job stuck-run watchdog for misses; 0 disables. */
     double jobTimeoutSeconds = 0;
 
+    /** listen(2) backlog for the accept queue. */
+    int listenBacklog = 64;
+
+    /** Connection cap: accepts past this many concurrent
+     *  connections are shed with BUSY + close. 0 = unlimited. */
+    unsigned maxConnections = 256;
+
+    /** SIM admission queue depth: at most this many SIM misses may
+     *  be queued or running behind the runner mutex; excess requests
+     *  are shed with BUSY instead of waiting unboundedly.
+     *  0 = unlimited. */
+    unsigned simQueueDepth = 16;
+
+    /** Reap a connection idle (no request in flight) this long;
+     *  <= 0 disables. */
+    double idleTimeoutSeconds = 300;
+
+    /** Mid-frame read deadline: a peer that started a request line
+     *  must deliver the next byte within this; <= 0 disables. */
+    double readTimeoutSeconds = 30;
+
+    /** Response write deadline: a peer that stops reading loses the
+     *  connection after this; <= 0 disables. */
+    double writeTimeoutSeconds = 30;
+
+    /** Per-request wall deadline: an in-flight SIM past this is
+     *  cancelled (SimOptions::cancelFlag) and answered
+     *  "ERR deadline..."; <= 0 disables. */
+    double requestDeadlineSeconds = 0;
+
+    /** Grace granted to in-flight requests after the stop flag
+     *  rises before their connections are forced shut. */
+    double drainSeconds = 5;
+
     /** Shutdown flag the accept loop polls (SIGINT/SIGTERM). */
     const std::atomic<bool> *stopFlag = nullptr;
 
@@ -88,6 +122,19 @@ struct ServeReport
     double wallSeconds = 0;
     ResultCacheStats cache;
     stats::Quantiles requestLatencyMs;
+
+    /** Hardening counters. @{ */
+    std::uint64_t shedConnections = 0; ///< BUSY at the accept gate.
+    std::uint64_t shedRequests = 0;    ///< BUSY at SIM admission.
+    std::uint64_t deadlineCancels = 0; ///< SIMs cancelled by wall
+                                       ///< deadline (ERR deadline).
+    std::uint64_t idleReaped = 0;      ///< Idle conns timed out.
+    std::uint64_t readTimeouts = 0;    ///< Mid-frame read stalls.
+    std::uint64_t acceptRetries = 0;   ///< accept() EMFILE/ENFILE/
+                                       ///< transient failures.
+    std::uint64_t droppedInFlight = 0; ///< Requests force-closed at
+                                       ///< the drain deadline.
+    /** @} */
 
     /** One-line human-readable summary. */
     std::string summary() const;
@@ -119,6 +166,7 @@ class SimServer
         std::thread thread;
         int fd = -1;
         std::atomic<bool> done{false};
+        std::atomic<bool> busy{false}; ///< A request is in flight.
     };
 
     void event(const std::string &msg) const;
@@ -128,6 +176,8 @@ class SimServer
     std::string statsJson() const;
     ServeReport reportLocked() const;
     void reapConnections(bool all);
+    void drainConnections();
+    std::size_t liveConnections();
 
     ServeOptions opts_;
     ResultCache cache_;
@@ -136,14 +186,31 @@ class SimServer
     unsigned short boundPort_ = 0;
     double startedAt_ = 0;
 
-    /** The runner pool must be driven from one thread at a time. */
-    std::mutex simMutex_;
+    /** The runner pool must be driven from one thread at a time.
+     *  Timed so a request-deadline waiter can give up and answer
+     *  "ERR deadline" instead of queueing forever. */
+    std::timed_mutex simMutex_;
+
+    /** SIM misses queued or running behind simMutex_ (admission
+     *  control compares this against simQueueDepth). */
+    std::atomic<unsigned> simWaiters_{0};
+
+    /** Rises when drain begins: handlers finish their current
+     *  request, then close instead of reading the next one. */
+    std::atomic<bool> draining_{false};
+
+    /** Rises at the drain deadline: cooperatively cancels whatever
+     *  SIM is still in flight (wired into RobustRunOptions). */
+    std::atomic<bool> hardStop_{false};
 
     std::mutex connMutex_;
     std::list<Conn> conns_;
 
     std::atomic<std::uint64_t> requests_{0}, gets_{0}, sims_{0},
         errors_{0}, simulatedJobs_{0};
+    std::atomic<std::uint64_t> shedConnections_{0},
+        shedRequests_{0}, deadlineCancels_{0}, idleReaped_{0},
+        readTimeouts_{0}, acceptRetries_{0}, droppedInFlight_{0};
     stats::Log2Histogram requestLatencyNs_;
 };
 

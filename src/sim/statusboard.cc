@@ -186,6 +186,13 @@ StatusSnapshot::toJson() const
             static_cast<unsigned long long>(serve.entries),
             static_cast<unsigned long long>(serve.bytes),
             fmtDouble(serve.qps).c_str());
+        s += csprintf(
+            ",\"shed_connections\":%llu,\"shed_requests\":%llu,"
+            "\"deadline_cancels\":%llu,\"compactions\":%llu",
+            static_cast<unsigned long long>(serve.shedConnections),
+            static_cast<unsigned long long>(serve.shedRequests),
+            static_cast<unsigned long long>(serve.deadlineCancels),
+            static_cast<unsigned long long>(serve.compactions));
         s += quantilesJson("request_latency_ms",
                            serve.requestLatencyMs);
         s += "}";
@@ -282,6 +289,10 @@ StatusSnapshot::fromJson(const std::string &text, StatusSnapshot &out)
         out.serve.entries = sv->getUint64("entries");
         out.serve.bytes = sv->getUint64("bytes");
         out.serve.qps = sv->getDouble("qps");
+        out.serve.shedConnections = sv->getUint64("shed_connections");
+        out.serve.shedRequests = sv->getUint64("shed_requests");
+        out.serve.deadlineCancels = sv->getUint64("deadline_cancels");
+        out.serve.compactions = sv->getUint64("compactions");
         parseQuantiles(*sv, "request_latency_ms",
                        out.serve.requestLatencyMs);
     }
@@ -448,6 +459,21 @@ renderStatusTable(const std::vector<StatusEntry> &entries)
                 static_cast<double>(s.serve.bytes) / 1024.0,
                 s.serve.qps,
                 quantilesCell(s.serve.requestLatencyMs).c_str());
+            if (s.serve.shedConnections || s.serve.shedRequests ||
+                s.serve.deadlineCancels || s.serve.compactions) {
+                out += csprintf(
+                    "%-14s   hardening: %llu conn + %llu req shed, "
+                    "%llu deadline-cancelled, %llu compactions\n",
+                    "",
+                    static_cast<unsigned long long>(
+                        s.serve.shedConnections),
+                    static_cast<unsigned long long>(
+                        s.serve.shedRequests),
+                    static_cast<unsigned long long>(
+                        s.serve.deadlineCancels),
+                    static_cast<unsigned long long>(
+                        s.serve.compactions));
+            }
         }
         for (const ShardStatus &sh : s.shards) {
             out += csprintf(
@@ -599,6 +625,20 @@ renderStatusPrometheus(const std::vector<StatusEntry> &entries)
             w.gauge("powerchop_serve_qps",
                     "Requests per second since daemon start", labels,
                     s.serve.qps);
+            w.gauge("powerchop_serve_shed_connections",
+                    "Connections shed BUSY at the accept gate",
+                    labels,
+                    static_cast<double>(s.serve.shedConnections));
+            w.gauge("powerchop_serve_shed_requests",
+                    "SIM requests shed BUSY at admission", labels,
+                    static_cast<double>(s.serve.shedRequests));
+            w.gauge("powerchop_serve_deadline_cancels",
+                    "Requests cancelled by the wall deadline",
+                    labels,
+                    static_cast<double>(s.serve.deadlineCancels));
+            w.gauge("powerchop_serve_compactions",
+                    "Cache journal compactions", labels,
+                    static_cast<double>(s.serve.compactions));
             promQuantiles(w, "powerchop_serve_request_latency_ms",
                           "Request wall latency quantiles (ms)",
                           labels, s.serve.requestLatencyMs);

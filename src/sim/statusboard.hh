@@ -65,6 +65,10 @@ struct ServeStats
     std::uint64_t entries = 0;    ///< Keys resident right now.
     std::uint64_t bytes = 0;      ///< Payload bytes resident.
     double qps = 0;               ///< Requests / uptime.
+    std::uint64_t shedConnections = 0; ///< BUSY at the accept gate.
+    std::uint64_t shedRequests = 0;    ///< BUSY at SIM admission.
+    std::uint64_t deadlineCancels = 0; ///< Wall-deadline cancels.
+    std::uint64_t compactions = 0;     ///< Cache journal rewrites.
 
     /** Request wall latency; rendered as `—` when samples == 0. */
     stats::Quantiles requestLatencyMs;

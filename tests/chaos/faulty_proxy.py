@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Seeded fault-injecting Unix-socket proxy for powerchopd chaos tests.
+
+Sits between a client and a running powerchopd, forwarding bytes in
+both directions while injecting transport faults chosen by a seeded
+RNG, so a chaos run is reproducible from its seed:
+
+  delay       hold a chunk for 10..150 ms before forwarding
+  bitflip     flip one bit of a client->server chunk (garbled request)
+  truncate    forward only half a chunk, then hang up (torn frame)
+  disconnect  drop the connection between chunks, mid-conversation
+
+The daemon under test must answer garbage with ERR, reap the stalls
+via its read deadlines, and never crash; a retrying client must ride
+through the torn replies. Stdlib only: no dependencies beyond python3.
+
+Usage:
+  faulty_proxy.py --listen proxy.sock --target powerchopd.sock \
+      --seed 1234 [--faults delay,bitflip,truncate,disconnect]
+"""
+
+import argparse
+import os
+import random
+import socket
+import sys
+import threading
+import time
+
+
+def parse_args():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--listen", required=True,
+                   help="Unix socket path to listen on")
+    p.add_argument("--target", required=True,
+                   help="Unix socket path of the real daemon")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--faults",
+                   default="delay,bitflip,truncate,disconnect",
+                   help="comma list of fault kinds to enable")
+    p.add_argument("--fault-rate", type=float, default=0.25,
+                   help="per-chunk probability of injecting a fault")
+    return p.parse_args()
+
+
+def flip_bit(data, rng):
+    i = rng.randrange(len(data))
+    return data[:i] + bytes([data[i] ^ (1 << rng.randrange(8))]) + \
+        data[i + 1:]
+
+
+def pump(src, dst, rng, faults, rate, to_server, stats, lock):
+    """Forward src->dst, injecting at most one fault per chunk."""
+    try:
+        while True:
+            data = src.recv(65536)
+            if not data:
+                break
+            fault = None
+            if rng.random() < rate:
+                fault = rng.choice(faults)
+            if fault == "delay":
+                time.sleep(rng.uniform(0.01, 0.15))
+            elif fault == "bitflip" and to_server:
+                # Only garble requests: a garbled *response* with a
+                # valid frame would be undetectable by the client,
+                # and the point is to attack the daemon's parser.
+                data = flip_bit(data, rng)
+            elif fault == "truncate":
+                dst.sendall(data[:max(1, len(data) // 2)])
+                with lock:
+                    stats[fault] = stats.get(fault, 0) + 1
+                break
+            elif fault == "disconnect":
+                with lock:
+                    stats[fault] = stats.get(fault, 0) + 1
+                break
+            if fault in ("delay", "bitflip"):
+                with lock:
+                    stats[fault] = stats.get(fault, 0) + 1
+            dst.sendall(data)
+    except OSError:
+        pass
+    finally:
+        for s in (src, dst):
+            try:
+                s.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
+def serve(args):
+    faults = [f.strip() for f in args.faults.split(",") if f.strip()]
+    stats = {}
+    lock = threading.Lock()
+    try:
+        os.unlink(args.listen)
+    except FileNotFoundError:
+        pass
+    ls = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    ls.bind(args.listen)
+    ls.listen(64)
+    print(f"faulty_proxy: {args.listen} -> {args.target} "
+          f"seed={args.seed} faults={','.join(faults)} "
+          f"rate={args.fault_rate}", flush=True)
+    conn_id = 0
+    while True:
+        client, _ = ls.accept()
+        conn_id += 1
+        try:
+            upstream = socket.socket(socket.AF_UNIX,
+                                     socket.SOCK_STREAM)
+            upstream.connect(args.target)
+        except OSError as e:
+            print(f"faulty_proxy: upstream dial failed: {e}",
+                  file=sys.stderr, flush=True)
+            client.close()
+            continue
+        for to_server, (src, dst) in ((True, (client, upstream)),
+                                      (False, (upstream, client))):
+            # One RNG per pump direction, derived from (seed, conn,
+            # direction): the fault schedule is a pure function of
+            # the command line, not of thread interleaving.
+            rng = random.Random((args.seed << 20) ^
+                                (conn_id * 2 + int(to_server)))
+            threading.Thread(
+                target=pump,
+                args=(src, dst, rng, faults, args.fault_rate,
+                      to_server, stats, lock),
+                daemon=True).start()
+
+
+def main():
+    args = parse_args()
+    try:
+        serve(args)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@
 #include <vector>
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/atomic_file.hh"
@@ -568,6 +571,350 @@ TEST(SimServer, ConcurrentClientsShareTheCache)
     EXPECT_EQ(mismatches.load(), 0u);
     const ServeReport &rep = server.stopAndJoin();
     EXPECT_EQ(rep.simulatedJobs, 2u) << "only the initial misses";
+}
+
+// ---------------------------------------------------------------------
+// Hardening: framing, backoff, compaction, deadlines, shedding, drain
+// ---------------------------------------------------------------------
+
+TEST(Protocol, BusyFramingRoundTrips)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::string reason = "connection cap (4) reached\n";
+    ASSERT_TRUE(
+        writeResponse(fds[1], ResponseStatus::Busy, reason));
+    ::close(fds[1]);
+    FdReader reader(fds[0]);
+    ResponseStatus status;
+    std::string payload;
+    ASSERT_TRUE(readResponse(reader, status, payload));
+    EXPECT_EQ(status, ResponseStatus::Busy);
+    EXPECT_EQ(payload, reason);
+    ::close(fds[0]);
+}
+
+TEST(Protocol, ClientRetryBackoffIsDeterministicAndBounded)
+{
+    ClientRetryPolicy policy;
+    policy.backoffBaseSeconds = 0.05;
+    policy.backoffMaxSeconds = 0.4;
+    policy.backoffJitterFraction = 0.25;
+    policy.seed = 42;
+
+    // Attempt 1 is the first try: no wait before it.
+    EXPECT_EQ(clientRetryBackoffSeconds(policy, 1), 0.0);
+    // A pure function of (policy, attempt): same inputs, same wait.
+    for (unsigned a = 2; a <= 8; ++a) {
+        const double d = clientRetryBackoffSeconds(policy, a);
+        EXPECT_EQ(d, clientRetryBackoffSeconds(policy, a)) << a;
+        EXPECT_GE(d, 0.05) << a;
+        EXPECT_LE(d, 0.4 * 1.25) << "cap + jitter ceiling, " << a;
+    }
+    // Doubling below the cap: attempt 3 waits longer than attempt 2.
+    EXPECT_GT(clientRetryBackoffSeconds(policy, 3),
+              clientRetryBackoffSeconds(policy, 2));
+    // Different seeds decorrelate the jitter.
+    ClientRetryPolicy other = policy;
+    other.seed = 43;
+    EXPECT_NE(clientRetryBackoffSeconds(policy, 4),
+              clientRetryBackoffSeconds(other, 4));
+    // Disabled backoff waits nowhere.
+    ClientRetryPolicy off = policy;
+    off.backoffBaseSeconds = 0;
+    EXPECT_EQ(clientRetryBackoffSeconds(off, 5), 0.0);
+}
+
+TEST(ResultCache, CompactionShrinksJournalAndWarmStartsIdentical)
+{
+    const std::string dir = freshDir("cache-compact");
+    ResultCacheOptions opts;
+    opts.shards = 1;
+    opts.maxBytes = 3 * (50 + 64); // three residents
+    opts.journalPath = dir + "/cache.jsonl";
+    opts.compactDeadRatio = 0.4;
+    opts.compactMinRecords = 6;
+
+    ResultCache cache(opts);
+    const auto payloadFor = [](std::uint64_t k) {
+        return std::string(50, static_cast<char>('a' + k));
+    };
+    for (std::uint64_t k = 1; k <= 10; ++k)
+        cache.put(k, payloadFor(k));
+
+    // Ten appends against three residents crosses the dead ratio
+    // repeatedly; without compaction the file would hold 10 records.
+    const ResultCacheStats st = cache.stats();
+    EXPECT_GE(st.compactions, 1u);
+    EXPECT_LT(st.journalRecords, 10u);
+    EXPECT_LT(st.journalDeadRecords, st.journalRecords);
+    EXPECT_EQ(st.entries, 3u);
+
+    // The physical file agrees with the accounting.
+    const std::string journal = readFile(opts.journalPath);
+    std::uint64_t lines = 0;
+    for (char c : journal)
+        lines += c == '\n';
+    EXPECT_EQ(lines, st.journalRecords);
+
+    // Compaction invariant: the compacted journal warm-starts to the
+    // identical cache — same residents, same payload bytes — as the
+    // uncompacted one would have (the most recent inserts win).
+    ResultCache warmTiny(opts);
+    for (std::uint64_t k = 1; k <= 10; ++k) {
+        std::string fromOld, fromNew;
+        const bool liveOld = cache.get(k, &fromOld);
+        const bool liveNew = warmTiny.get(k, &fromNew);
+        EXPECT_EQ(liveOld, liveNew) << k;
+        if (liveOld) {
+            EXPECT_EQ(fromOld, fromNew) << k;
+        }
+    }
+    EXPECT_TRUE(warmTiny.get(10));
+    EXPECT_FALSE(warmTiny.get(1)) << "dead records stay dead";
+
+    // A roomy warm start admits every record still on disk.
+    ResultCacheOptions roomy = opts;
+    roomy.maxBytes = 1u << 20;
+    ResultCache warmRoomy(roomy);
+    EXPECT_EQ(warmRoomy.warmStarted(), st.journalRecords);
+}
+
+/** Raw connect, bypassing ServeClient: hostile-client tests want the
+ *  socket without the protocol niceties. @return fd or -1. */
+int
+rawConnectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+TEST(SimServer, IdleConnectionIsReaped)
+{
+    const std::string dir = freshDir("idle-reap");
+    ServeOptions opts = unixOptions(dir);
+    opts.idleTimeoutSeconds = 0.15;
+    ServerFixture server(opts);
+
+    // Connect and send nothing: the idle deadline must EOF us.
+    const int fd = rawConnectUnix(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    FdReader reader(fd);
+    reader.setPollTimeoutMs(5000);
+    std::string line;
+    EXPECT_FALSE(reader.readLine(line));
+    EXPECT_EQ(reader.outcome(), ReadOutcome::Eof)
+        << "idle connections are closed quietly, not answered";
+    ::close(fd);
+
+    const ServeReport &rep = server.stopAndJoin();
+    EXPECT_EQ(rep.idleReaped, 1u);
+    EXPECT_EQ(rep.requests, 0u);
+}
+
+TEST(SimServer, HalfFrameHitsReadDeadlineAndServingContinues)
+{
+    const std::string dir = freshDir("half-frame");
+    ServeOptions opts = unixOptions(dir);
+    opts.idleTimeoutSeconds = 10;  // generous: not what fires here
+    opts.readTimeoutSeconds = 0.15;
+    ServerFixture server(opts);
+
+    // Send half a request line, then hang: the mid-frame deadline
+    // answers ERR deadline and hangs up.
+    const int fd = rawConnectUnix(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(writeAllFd(fd, "SIM {\"wor"));
+    FdReader reader(fd);
+    reader.setPollTimeoutMs(5000);
+    ResponseStatus status;
+    std::string payload;
+    ASSERT_TRUE(readResponse(reader, status, payload));
+    EXPECT_EQ(status, ResponseStatus::Err);
+    EXPECT_NE(payload.find("deadline"), std::string::npos)
+        << payload;
+    std::string rest;
+    EXPECT_FALSE(reader.readLine(rest)) << "then the daemon hangs up";
+    ::close(fd);
+
+    // The daemon itself is unharmed.
+    ServeClient c = server.client();
+    EXPECT_TRUE(c.stats().served());
+    const ServeReport &rep = server.stopAndJoin();
+    EXPECT_EQ(rep.readTimeouts, 1u);
+    EXPECT_EQ(rep.idleReaped, 0u);
+}
+
+TEST(SimServer, OverCapConnectionsAreShedWithBusy)
+{
+    const std::string dir = freshDir("conn-cap");
+    ServeOptions opts = unixOptions(dir);
+    opts.maxConnections = 2;
+    ServerFixture server(opts);
+
+    // Two well-behaved connections occupy the cap (the STATS round
+    // trips guarantee both are accepted, not just queued).
+    ServeClient c1 = server.client();
+    ServeClient c2 = server.client();
+    ASSERT_TRUE(c1.stats().served());
+    ASSERT_TRUE(c2.stats().served());
+
+    // The third is shed with BUSY at the accept gate, unprompted.
+    const int fd = rawConnectUnix(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    FdReader reader(fd);
+    reader.setPollTimeoutMs(5000);
+    ResponseStatus status;
+    std::string payload;
+    ASSERT_TRUE(readResponse(reader, status, payload));
+    EXPECT_EQ(status, ResponseStatus::Busy);
+    EXPECT_NE(payload.find("connection cap"), std::string::npos);
+    std::string rest;
+    EXPECT_FALSE(reader.readLine(rest)) << "shed means closed";
+    ::close(fd);
+
+    // The earlier connections are unaffected, and STATS admits what
+    // happened.
+    const ServeReply stats = c1.stats();
+    ASSERT_TRUE(stats.served());
+    json::Value v;
+    ASSERT_TRUE(json::parse(stats.payload, v)) << stats.payload;
+    EXPECT_EQ(v.getUint64("shed_connections"), 1u);
+    EXPECT_TRUE(c2.stats().served());
+    const ServeReport &rep = server.stopAndJoin();
+    EXPECT_EQ(rep.shedConnections, 1u);
+}
+
+TEST(SimServer, SimAdmissionQueueShedsWithBusy)
+{
+    const std::string dir = freshDir("admission");
+    ServeOptions opts = unixOptions(dir);
+    opts.simQueueDepth = 1;
+    ServerFixture server(opts);
+
+    // Four distinct SIM misses fired simultaneously against a depth-1
+    // admission queue: at least one runs, at least one is shed, and
+    // nothing hangs or crashes. (Exact counts depend on arrival
+    // interleaving; the invariant is ok + busy == all, busy >= 1.)
+    constexpr unsigned kClients = 4;
+    std::vector<ServeClient> clients(kClients);
+    for (unsigned t = 0; t < kClients; ++t) {
+        ASSERT_TRUE(
+            clients[t].connectUnix(dir + "/powerchopd.sock"));
+    }
+    std::atomic<unsigned> ok{0}, busy{0}, other{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            const ServeReply reply = clients[t].sim(formatSimSpec(
+                kWorkloads, kMachines, {"full-power"},
+                5'000'000 + t, 0));
+            if (reply.status == ResponseStatus::Ok)
+                ok.fetch_add(1);
+            else if (reply.status == ResponseStatus::Busy)
+                busy.fetch_add(1);
+            else
+                other.fetch_add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load() + busy.load(), kClients);
+    EXPECT_EQ(other.load(), 0u);
+    EXPECT_GE(ok.load(), 1u);
+    EXPECT_GE(busy.load(), 1u);
+    const ServeReport &rep = server.stopAndJoin();
+    EXPECT_EQ(rep.shedRequests, busy.load());
+}
+
+TEST(SimServer, RequestDeadlineCancelsAnInFlightSim)
+{
+    const std::string dir = freshDir("req-deadline");
+    ServeOptions opts = unixOptions(dir);
+    opts.requestDeadlineSeconds = 0.08;
+    ServerFixture server(opts);
+    ServeClient c = server.client();
+
+    // A sim far larger than the deadline allows: the wall deadline
+    // must cancel it cooperatively and answer ERR deadline.
+    const ServeReply reply = c.sim(formatSimSpec(
+        kWorkloads, kMachines, {"full-power"}, 500'000'000, 0));
+    ASSERT_FALSE(reply.ioFailed) << reply.error;
+    EXPECT_EQ(reply.status, ResponseStatus::Err);
+    EXPECT_NE(reply.payload.find("deadline"), std::string::npos)
+        << reply.payload;
+
+    // The connection survives its cancelled request.
+    EXPECT_TRUE(c.stats().served());
+    const ServeReport &rep = server.stopAndJoin();
+    EXPECT_GE(rep.deadlineCancels, 1u);
+}
+
+TEST(SimServer, GracefulDrainFinishesInFlightRequests)
+{
+    const std::string dir = freshDir("drain");
+    ServeOptions opts = unixOptions(dir);
+    opts.drainSeconds = 10;
+    ServerFixture server(opts);
+
+    // Launch a fresh sim, then raise the stop flag while it is (very
+    // likely still) in flight: drain must let it finish and deliver.
+    // Connect before the clock starts so the dial cannot race the
+    // listen socket closing.
+    ServeClient c = server.client();
+    ServeReply reply;
+    std::thread inflight([&] { reply = c.sim(tinySpec()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const ServeReport &rep = server.stopAndJoin();
+    inflight.join();
+    ASSERT_FALSE(reply.ioFailed) << reply.error;
+    EXPECT_EQ(reply.status, ResponseStatus::Ok) << reply.payload;
+    EXPECT_EQ(rep.droppedInFlight, 0u)
+        << "drain must not abandon an in-flight request";
+}
+
+TEST(SimServer, ClientRetriesAcrossAServerRestart)
+{
+    const std::string dir = freshDir("client-retry");
+    ClientRetryPolicy policy;
+    policy.retries = 4;
+    policy.backoffBaseSeconds = 0.05;
+    policy.backoffMaxSeconds = 0.2;
+    policy.seed = 7;
+
+    ServeClient c;
+    c.setRetryPolicy(policy);
+    std::string cold;
+    {
+        ServerFixture server(unixOptions(dir));
+        ASSERT_TRUE(c.connectUnix(dir + "/powerchopd.sock"));
+        const ServeReply reply = c.sim(tinySpec());
+        ASSERT_TRUE(reply.served()) << reply.error;
+        EXPECT_EQ(reply.attempts, 1u);
+        cold = reply.payload;
+    }
+    // The daemon restarted behind the client's back (same dir, so the
+    // journal warm-starts the cache). The stale connection fails the
+    // first attempt; the retry redials and is served a byte-identical
+    // HIT.
+    ServerFixture server(unixOptions(dir));
+    const ServeReply warm = c.sim(tinySpec());
+    ASSERT_TRUE(warm.served()) << warm.error;
+    EXPECT_EQ(warm.status, ResponseStatus::Hit);
+    EXPECT_EQ(warm.payload, cold);
+    EXPECT_GE(warm.attempts, 2u)
+        << "the dead socket must cost at least one attempt";
 }
 
 TEST(SimServer, TcpLoopbackServesTheSameProtocol)

@@ -132,14 +132,22 @@ usage()
         "  status <dir> [--json | --prom] [--follow] [--interval S]\n"
         "      (exit 2 when <dir> holds no status snapshots)\n"
         "  serve <dir> [--socket PATH | --port N] [--cache-mb N]\n"
-        "      [--timeout-seconds S] (powerchopd: long-lived\n"
-        "      simulation service with a content-keyed LRU result\n"
-        "      cache, journaled to <dir>/cache.jsonl for warm\n"
-        "      restarts; default socket <dir>/powerchopd.sock)\n"
+        "      [--timeout-seconds S] [--max-conns N] [--sim-queue N]\n"
+        "      [--backlog N] [--idle-timeout-seconds S]\n"
+        "      [--read-timeout-seconds S] [--write-timeout-seconds S]\n"
+        "      [--request-deadline-seconds S] [--drain-seconds S]\n"
+        "      [--compact-ratio R] [--compact-min-records N]\n"
+        "      (powerchopd: long-lived simulation service with a\n"
+        "      content-keyed LRU result cache, journaled to\n"
+        "      <dir>/cache.jsonl for warm restarts; default socket\n"
+        "      <dir>/powerchopd.sock; overload sheds BUSY; SIGTERM\n"
+        "      drains in-flight work and exits 3)\n"
         "  client (--socket PATH | --port N) [--get KEY | --stats |\n"
-        "      matrix options] (one request against a running\n"
-        "      powerchopd; SIM payloads are byte-identical to a\n"
-        "      direct campaign's report.json)\n"
+        "      matrix options] [--retries N] [--timeout-seconds S]\n"
+        "      (one request against a running powerchopd; SIM\n"
+        "      payloads are byte-identical to a direct campaign's\n"
+        "      report.json; retries reconnect with deterministic\n"
+        "      exponential backoff)\n"
         "  --version\n"
         "modes: full-power powerchop min-power timeout-vpu drowsy-mlc\n"
         "run/compare/trace accept --audit (invariant-check results)\n"
@@ -233,6 +241,15 @@ struct Args
     double cacheMb = 256;     ///< Result-cache budget (MiB).
     std::string get;          ///< client: GET this hex content key.
     bool statsRequest = false; ///< client: STATS instead of SIM.
+    unsigned maxConns = 256;  ///< serve: connection cap (0 = off).
+    unsigned simQueue = 16;   ///< serve: SIM admission depth.
+    int backlog = 64;         ///< serve: listen(2) backlog.
+    double idleTimeoutSeconds = 300;   ///< serve: idle conn reap.
+    double readTimeoutSeconds = 30;    ///< serve: mid-frame read.
+    double writeTimeoutSeconds = 30;   ///< serve: response write.
+    double requestDeadlineSeconds = 0; ///< serve: SIM wall cap.
+    double compactRatio = 0.5; ///< serve: journal dead-ratio gate.
+    std::uint64_t compactMinRecords = 1024; ///< serve: floor.
     /** @} */
 
     /** --profile: CLI parity for POWERCHOP_PROFILE=1. */
@@ -328,6 +345,33 @@ parseOptions(const std::vector<std::string> &rest)
             a.get = need("--get");
         else if (rest[i] == "--stats")
             a.statsRequest = true;
+        else if (rest[i] == "--max-conns")
+            a.maxConns = static_cast<unsigned>(std::strtoul(
+                need("--max-conns").c_str(), nullptr, 10));
+        else if (rest[i] == "--sim-queue")
+            a.simQueue = static_cast<unsigned>(std::strtoul(
+                need("--sim-queue").c_str(), nullptr, 10));
+        else if (rest[i] == "--backlog")
+            a.backlog = static_cast<int>(std::strtol(
+                need("--backlog").c_str(), nullptr, 10));
+        else if (rest[i] == "--idle-timeout-seconds")
+            a.idleTimeoutSeconds = std::strtod(
+                need("--idle-timeout-seconds").c_str(), nullptr);
+        else if (rest[i] == "--read-timeout-seconds")
+            a.readTimeoutSeconds = std::strtod(
+                need("--read-timeout-seconds").c_str(), nullptr);
+        else if (rest[i] == "--write-timeout-seconds")
+            a.writeTimeoutSeconds = std::strtod(
+                need("--write-timeout-seconds").c_str(), nullptr);
+        else if (rest[i] == "--request-deadline-seconds")
+            a.requestDeadlineSeconds = std::strtod(
+                need("--request-deadline-seconds").c_str(), nullptr);
+        else if (rest[i] == "--compact-ratio")
+            a.compactRatio = std::strtod(
+                need("--compact-ratio").c_str(), nullptr);
+        else if (rest[i] == "--compact-min-records")
+            a.compactMinRecords = std::strtoull(
+                need("--compact-min-records").c_str(), nullptr, 10);
         else if (rest[i] == "--profile")
             a.profile = true;
         else
@@ -826,7 +870,17 @@ cmdServe(const std::string &dir, const Args &a)
     sopts.cache.maxBytes =
         static_cast<std::size_t>(a.cacheMb * (1u << 20));
     sopts.cache.journalPath = dir + "/cache.jsonl";
+    sopts.cache.compactDeadRatio = a.compactRatio;
+    sopts.cache.compactMinRecords = a.compactMinRecords;
     sopts.jobTimeoutSeconds = a.timeoutSeconds;
+    sopts.listenBacklog = a.backlog;
+    sopts.maxConnections = a.maxConns;
+    sopts.simQueueDepth = a.simQueue;
+    sopts.idleTimeoutSeconds = a.idleTimeoutSeconds;
+    sopts.readTimeoutSeconds = a.readTimeoutSeconds;
+    sopts.writeTimeoutSeconds = a.writeTimeoutSeconds;
+    sopts.requestDeadlineSeconds = a.requestDeadlineSeconds;
+    sopts.drainSeconds = a.drainSeconds;
     sopts.stopFlag = &campaignInterruptFlag();
     if (statusboardEnabled()) {
         makeCampaignDirs(statusDirPath(dir));
@@ -841,7 +895,11 @@ cmdServe(const std::string &dir, const Args &a)
     SimServer server(sopts);
     const ServeReport rep = server.run();
     std::printf("powerchopd: %s\n", rep.summary().c_str());
-    return 0;
+    // A drained daemon exits like an interrupted campaign: 3 tells
+    // a supervisor "clean but signal-initiated" (a second signal
+    // hard-exits 128+sig from the handler itself).
+    return campaignInterruptFlag().load() ? campaignInterruptedExitStatus
+                                          : 0;
 }
 
 int
@@ -853,12 +911,19 @@ cmdClient(const Args &a)
         fatal("client: --get and --stats are mutually exclusive");
 
     ServeClient client;
+    ClientRetryPolicy policy;
+    policy.retries = a.retries;
+    policy.timeoutSeconds = a.timeoutSeconds;
+    client.setRetryPolicy(policy);
     std::string err;
-    const bool connected = a.port != 0
+    bool connected = a.port != 0
         ? client.connectTcp(static_cast<unsigned short>(a.port),
                             &err)
         : client.connectUnix(a.socket, &err);
-    if (!connected)
+    // A failed dial is retryable too (the daemon may be mid-
+    // restart): request() redials with backoff, so only give up
+    // now when no retries were asked for.
+    if (!connected && a.retries == 0)
         fatal("client: %s", err.c_str());
 
     ServeReply reply;
@@ -897,10 +962,17 @@ cmdClient(const Args &a)
                                          insns, a.timeout));
     }
 
-    if (reply.ioFailed)
-        fatal("client: request failed (daemon gone?)");
+    if (reply.ioFailed) {
+        fatal("client: %s",
+              !reply.error.empty() ? reply.error.c_str()
+                                   : "request failed (daemon gone?)");
+    }
     if (reply.status == ResponseStatus::Err) {
         std::fprintf(stderr, "ERR: %s", reply.payload.c_str());
+        return 1;
+    }
+    if (reply.status == ResponseStatus::Busy) {
+        std::fprintf(stderr, "BUSY: %s", reply.payload.c_str());
         return 1;
     }
     if (reply.status == ResponseStatus::Miss) {
